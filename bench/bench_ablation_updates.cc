@@ -1,0 +1,59 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Ablation: update cost (paper §III claims O(log n) XB-tree maintenance).
+// Measures node accesses per insert/delete for the TE's XB-tree and for the
+// TOM ADS (MB-tree at the SP; the DO pays the same again, plus an RSA
+// signature per update — SAE needs no signing at all).
+
+#include "fig_common.h"
+
+using namespace sae;
+using namespace sae::bench;
+
+int main() {
+  std::printf("# Ablation: update cost (node accesses per operation)\n");
+  std::printf("#        n   XB.ins   XB.del   MB.ins   MB.del\n");
+
+  storage::RecordCodec codec(kRecordSize);
+  constexpr size_t kOps = 500;
+
+  for (size_t base : {20'000, 50'000, 100'000, 200'000}) {
+    size_t n = size_t(double(base) * BenchScale());
+    if (n < 2000) n = 2000;
+    auto dataset = MakeDataset(workload::Distribution::kUniform, n);
+
+    // --- XB-tree (TE) ---
+    auto te = BuildTe(dataset);
+    Rng rng(1);
+    std::vector<storage::Record> fresh;
+    for (size_t i = 0; i < kOps; ++i) {
+      fresh.push_back(codec.MakeRecord(
+          10'000'000 + i, uint32_t(rng.NextBounded(kDomainMax))));
+    }
+    te->ResetStats();
+    for (const auto& r : fresh) SAE_CHECK_OK(te->InsertRecord(r));
+    double xb_ins =
+        double(te->pool_stats().accesses) / double(kOps);
+    te->ResetStats();
+    for (const auto& r : fresh) SAE_CHECK_OK(te->DeleteRecord(r.key, r.id));
+    double xb_del = double(te->pool_stats().accesses) / double(kOps);
+
+    // --- MB-tree (TOM SP mirror; the DO repeats this and re-signs) ---
+    TomSpBundle tom = BuildTomSp(dataset, 512);
+    tom.sp->ResetStats();
+    for (const auto& r : fresh) SAE_CHECK_OK(tom.sp->ApplyInsert(r, {}));
+    double mb_ins = double(tom.sp->index_pool_stats().accesses +
+                           tom.sp->heap_pool_stats().accesses) /
+                    double(kOps);
+    tom.sp->ResetStats();
+    for (const auto& r : fresh) SAE_CHECK_OK(tom.sp->ApplyDelete(r.id, {}));
+    double mb_del = double(tom.sp->index_pool_stats().accesses +
+                           tom.sp->heap_pool_stats().accesses) /
+                    double(kOps);
+
+    std::printf("%10zu %8.1f %8.1f %8.1f %8.1f\n", n, xb_ins, xb_del, mb_ins,
+                mb_del);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/client.h"
+
+namespace sae::core {
+
+crypto::Digest Client::ResultXor(const std::vector<Record>& results,
+                                 const RecordCodec& codec,
+                                 crypto::HashScheme scheme) {
+  crypto::Digest acc;
+  std::vector<uint8_t> scratch(codec.record_size());
+  for (const Record& record : results) {
+    codec.Serialize(record, scratch.data());
+    acc ^= crypto::ComputeDigest(scratch.data(), scratch.size(), scheme);
+  }
+  return acc;
+}
+
+Status Client::VerifyResult(const std::vector<Record>& results,
+                            const crypto::Digest& vt,
+                            const RecordCodec& codec,
+                            crypto::HashScheme scheme) {
+  if (ResultXor(results, codec, scheme) != vt) {
+    return Status::VerificationFailure(
+        "result XOR does not match the TE's verification token");
+  }
+  return Status::OK();
+}
+
+}  // namespace sae::core

@@ -1,0 +1,39 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// SAE client-side verification (paper §II): hash every record the SP
+// returned, XOR the digests, and compare with the TE's token. A corrupt
+// result (RS - DS) ∪ IS escapes detection only when DS⊕ = IS⊕, which is
+// computationally infeasible for a collision-resistant hash.
+
+#ifndef SAE_CORE_CLIENT_H_
+#define SAE_CORE_CLIENT_H_
+
+#include <vector>
+
+#include "crypto/digest.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace sae::core {
+
+using storage::Record;
+using storage::RecordCodec;
+
+/// Stateless verification helpers for SAE clients.
+class Client {
+ public:
+  /// XOR of record digests — the client-side counterpart of the TE's VT.
+  static crypto::Digest ResultXor(
+      const std::vector<Record>& results, const RecordCodec& codec,
+      crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+
+  /// OK when the result matches the token; VerificationFailure otherwise.
+  static Status VerifyResult(
+      const std::vector<Record>& results, const crypto::Digest& vt,
+      const RecordCodec& codec,
+      crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_CLIENT_H_

@@ -1,0 +1,56 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The SAE data owner (paper §II): keeps the master dataset, ships it (and
+// incremental updates) to the SP and the TE, and performs *no* other task —
+// the model's headline property.
+
+#ifndef SAE_CORE_DATA_OWNER_H_
+#define SAE_CORE_DATA_OWNER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/service_provider.h"
+#include "core/trusted_entity.h"
+#include "sim/channel.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace sae::core {
+
+/// SAE's data owner.
+class DataOwner {
+ public:
+  explicit DataOwner(size_t record_size = storage::kDefaultRecordSize);
+
+  /// Installs the master dataset. Record ids must be unique.
+  Status SetDataset(const std::vector<Record>& records);
+
+  /// Master copy sorted by key (the shipping order).
+  std::vector<Record> SortedDataset() const;
+
+  size_t size() const { return master_.size(); }
+  Result<Record> Get(RecordId id) const;
+
+  /// Ships the dataset to both parties over the metered channels (paper
+  /// Fig. 2 "Initial dataset" arrows); the parties build their structures.
+  Status Outsource(ServiceProvider* sp, TrustedEntity* te,
+                   sim::Channel* to_sp, sim::Channel* to_te);
+
+  /// Update paths: apply to the master copy and propagate to both parties.
+  Status InsertRecord(const Record& record, ServiceProvider* sp,
+                      TrustedEntity* te, sim::Channel* to_sp,
+                      sim::Channel* to_te);
+  Status DeleteRecord(RecordId id, ServiceProvider* sp, TrustedEntity* te,
+                      sim::Channel* to_sp, sim::Channel* to_te);
+
+  const RecordCodec& codec() const { return codec_; }
+
+ private:
+  RecordCodec codec_;
+  std::map<RecordId, Record> master_;
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_DATA_OWNER_H_

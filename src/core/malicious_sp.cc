@@ -1,0 +1,65 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/malicious_sp.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace sae::core {
+
+std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
+                                AttackMode mode, const RecordCodec& codec,
+                                uint64_t seed) {
+  std::vector<Record> out = honest;
+  Rng rng(seed);
+
+  auto inject_fake = [&] {
+    Record fake = codec.MakeRecord(
+        storage::RecordId(0xFA4E0000u) + rng.NextBounded(1u << 20),
+        storage::Key(rng.NextBounded(1u << 20)));
+    size_t pos = out.empty() ? 0 : rng.NextBounded(out.size() + 1);
+    out.insert(out.begin() + pos, fake);
+  };
+
+  if (out.empty() && mode != AttackMode::kNone &&
+      mode != AttackMode::kDropAll) {
+    // Nothing to drop or tamper with; stay malicious by injecting instead.
+    inject_fake();
+    return out;
+  }
+
+  switch (mode) {
+    case AttackMode::kNone:
+      break;
+    case AttackMode::kDropOne:
+      out.erase(out.begin() + rng.NextBounded(out.size()));
+      break;
+    case AttackMode::kDropAll:
+      out.clear();
+      break;
+    case AttackMode::kInjectFake:
+      inject_fake();
+      break;
+    case AttackMode::kTamperPayload: {
+      Record& victim = out[rng.NextBounded(out.size())];
+      if (victim.payload.empty()) victim.payload.resize(1);
+      size_t pos = rng.NextBounded(victim.payload.size());
+      victim.payload[pos] ^= 0x80;
+      break;
+    }
+    case AttackMode::kTamperKey: {
+      Record& victim = out[rng.NextBounded(out.size())];
+      victim.key ^= 1;
+      break;
+    }
+    case AttackMode::kDuplicateOne: {
+      Record copy = out[rng.NextBounded(out.size())];
+      out.push_back(copy);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sae::core

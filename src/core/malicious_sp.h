@@ -1,0 +1,41 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Adversarial service provider behaviours (paper §II): a malicious SP
+// returns RS' = (RS - DS) ∪ IS — dropping a subset DS of the true result
+// and/or injecting a fake set IS; tampering with a record is drop + inject
+// combined. These mutations drive the security tests and the adversarial
+// example: every one of them must be caught by client verification.
+
+#ifndef SAE_CORE_MALICIOUS_SP_H_
+#define SAE_CORE_MALICIOUS_SP_H_
+
+#include <vector>
+
+#include "storage/record.h"
+
+namespace sae::core {
+
+using storage::Record;
+using storage::RecordCodec;
+
+/// What a compromised SP does to the honest result before returning it.
+enum class AttackMode {
+  kNone = 0,        ///< honest behaviour
+  kDropOne,         ///< completeness attack: remove one record
+  kDropAll,         ///< completeness attack: claim an empty result
+  kInjectFake,      ///< soundness attack: add a fabricated record
+  kTamperPayload,   ///< soundness attack: flip bytes in a record's payload
+  kTamperKey,       ///< soundness attack: change a record's search key
+  kDuplicateOne,    ///< soundness attack: return a record twice
+};
+
+/// Applies the attack to a copy of the honest result. Attacks needing a
+/// victim pick one pseudo-randomly from `seed`; attacks on an empty result
+/// degrade to kInjectFake so that "malicious" never silently means "honest".
+std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
+                                AttackMode mode, const RecordCodec& codec,
+                                uint64_t seed);
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_MALICIOUS_SP_H_

@@ -1,0 +1,137 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/messages.h"
+
+#include "util/codec.h"
+
+namespace sae::core {
+
+namespace {
+constexpr uint8_t kTagRecords = 0x01;
+constexpr uint8_t kTagQuery = 0x02;
+constexpr uint8_t kTagVt = 0x03;
+constexpr uint8_t kTagSignature = 0x04;
+constexpr uint8_t kTagDelete = 0x05;
+}  // namespace
+
+std::vector<uint8_t> SerializeRecords(const std::vector<Record>& records,
+                                      const RecordCodec& codec) {
+  ByteWriter w;
+  w.PutU8(kTagRecords);
+  w.PutU32(uint32_t(codec.record_size()));
+  w.PutU64(records.size());
+  std::vector<uint8_t> scratch(codec.record_size());
+  for (const Record& record : records) {
+    codec.Serialize(record, scratch.data());
+    w.PutBytes(scratch.data(), scratch.size());
+  }
+  return w.Release();
+}
+
+Result<std::vector<Record>> DeserializeRecords(
+    const std::vector<uint8_t>& bytes, const RecordCodec& codec) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagRecords) {
+    return Status::Corruption("not a records message");
+  }
+  if (r.GetU32() != codec.record_size()) {
+    return Status::Corruption("record size mismatch");
+  }
+  uint64_t count = r.GetU64();
+  if (r.remaining() != count * codec.record_size()) {
+    return Status::Corruption("records message truncated");
+  }
+  std::vector<Record> records;
+  records.reserve(count);
+  std::vector<uint8_t> scratch(codec.record_size());
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!r.GetBytes(scratch.data(), scratch.size())) {
+      return Status::Corruption("records message truncated");
+    }
+    records.push_back(codec.Deserialize(scratch.data()));
+  }
+  return records;
+}
+
+std::vector<uint8_t> SerializeQuery(Key lo, Key hi) {
+  ByteWriter w;
+  w.PutU8(kTagQuery);
+  w.PutU32(lo);
+  w.PutU32(hi);
+  return w.Release();
+}
+
+Result<std::pair<Key, Key>> DeserializeQuery(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagQuery) {
+    return Status::Corruption("not a query message");
+  }
+  Key lo = r.GetU32();
+  Key hi = r.GetU32();
+  if (r.failed()) return Status::Corruption("query message truncated");
+  return std::make_pair(lo, hi);
+}
+
+std::vector<uint8_t> SerializeVt(const crypto::Digest& vt) {
+  ByteWriter w;
+  w.PutU8(kTagVt);
+  w.PutBytes(vt.bytes.data(), vt.bytes.size());
+  return w.Release();
+}
+
+Result<crypto::Digest> DeserializeVt(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagVt) {
+    return Status::Corruption("not a VT message");
+  }
+  crypto::Digest vt;
+  if (!r.GetBytes(vt.bytes.data(), vt.bytes.size()) || r.failed()) {
+    return Status::Corruption("VT message truncated");
+  }
+  return vt;
+}
+
+std::vector<uint8_t> SerializeDelete(storage::RecordId id, Key key) {
+  ByteWriter w;
+  w.PutU8(kTagDelete);
+  w.PutU64(id);
+  w.PutU32(key);
+  return w.Release();
+}
+
+Result<std::pair<storage::RecordId, Key>> DeserializeDelete(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagDelete) {
+    return Status::Corruption("not a delete message");
+  }
+  storage::RecordId id = r.GetU64();
+  Key key = r.GetU32();
+  if (r.failed()) return Status::Corruption("delete message truncated");
+  return std::make_pair(id, key);
+}
+
+std::vector<uint8_t> SerializeSignature(const crypto::RsaSignature& sig) {
+  ByteWriter w;
+  w.PutU8(kTagSignature);
+  w.PutU16(uint16_t(sig.size()));
+  w.PutBytes(sig.data(), sig.size());
+  return w.Release();
+}
+
+Result<crypto::RsaSignature> DeserializeSignature(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagSignature) {
+    return Status::Corruption("not a signature message");
+  }
+  uint16_t len = r.GetU16();
+  crypto::RsaSignature sig(len);
+  if (!r.GetBytes(sig.data(), len) || r.failed()) {
+    return Status::Corruption("signature message truncated");
+  }
+  return sig;
+}
+
+}  // namespace sae::core

@@ -1,0 +1,52 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Wire formats for the messages exchanged between DO, SP, TE and clients.
+// Everything that crosses an entity boundary is serialized so the metered
+// channel sizes (sim::Channel) reflect genuine transmission overhead.
+
+#ifndef SAE_CORE_MESSAGES_H_
+#define SAE_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "crypto/rsa.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace sae::core {
+
+using storage::Key;
+using storage::Record;
+using storage::RecordCodec;
+
+/// Dataset shipment (DO -> SP, DO -> TE): count + fixed-size record images.
+std::vector<uint8_t> SerializeRecords(const std::vector<Record>& records,
+                                      const RecordCodec& codec);
+Result<std::vector<Record>> DeserializeRecords(
+    const std::vector<uint8_t>& bytes, const RecordCodec& codec);
+
+/// Range query (client -> SP and client -> TE).
+std::vector<uint8_t> SerializeQuery(Key lo, Key hi);
+Result<std::pair<Key, Key>> DeserializeQuery(
+    const std::vector<uint8_t>& bytes);
+
+/// Verification token (TE -> client): exactly one digest, 20 bytes + tag.
+std::vector<uint8_t> SerializeVt(const crypto::Digest& vt);
+Result<crypto::Digest> DeserializeVt(const std::vector<uint8_t>& bytes);
+
+/// Deletion notice (DO -> SP, DO -> TE): which record disappears and under
+/// which key it was indexed.
+std::vector<uint8_t> SerializeDelete(storage::RecordId id, Key key);
+Result<std::pair<storage::RecordId, Key>> DeserializeDelete(
+    const std::vector<uint8_t>& bytes);
+
+/// Root signature shipment (DO -> SP in TOM).
+std::vector<uint8_t> SerializeSignature(const crypto::RsaSignature& sig);
+Result<crypto::RsaSignature> DeserializeSignature(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_MESSAGES_H_

@@ -1,0 +1,91 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/multi_attr.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace sae::core {
+
+MultiAttrTrustedEntity::MultiAttrTrustedEntity(
+    std::vector<AttributeSpec> attributes, const Options& options)
+    : options_(options),
+      codec_(options.record_size),
+      pool_(&store_, options.pool_pages) {
+  SAE_CHECK(!attributes.empty());
+  for (auto& spec : attributes) {
+    AttrIndex index;
+    index.spec = std::move(spec);
+    auto tree = xbtree::XbTree::Create(&pool_);
+    SAE_CHECK(tree.ok());
+    index.tree = std::move(tree).ValueOrDie();
+    indexes_.push_back(std::move(index));
+  }
+}
+
+crypto::Digest MultiAttrTrustedEntity::RecordDigest(
+    const Record& record) const {
+  std::vector<uint8_t> bytes = codec_.Serialize(record);
+  return crypto::ComputeDigest(bytes.data(), bytes.size(), options_.scheme);
+}
+
+Status MultiAttrTrustedEntity::LoadDataset(
+    const std::vector<Record>& records) {
+  for (AttrIndex& index : indexes_) {
+    std::vector<xbtree::XbTuple> tuples;
+    tuples.reserve(records.size());
+    for (const Record& record : records) {
+      tuples.push_back(xbtree::XbTuple{index.spec.extractor(record),
+                                       record.id, RecordDigest(record)});
+    }
+    std::sort(tuples.begin(), tuples.end(),
+              [](const xbtree::XbTuple& a, const xbtree::XbTuple& b) {
+                return a.key != b.key ? a.key < b.key : a.id < b.id;
+              });
+    SAE_RETURN_NOT_OK(index.tree->BulkLoad(tuples));
+  }
+  return Status::OK();
+}
+
+Status MultiAttrTrustedEntity::InsertRecord(const Record& record) {
+  crypto::Digest digest = RecordDigest(record);
+  for (AttrIndex& index : indexes_) {
+    SAE_RETURN_NOT_OK(
+        index.tree->Insert(index.spec.extractor(record), record.id, digest));
+  }
+  return Status::OK();
+}
+
+Status MultiAttrTrustedEntity::DeleteRecord(const Record& record) {
+  for (AttrIndex& index : indexes_) {
+    SAE_RETURN_NOT_OK(
+        index.tree->Delete(index.spec.extractor(record), record.id));
+  }
+  return Status::OK();
+}
+
+Result<crypto::Digest> MultiAttrTrustedEntity::GenerateVt(
+    const std::string& attribute, Key lo, Key hi) const {
+  for (const AttrIndex& index : indexes_) {
+    if (index.spec.name == attribute) {
+      return index.tree->GenerateVT(lo, hi);
+    }
+  }
+  return Status::NotFound("no such attribute: " + attribute);
+}
+
+std::vector<std::string> MultiAttrTrustedEntity::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(indexes_.size());
+  for (const AttrIndex& index : indexes_) names.push_back(index.spec.name);
+  return names;
+}
+
+size_t MultiAttrTrustedEntity::StorageBytes() const {
+  size_t total = 0;
+  for (const AttrIndex& index : indexes_) total += index.tree->SizeBytes();
+  return total;
+}
+
+}  // namespace sae::core

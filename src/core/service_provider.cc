@@ -1,0 +1,37 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/service_provider.h"
+
+#include "util/macros.h"
+
+namespace sae::core {
+
+ServiceProvider::ServiceProvider(const Options& options)
+    : index_pool_(&index_store_, options.index_pool_pages),
+      heap_pool_(&heap_store_, options.heap_pool_pages) {
+  auto table =
+      dbms::Table::Create(&index_pool_, &heap_pool_, options.record_size);
+  SAE_CHECK(table.ok());
+  table_ = std::move(table).ValueOrDie();
+}
+
+Status ServiceProvider::LoadDataset(const std::vector<Record>& sorted) {
+  return table_->BulkLoad(sorted);
+}
+
+Status ServiceProvider::InsertRecord(const Record& record) {
+  return table_->Insert(record);
+}
+
+Status ServiceProvider::DeleteRecord(RecordId id) {
+  return table_->Delete(id);
+}
+
+Result<std::vector<Record>> ServiceProvider::ExecuteRange(Key lo,
+                                                          Key hi) const {
+  std::vector<Record> out;
+  SAE_RETURN_NOT_OK(table_->RangeQuery(lo, hi, &out));
+  return out;
+}
+
+}  // namespace sae::core

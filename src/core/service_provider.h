@@ -1,0 +1,77 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The service provider (SP) of SAE (paper §II): a *conventional* DBMS with
+// no authentication machinery whatsoever — heap file + plain B+-tree. This
+// is the point of the model: "query processing is as fast as in conventional
+// database systems".
+
+#ifndef SAE_CORE_SERVICE_PROVIDER_H_
+#define SAE_CORE_SERVICE_PROVIDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "dbms/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace sae::core {
+
+using storage::Key;
+using storage::Record;
+using storage::RecordId;
+
+struct ServiceProviderOptions {
+  size_t record_size = storage::kDefaultRecordSize;
+  size_t index_pool_pages = 1024;
+  size_t heap_pool_pages = 1024;
+};
+
+/// SAE's service provider. Owns its (simulated-disk) storage; index and
+/// dataset pages are pooled separately for per-component access accounting.
+class ServiceProvider {
+ public:
+  using Options = ServiceProviderOptions;
+
+  explicit ServiceProvider(const Options& options = {});
+
+  /// Ingests the initial dataset (sorted by key; stored clustered).
+  Status LoadDataset(const std::vector<Record>& sorted);
+
+  Status InsertRecord(const Record& record);
+  Status DeleteRecord(RecordId id);
+
+  /// Executes the range query and returns the result records in key order.
+  Result<std::vector<Record>> ExecuteRange(Key lo, Key hi) const;
+
+  const dbms::Table& table() const { return *table_; }
+
+  const storage::BufferPool::Stats& index_pool_stats() const {
+    return index_pool_.stats();
+  }
+  const storage::BufferPool::Stats& heap_pool_stats() const {
+    return heap_pool_.stats();
+  }
+  void ResetStats() {
+    index_pool_.ResetStats();
+    heap_pool_.ResetStats();
+  }
+
+  size_t IndexStorageBytes() const { return table_->IndexSizeBytes(); }
+  size_t HeapStorageBytes() const { return table_->HeapSizeBytes(); }
+  size_t StorageBytes() const {
+    return IndexStorageBytes() + HeapStorageBytes();
+  }
+
+ private:
+  storage::InMemoryPageStore index_store_;
+  storage::InMemoryPageStore heap_store_;
+  mutable storage::BufferPool index_pool_;
+  mutable storage::BufferPool heap_pool_;
+  std::unique_ptr<dbms::Table> table_;
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_SERVICE_PROVIDER_H_

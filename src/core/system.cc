@@ -1,0 +1,156 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/system.h"
+
+#include <algorithm>
+
+#include "core/messages.h"
+#include "sim/cost_model.h"
+#include "util/macros.h"
+
+namespace sae::core {
+
+namespace {
+
+std::vector<Record> SortByKey(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.key != b.key ? a.key < b.key : a.id < b.id;
+            });
+  return records;
+}
+
+}  // namespace
+
+// --- SaeSystem ---------------------------------------------------------------
+
+SaeSystem::SaeSystem(const Options& options)
+    : options_(options),
+      owner_(options.record_size),
+      sp_(ServiceProvider::Options{options.record_size,
+                                   options.sp_index_pool_pages,
+                                   options.sp_heap_pool_pages}),
+      te_(TrustedEntity::Options{options.record_size, options.scheme,
+                                 options.te_pool_pages,
+                                 xbtree::XbTreeOptions{}}) {}
+
+Status SaeSystem::Load(const std::vector<Record>& records) {
+  SAE_RETURN_NOT_OK(owner_.SetDataset(records));
+  return owner_.Outsource(&sp_, &te_, &do_sp_, &do_te_);
+}
+
+Result<SaeSystem::QueryOutcome> SaeSystem::Query(Key lo, Key hi,
+                                                 AttackMode attack) {
+  QueryOutcome outcome;
+  sp_.ResetStats();
+  te_.ResetStats();
+
+  // Client -> SP: execute; the SP may be compromised.
+  SAE_ASSIGN_OR_RETURN(std::vector<Record> honest, sp_.ExecuteRange(lo, hi));
+  outcome.results = ApplyAttack(honest, attack, codec(), attack_seed_++);
+  std::vector<uint8_t> result_msg = SerializeRecords(outcome.results, codec());
+  sp_client_.Send(result_msg);
+  outcome.costs.result_bytes = result_msg.size();
+  outcome.costs.sp_index_accesses = sp_.index_pool_stats().accesses;
+  outcome.costs.sp_heap_accesses = sp_.heap_pool_stats().accesses;
+
+  // Client -> TE: verification token (always honest).
+  SAE_ASSIGN_OR_RETURN(crypto::Digest vt, te_.GenerateVt(lo, hi));
+  std::vector<uint8_t> vt_msg = SerializeVt(vt);
+  te_client_.Send(vt_msg);
+  outcome.costs.auth_bytes = vt_msg.size();
+  outcome.costs.te_accesses = te_.pool_stats().accesses;
+
+  // Client: decode and verify.
+  SAE_ASSIGN_OR_RETURN(std::vector<Record> received,
+                       DeserializeRecords(result_msg, codec()));
+  SAE_ASSIGN_OR_RETURN(outcome.vt, DeserializeVt(vt_msg));
+  sim::Stopwatch watch;
+  outcome.verification =
+      Client::VerifyResult(received, outcome.vt, codec(), options_.scheme);
+  outcome.costs.client_verify_ms = watch.ElapsedMs();
+  return outcome;
+}
+
+Status SaeSystem::Insert(const Record& record) {
+  return owner_.InsertRecord(record, &sp_, &te_, &do_sp_, &do_te_);
+}
+
+Status SaeSystem::Delete(RecordId id) {
+  return owner_.DeleteRecord(id, &sp_, &te_, &do_sp_, &do_te_);
+}
+
+// --- TomSystem ---------------------------------------------------------------
+
+TomSystem::TomSystem(const Options& options)
+    : options_(options),
+      codec_(options.record_size),
+      owner_(TomDataOwner::Options{options.record_size, options.scheme,
+                                   options.rsa_modulus_bits, options.rsa_seed,
+                                   options.do_pool_pages,
+                                   mbtree::MbTreeOptions{}}),
+      sp_(TomServiceProvider::Options{options.record_size, options.scheme,
+                                      options.sp_index_pool_pages,
+                                      options.sp_heap_pool_pages,
+                                      mbtree::MbTreeOptions{}}) {}
+
+Status TomSystem::Load(const std::vector<Record>& records) {
+  std::vector<Record> sorted = SortByKey(records);
+  SAE_RETURN_NOT_OK(owner_.LoadDataset(sorted));
+  std::vector<uint8_t> shipment = SerializeRecords(sorted, codec_);
+  std::vector<uint8_t> sig_msg = SerializeSignature(owner_.signature());
+  do_sp_.Send(shipment);
+  do_sp_.Send(sig_msg);
+  return sp_.LoadDataset(sorted, owner_.signature());
+}
+
+Result<TomSystem::QueryOutcome> TomSystem::Query(Key lo, Key hi,
+                                                 AttackMode attack) {
+  QueryOutcome outcome;
+  sp_.ResetStats();
+
+  SAE_ASSIGN_OR_RETURN(TomServiceProvider::QueryResponse response,
+                       sp_.ExecuteRange(lo, hi));
+  outcome.results =
+      ApplyAttack(response.results, attack, codec_, attack_seed_++);
+  outcome.vo = std::move(response.vo);
+
+  std::vector<uint8_t> result_msg = SerializeRecords(outcome.results, codec_);
+  std::vector<uint8_t> vo_msg = outcome.vo.Serialize();
+  sp_client_.Send(result_msg);
+  sp_client_.Send(vo_msg);
+  outcome.costs.result_bytes = result_msg.size();
+  outcome.costs.auth_bytes = vo_msg.size();
+  outcome.costs.sp_index_accesses = sp_.index_pool_stats().accesses;
+  outcome.costs.sp_heap_accesses = sp_.heap_pool_stats().accesses;
+
+  SAE_ASSIGN_OR_RETURN(std::vector<Record> received,
+                       DeserializeRecords(result_msg, codec_));
+  SAE_ASSIGN_OR_RETURN(mbtree::VerificationObject vo,
+                       mbtree::VerificationObject::Deserialize(vo_msg));
+  sim::Stopwatch watch;
+  outcome.verification = TomClient::Verify(
+      lo, hi, received, vo, owner_.public_key(), codec_, options_.scheme);
+  outcome.costs.client_verify_ms = watch.ElapsedMs();
+  return outcome;
+}
+
+Status TomSystem::Insert(const Record& record) {
+  SAE_RETURN_NOT_OK(owner_.InsertRecord(record));
+  std::vector<uint8_t> shipment = SerializeRecords({record}, codec_);
+  std::vector<uint8_t> sig_msg = SerializeSignature(owner_.signature());
+  do_sp_.Send(shipment);
+  do_sp_.Send(sig_msg);
+  return sp_.ApplyInsert(record, owner_.signature());
+}
+
+Status TomSystem::Delete(RecordId id) {
+  SAE_RETURN_NOT_OK(owner_.DeleteRecord(id));
+  std::vector<uint8_t> note = SerializeDelete(id, 0);
+  std::vector<uint8_t> sig_msg = SerializeSignature(owner_.signature());
+  do_sp_.Send(note);
+  do_sp_.Send(sig_msg);
+  return sp_.ApplyDelete(id, owner_.signature());
+}
+
+}  // namespace sae::core

@@ -1,0 +1,140 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// End-to-end harnesses wiring the entities of each outsourcing model with
+// byte-metered channels. These are the top-level public API used by the
+// examples and the figure benches: load a dataset, run authenticated range
+// queries, optionally under an attacking SP, and read back per-party costs.
+
+#ifndef SAE_CORE_SYSTEM_H_
+#define SAE_CORE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/data_owner.h"
+#include "core/malicious_sp.h"
+#include "core/service_provider.h"
+#include "core/tom.h"
+#include "core/trusted_entity.h"
+#include "sim/channel.h"
+#include "util/status.h"
+
+namespace sae::core {
+
+/// Per-query measurements shared by both models.
+struct QueryCosts {
+  uint64_t sp_index_accesses = 0;  ///< index node accesses at the SP
+  uint64_t sp_heap_accesses = 0;   ///< dataset-page accesses at the SP
+  uint64_t te_accesses = 0;        ///< node accesses at the TE (SAE only)
+  size_t auth_bytes = 0;     ///< authentication traffic (VT or VO message)
+  size_t result_bytes = 0;   ///< result traffic (excluded from Fig. 5)
+  double client_verify_ms = 0.0;  ///< wall-clock client verification time
+};
+
+struct SaeSystemOptions {
+  size_t record_size = storage::kDefaultRecordSize;
+  crypto::HashScheme scheme = crypto::HashScheme::kSha1;
+  size_t sp_index_pool_pages = 1024;
+  size_t sp_heap_pool_pages = 1024;
+  size_t te_pool_pages = 1024;
+};
+
+/// SAE: DO + conventional SP + TE + verifying client.
+class SaeSystem {
+ public:
+  using Options = SaeSystemOptions;
+
+  explicit SaeSystem(const Options& options = {});
+
+  /// Installs and outsources the dataset (DO -> SP, DO -> TE).
+  Status Load(const std::vector<Record>& records);
+
+  struct QueryOutcome {
+    std::vector<Record> results;  ///< what the (possibly malicious) SP sent
+    crypto::Digest vt;            ///< the TE's token
+    Status verification;          ///< OK iff the client accepted the result
+    QueryCosts costs;
+  };
+
+  /// Client issues [lo, hi] to SP and TE simultaneously and verifies.
+  Result<QueryOutcome> Query(Key lo, Key hi,
+                             AttackMode attack = AttackMode::kNone);
+
+  /// DO-side updates, propagated to SP and TE.
+  Status Insert(const Record& record);
+  Status Delete(RecordId id);
+
+  DataOwner& owner() { return owner_; }
+  ServiceProvider& sp() { return sp_; }
+  TrustedEntity& te() { return te_; }
+  sim::Channel& do_sp_channel() { return do_sp_; }
+  sim::Channel& do_te_channel() { return do_te_; }
+  sim::Channel& sp_client_channel() { return sp_client_; }
+  sim::Channel& te_client_channel() { return te_client_; }
+  const RecordCodec& codec() const { return owner_.codec(); }
+
+ private:
+  Options options_;
+  DataOwner owner_;
+  ServiceProvider sp_;
+  TrustedEntity te_;
+  sim::Channel do_sp_{"DO->SP"};
+  sim::Channel do_te_{"DO->TE"};
+  sim::Channel sp_client_{"SP->Client"};
+  sim::Channel te_client_{"TE->Client"};
+  uint64_t attack_seed_ = 0xBADC0DE;
+};
+
+struct TomSystemOptions {
+  size_t record_size = storage::kDefaultRecordSize;
+  crypto::HashScheme scheme = crypto::HashScheme::kSha1;
+  size_t rsa_modulus_bits = 1024;
+  uint64_t rsa_seed = 0x5AE2009;
+  size_t do_pool_pages = 1024;
+  size_t sp_index_pool_pages = 1024;
+  size_t sp_heap_pool_pages = 1024;
+};
+
+/// TOM: ADS-building DO + ADS-mirroring SP + VO-verifying client.
+class TomSystem {
+ public:
+  using Options = TomSystemOptions;
+
+  explicit TomSystem(const Options& options = {});
+
+  Status Load(const std::vector<Record>& records);
+
+  struct QueryOutcome {
+    std::vector<Record> results;
+    mbtree::VerificationObject vo;
+    Status verification;
+    QueryCosts costs;
+  };
+
+  Result<QueryOutcome> Query(Key lo, Key hi,
+                             AttackMode attack = AttackMode::kNone);
+
+  /// Updates flow DO -> SP together with a fresh root signature.
+  Status Insert(const Record& record);
+  Status Delete(RecordId id);
+
+  TomDataOwner& owner() { return owner_; }
+  TomServiceProvider& sp() { return sp_; }
+  sim::Channel& do_sp_channel() { return do_sp_; }
+  sim::Channel& sp_client_channel() { return sp_client_; }
+  const RecordCodec& codec() const { return codec_; }
+
+ private:
+  Options options_;
+  RecordCodec codec_;
+  TomDataOwner owner_;
+  TomServiceProvider sp_;
+  sim::Channel do_sp_{"DO->SP"};
+  sim::Channel sp_client_{"SP->Client"};
+  uint64_t attack_seed_ = 0xBADC0DE;
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_SYSTEM_H_

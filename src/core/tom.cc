@@ -1,0 +1,180 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/tom.h"
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace sae::core {
+
+// --- TomDataOwner -------------------------------------------------------------
+
+TomDataOwner::TomDataOwner(const Options& options)
+    : options_(options),
+      codec_(options.record_size),
+      pool_(&store_, options.pool_pages) {
+  Rng rng(options_.rsa_seed);
+  key_ = crypto::RsaGenerateKey(&rng, options_.rsa_modulus_bits);
+  mbtree::MbTreeOptions mb = options_.mb_options;
+  mb.scheme = options_.scheme;
+  auto tree = mbtree::MbTree::Create(&pool_, mb);
+  SAE_CHECK(tree.ok());
+  mb_ = std::move(tree).ValueOrDie();
+}
+
+Status TomDataOwner::Resign() {
+  signature_ = crypto::RsaSignDigest(key_, mb_->root_digest());
+  return Status::OK();
+}
+
+Status TomDataOwner::LoadDataset(const std::vector<Record>& sorted) {
+  std::vector<mbtree::MbEntry> entries;
+  entries.reserve(sorted.size());
+  std::vector<uint8_t> scratch(codec_.record_size());
+  for (const Record& record : sorted) {
+    codec_.Serialize(record, scratch.data());
+    entries.push_back(mbtree::MbEntry{
+        record.key, storage::Rid(record.id),
+        crypto::ComputeDigest(scratch.data(), scratch.size(),
+                              options_.scheme)});
+    key_of_id_[record.id] = record.key;
+  }
+  SAE_RETURN_NOT_OK(mb_->BulkLoad(entries));
+  return Resign();
+}
+
+Status TomDataOwner::InsertRecord(const Record& record) {
+  if (key_of_id_.count(record.id) > 0) {
+    return Status::AlreadyExists("record id already present");
+  }
+  std::vector<uint8_t> bytes = codec_.Serialize(record);
+  mbtree::MbEntry entry{
+      record.key, storage::Rid(record.id),
+      crypto::ComputeDigest(bytes.data(), bytes.size(), options_.scheme)};
+  SAE_RETURN_NOT_OK(mb_->Insert(entry));
+  key_of_id_[record.id] = record.key;
+  return Resign();
+}
+
+Status TomDataOwner::DeleteRecord(RecordId id) {
+  auto it = key_of_id_.find(id);
+  if (it == key_of_id_.end()) {
+    return Status::NotFound("no record with this id");
+  }
+  SAE_RETURN_NOT_OK(mb_->Delete(it->second, storage::Rid(id)));
+  key_of_id_.erase(it);
+  return Resign();
+}
+
+// --- TomServiceProvider ---------------------------------------------------------
+
+TomServiceProvider::TomServiceProvider(const Options& options)
+    : options_(options),
+      codec_(options.record_size),
+      index_pool_(&index_store_, options.index_pool_pages),
+      heap_pool_(&heap_store_, options.heap_pool_pages),
+      heap_(&heap_pool_, options.record_size) {
+  mbtree::MbTreeOptions mb = options_.mb_options;
+  mb.scheme = options_.scheme;
+  auto tree = mbtree::MbTree::Create(&index_pool_, mb);
+  SAE_CHECK(tree.ok());
+  mb_ = std::move(tree).ValueOrDie();
+}
+
+Status TomServiceProvider::LoadDataset(const std::vector<Record>& sorted,
+                                       crypto::RsaSignature signature) {
+  std::vector<mbtree::MbEntry> entries;
+  entries.reserve(sorted.size());
+  std::vector<uint8_t> scratch(codec_.record_size());
+  for (const Record& record : sorted) {
+    if (rid_of_id_.count(record.id) > 0) {
+      return Status::InvalidArgument("duplicate record id in dataset");
+    }
+    codec_.Serialize(record, scratch.data());
+    SAE_ASSIGN_OR_RETURN(storage::Rid rid, heap_.Insert(scratch.data()));
+    rid_of_id_[record.id] = rid;
+    entries.push_back(mbtree::MbEntry{
+        record.key, rid,
+        crypto::ComputeDigest(scratch.data(), scratch.size(),
+                              options_.scheme)});
+  }
+  SAE_RETURN_NOT_OK(mb_->BulkLoad(entries));
+  signature_ = std::move(signature);
+  return Status::OK();
+}
+
+Status TomServiceProvider::ApplyInsert(const Record& record,
+                                       crypto::RsaSignature new_sig) {
+  if (rid_of_id_.count(record.id) > 0) {
+    return Status::AlreadyExists("record id already present");
+  }
+  std::vector<uint8_t> bytes = codec_.Serialize(record);
+  SAE_ASSIGN_OR_RETURN(storage::Rid rid, heap_.Insert(bytes.data()));
+  mbtree::MbEntry entry{
+      record.key, rid,
+      crypto::ComputeDigest(bytes.data(), bytes.size(), options_.scheme)};
+  Status st = mb_->Insert(entry);
+  if (!st.ok()) {
+    SAE_CHECK_OK(heap_.Delete(rid));
+    return st;
+  }
+  rid_of_id_[record.id] = rid;
+  signature_ = std::move(new_sig);
+  return Status::OK();
+}
+
+Status TomServiceProvider::ApplyDelete(RecordId id,
+                                       crypto::RsaSignature new_sig) {
+  auto it = rid_of_id_.find(id);
+  if (it == rid_of_id_.end()) {
+    return Status::NotFound("no record with this id");
+  }
+  storage::Rid rid = it->second;
+  std::vector<uint8_t> bytes(codec_.record_size());
+  SAE_RETURN_NOT_OK(heap_.Get(rid, bytes.data()));
+  Record record = codec_.Deserialize(bytes.data());
+  SAE_RETURN_NOT_OK(mb_->Delete(record.key, rid));
+  SAE_RETURN_NOT_OK(heap_.Delete(rid));
+  rid_of_id_.erase(it);
+  signature_ = std::move(new_sig);
+  return Status::OK();
+}
+
+Result<TomServiceProvider::QueryResponse> TomServiceProvider::ExecuteRange(
+    Key lo, Key hi) {
+  QueryResponse response;
+
+  // Traversal 1: locate and fetch the result records (each dataset page
+  // fetched once per contiguous run).
+  std::vector<mbtree::MbEntry> postings;
+  SAE_RETURN_NOT_OK(mb_->RangeSearch(lo, hi, &postings));
+  std::vector<storage::Rid> rids;
+  rids.reserve(postings.size());
+  for (const auto& posting : postings) rids.push_back(posting.rid);
+  response.results.reserve(rids.size());
+  SAE_RETURN_NOT_OK(heap_.GetMany(rids, [&](size_t, const uint8_t* data) {
+    response.results.push_back(codec_.Deserialize(data));
+  }));
+
+  // Traversal 2: build the VO; boundary records come from the dataset file.
+  auto fetch = [this](storage::Rid rid) -> Result<std::vector<uint8_t>> {
+    std::vector<uint8_t> bytes(codec_.record_size());
+    SAE_RETURN_NOT_OK(heap_.Get(rid, bytes.data()));
+    return bytes;
+  };
+  SAE_ASSIGN_OR_RETURN(response.vo, mb_->BuildVo(lo, hi, fetch));
+  response.vo.signature = signature_;
+  return response;
+}
+
+// --- TomClient ----------------------------------------------------------------
+
+Status TomClient::Verify(Key lo, Key hi, const std::vector<Record>& results,
+                         const mbtree::VerificationObject& vo,
+                         const crypto::RsaPublicKey& owner_key,
+                         const RecordCodec& codec,
+                         crypto::HashScheme scheme) {
+  return mbtree::VerifyVO(vo, lo, hi, results, owner_key, codec, scheme);
+}
+
+}  // namespace sae::core

@@ -1,0 +1,155 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The traditional outsourcing model (TOM, paper §I and Fig. 1), implemented
+// as the experimental baseline: the DO builds and maintains an MB-Tree ADS
+// locally and signs its root; the SP mirrors the ADS, answers range queries
+// with result + VO; the client reconstructs the root digest from the VO and
+// checks the DO's signature.
+
+#ifndef SAE_CORE_TOM_H_
+#define SAE_CORE_TOM_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "mbtree/mb_tree.h"
+#include "sim/channel.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/page_store.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace sae::core {
+
+using storage::Key;
+using storage::Record;
+using storage::RecordCodec;
+using storage::RecordId;
+
+struct TomDataOwnerOptions {
+  size_t record_size = storage::kDefaultRecordSize;
+  crypto::HashScheme scheme = crypto::HashScheme::kSha1;
+  size_t rsa_modulus_bits = 1024;
+  uint64_t rsa_seed = 0x5AE2009;
+  size_t pool_pages = 1024;
+  mbtree::MbTreeOptions mb_options;
+};
+
+/// TOM's data owner: maintains a *local* copy of the ADS (the drawback SAE
+/// removes) and signs the root digest after every change.
+class TomDataOwner {
+ public:
+  using Options = TomDataOwnerOptions;
+
+  explicit TomDataOwner(const Options& options = {});
+
+  /// Builds the local ADS over the (key-sorted) dataset and signs its root.
+  Status LoadDataset(const std::vector<Record>& sorted);
+
+  Status InsertRecord(const Record& record);
+  Status DeleteRecord(RecordId id);
+
+  crypto::RsaPublicKey public_key() const { return key_.PublicKey(); }
+  const crypto::RsaSignature& signature() const { return signature_; }
+
+  /// Local ADS footprint — the DO-side burden TOM imposes.
+  size_t AdsStorageBytes() const { return mb_->SizeBytes(); }
+  const mbtree::MbTree& ads() const { return *mb_; }
+
+ private:
+  Status Resign();
+
+  Options options_;
+  RecordCodec codec_;
+  crypto::RsaPrivateKey key_;
+  storage::InMemoryPageStore store_;
+  storage::BufferPool pool_;
+  std::unique_ptr<mbtree::MbTree> mb_;
+  std::map<RecordId, Key> key_of_id_;  // master-copy view for deletions
+  crypto::RsaSignature signature_;
+};
+
+struct TomServiceProviderOptions {
+  size_t record_size = storage::kDefaultRecordSize;
+  crypto::HashScheme scheme = crypto::HashScheme::kSha1;
+  size_t index_pool_pages = 1024;
+  size_t heap_pool_pages = 1024;
+  mbtree::MbTreeOptions mb_options;
+};
+
+/// TOM's service provider: ADS-augmented DBMS answering queries with VOs.
+class TomServiceProvider {
+ public:
+  using Options = TomServiceProviderOptions;
+
+  explicit TomServiceProvider(const Options& options = {});
+
+  /// Ingests the dataset plus the DO's root signature.
+  Status LoadDataset(const std::vector<Record>& sorted,
+                     crypto::RsaSignature signature);
+
+  Status ApplyInsert(const Record& record, crypto::RsaSignature new_sig);
+  Status ApplyDelete(RecordId id, crypto::RsaSignature new_sig);
+
+  /// Installs a fresh root signature from the DO (e.g. after out-of-band
+  /// re-signing); normally signatures arrive with ApplyInsert/ApplyDelete.
+  void SetSignature(crypto::RsaSignature sig) { signature_ = std::move(sig); }
+
+  struct QueryResponse {
+    std::vector<Record> results;          // key order
+    mbtree::VerificationObject vo;        // includes the root signature
+  };
+
+  /// Executes the range query and constructs the VO (paper §I).
+  Result<QueryResponse> ExecuteRange(Key lo, Key hi);
+
+  const mbtree::MbTree& ads() const { return *mb_; }
+
+  const storage::BufferPool::Stats& index_pool_stats() const {
+    return index_pool_.stats();
+  }
+  const storage::BufferPool::Stats& heap_pool_stats() const {
+    return heap_pool_.stats();
+  }
+  void ResetStats() {
+    index_pool_.ResetStats();
+    heap_pool_.ResetStats();
+  }
+
+  size_t IndexStorageBytes() const { return mb_->SizeBytes(); }
+  size_t HeapStorageBytes() const { return heap_.SizeBytes(); }
+  size_t StorageBytes() const {
+    return IndexStorageBytes() + HeapStorageBytes();
+  }
+
+ private:
+  Options options_;
+  RecordCodec codec_;
+  storage::InMemoryPageStore index_store_;
+  storage::InMemoryPageStore heap_store_;
+  storage::BufferPool index_pool_;
+  storage::BufferPool heap_pool_;
+  storage::HeapFile heap_;
+  std::unique_ptr<mbtree::MbTree> mb_;
+  std::map<RecordId, storage::Rid> rid_of_id_;
+  crypto::RsaSignature signature_;
+};
+
+/// TOM's client-side verifier.
+class TomClient {
+ public:
+  /// Verifies result+VO against the DO's public key (paper §I): soundness
+  /// via the signed root digest, completeness via the boundary records.
+  static Status Verify(Key lo, Key hi, const std::vector<Record>& results,
+                       const mbtree::VerificationObject& vo,
+                       const crypto::RsaPublicKey& owner_key,
+                       const RecordCodec& codec,
+                       crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_TOM_H_

@@ -1,0 +1,47 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "core/trusted_entity.h"
+
+#include "util/macros.h"
+
+namespace sae::core {
+
+TrustedEntity::TrustedEntity(const Options& options)
+    : options_(options),
+      codec_(options.record_size),
+      pool_(&store_, options.pool_pages) {
+  auto tree = xbtree::XbTree::Create(&pool_, options_.xb_options);
+  SAE_CHECK(tree.ok());
+  xb_ = std::move(tree).ValueOrDie();
+}
+
+Status TrustedEntity::LoadDataset(const std::vector<Record>& sorted) {
+  std::vector<xbtree::XbTuple> tuples;
+  tuples.reserve(sorted.size());
+  std::vector<uint8_t> scratch(codec_.record_size());
+  for (const Record& record : sorted) {
+    codec_.Serialize(record, scratch.data());
+    tuples.push_back(xbtree::XbTuple{
+        record.key, record.id,
+        crypto::ComputeDigest(scratch.data(), scratch.size(),
+                              options_.scheme)});
+  }
+  return xb_->BulkLoad(tuples);
+}
+
+Status TrustedEntity::InsertRecord(const Record& record) {
+  std::vector<uint8_t> bytes = codec_.Serialize(record);
+  crypto::Digest digest =
+      crypto::ComputeDigest(bytes.data(), bytes.size(), options_.scheme);
+  return xb_->Insert(record.key, record.id, digest);
+}
+
+Status TrustedEntity::DeleteRecord(Key key, RecordId id) {
+  return xb_->Delete(key, id);
+}
+
+Result<crypto::Digest> TrustedEntity::GenerateVt(Key lo, Key hi) const {
+  return xb_->GenerateVT(lo, hi);
+}
+
+}  // namespace sae::core

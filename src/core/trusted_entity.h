@@ -1,0 +1,78 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The trusted entity (TE) of SAE (paper §II-III). Holds, per outsourced
+// record, the tuple t = <id, key, H(record)> organized in an XB-Tree, and
+// answers verification requests with the 20-byte token
+// VT = XOR of the digests of the true result.
+
+#ifndef SAE_CORE_TRUSTED_ENTITY_H_
+#define SAE_CORE_TRUSTED_ENTITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "storage/record.h"
+#include "util/status.h"
+#include "xbtree/xb_tree.h"
+
+namespace sae::core {
+
+using storage::Key;
+using storage::Record;
+using storage::RecordCodec;
+using storage::RecordId;
+
+struct TrustedEntityOptions {
+  size_t record_size = storage::kDefaultRecordSize;
+  crypto::HashScheme scheme = crypto::HashScheme::kSha1;
+  size_t pool_pages = 1024;
+  xbtree::XbTreeOptions xb_options;
+};
+
+/// SAE's trusted entity. Owns its (simulated-disk) storage.
+class TrustedEntity {
+ public:
+  using Options = TrustedEntityOptions;
+
+  explicit TrustedEntity(const Options& options = {});
+
+  /// Ingests the initial dataset: computes each record's digest and bulk
+  /// loads the XB-Tree. Records must be sorted by key.
+  Status LoadDataset(const std::vector<Record>& sorted);
+
+  /// Registers a newly inserted record (DO update path).
+  Status InsertRecord(const Record& record);
+
+  /// Unregisters a record. The DO supplies key and id; the digest is found
+  /// in (and removed from) the XB-Tree's duplicate chain.
+  Status DeleteRecord(Key key, RecordId id);
+
+  /// Produces the verification token for [lo, hi] — two O(log n) tree
+  /// traversals, independent of the result size.
+  Result<crypto::Digest> GenerateVt(Key lo, Key hi) const;
+
+  const xbtree::XbTree& xb_tree() const { return *xb_; }
+  const storage::BufferPool::Stats& pool_stats() const {
+    return pool_.stats();
+  }
+  void ResetStats() { pool_.ResetStats(); }
+
+  /// Total storage footprint (XB-Tree nodes + duplicate pages).
+  size_t StorageBytes() const { return xb_->SizeBytes(); }
+
+  const RecordCodec& codec() const { return codec_; }
+
+ private:
+  Options options_;
+  RecordCodec codec_;
+  storage::InMemoryPageStore store_;
+  mutable storage::BufferPool pool_;
+  std::unique_ptr<xbtree::XbTree> xb_;
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_TRUSTED_ENTITY_H_

@@ -1,0 +1,61 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "crypto/digest.h"
+
+#include <cstring>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+
+namespace sae::crypto {
+
+std::string Digest::ToHex() const {
+  return HexEncode(bytes.data(), bytes.size());
+}
+
+Digest ComputeDigest(const void* data, size_t len, HashScheme scheme) {
+  Digest d;
+  switch (scheme) {
+    case HashScheme::kSha1: {
+      auto h = Sha1::Hash(data, len);
+      std::memcpy(d.bytes.data(), h.data(), Digest::kSize);
+      break;
+    }
+    case HashScheme::kSha256Trunc: {
+      auto h = Sha256::Hash(data, len);
+      std::memcpy(d.bytes.data(), h.data(), Digest::kSize);
+      break;
+    }
+  }
+  return d;
+}
+
+Digest CombineDigests(const Digest* digests, size_t count, HashScheme scheme) {
+  Digest d;
+  switch (scheme) {
+    case HashScheme::kSha1: {
+      Sha1 hasher;
+      for (size_t i = 0; i < count; ++i) {
+        hasher.Update(digests[i].bytes.data(), Digest::kSize);
+      }
+      uint8_t out[Sha1::kDigestSize];
+      hasher.Finish(out);
+      std::memcpy(d.bytes.data(), out, Digest::kSize);
+      break;
+    }
+    case HashScheme::kSha256Trunc: {
+      Sha256 hasher;
+      for (size_t i = 0; i < count; ++i) {
+        hasher.Update(digests[i].bytes.data(), Digest::kSize);
+      }
+      uint8_t out[Sha256::kDigestSize];
+      hasher.Finish(out);
+      std::memcpy(d.bytes.data(), out, Digest::kSize);
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace sae::crypto

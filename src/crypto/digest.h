@@ -1,0 +1,77 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The project-wide 20-byte digest type and its XOR algebra.
+//
+// SAE's verification token is the XOR of record digests (paper §II):
+//   VT = t_i.h XOR t_{i+1}.h XOR ... XOR t_j.h
+// XOR forms an abelian group on digests ((D, ^), identity 0, every element
+// its own inverse), which is exactly the structure GenerateVT and the
+// XB-Tree's X values exploit.
+
+#ifndef SAE_CRYPTO_DIGEST_H_
+#define SAE_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sae::crypto {
+
+/// Which hash backs Digest computation. kSha1 reproduces the paper
+/// (20-byte Crypto++-era digests); kSha256Trunc truncates SHA-256 to 20
+/// bytes, keeping every size-sensitive measurement identical.
+enum class HashScheme : uint8_t {
+  kSha1 = 0,
+  kSha256Trunc = 1,
+};
+
+/// A 20-byte digest. Passive value type; all algebra is free functions or
+/// tiny members so it can live inside on-page tree entries.
+struct Digest {
+  static constexpr size_t kSize = 20;
+
+  std::array<uint8_t, kSize> bytes{};
+
+  /// The XOR-group identity (all zero bytes).
+  static Digest Zero() { return Digest{}; }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  Digest& operator^=(const Digest& other) {
+    for (size_t i = 0; i < kSize; ++i) bytes[i] ^= other.bytes[i];
+    return *this;
+  }
+
+  friend Digest operator^(Digest a, const Digest& b) {
+    a ^= b;
+    return a;
+  }
+
+  friend bool operator==(const Digest& a, const Digest& b) {
+    return a.bytes == b.bytes;
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) {
+    return !(a == b);
+  }
+
+  /// Lowercase hex, for logs and golden tests.
+  std::string ToHex() const;
+};
+
+/// Hashes `len` bytes under the given scheme.
+Digest ComputeDigest(const void* data, size_t len,
+                     HashScheme scheme = HashScheme::kSha1);
+
+/// Digest of the concatenation of `count` digests (Merkle node combiner used
+/// by the MB-tree: h(node) = H(h_1 || h_2 || ... || h_f)).
+Digest CombineDigests(const Digest* digests, size_t count,
+                      HashScheme scheme = HashScheme::kSha1);
+
+}  // namespace sae::crypto
+
+#endif  // SAE_CRYPTO_DIGEST_H_

@@ -1,0 +1,78 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "crypto/rsa.h"
+
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace sae::crypto {
+
+namespace {
+
+// ASN.1 DigestInfo prefix for SHA-1 (RFC 8017 §9.2 note 1).
+constexpr uint8_t kSha1DigestInfoPrefix[] = {0x30, 0x21, 0x30, 0x09, 0x06,
+                                             0x05, 0x2b, 0x0e, 0x03, 0x02,
+                                             0x1a, 0x05, 0x00, 0x04, 0x14};
+
+// EMSA-PKCS1-v1_5: 0x00 0x01 FF..FF 0x00 DigestInfo || H.
+std::vector<uint8_t> EncodeEmsaPkcs1(const Digest& digest, size_t em_len) {
+  const size_t t_len = sizeof(kSha1DigestInfoPrefix) + Digest::kSize;
+  SAE_CHECK(em_len >= t_len + 11);
+  std::vector<uint8_t> em(em_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::memcpy(&em[em_len - t_len], kSha1DigestInfoPrefix,
+              sizeof(kSha1DigestInfoPrefix));
+  std::memcpy(&em[em_len - Digest::kSize], digest.bytes.data(), Digest::kSize);
+  return em;
+}
+
+}  // namespace
+
+RsaPrivateKey RsaGenerateKey(Rng* rng, size_t modulus_bits) {
+  SAE_CHECK(modulus_bits >= 256);
+  const BigInt e(65537);
+  for (;;) {
+    BigInt p = BigInt::GeneratePrime(rng, modulus_bits / 2);
+    BigInt q = BigInt::GeneratePrime(rng, modulus_bits - modulus_bits / 2);
+    if (p == q) continue;
+    BigInt n = BigInt::Mul(p, q);
+    if (n.BitLength() != modulus_bits) continue;
+    BigInt phi =
+        BigInt::Mul(BigInt::Sub(p, BigInt(1)), BigInt::Sub(q, BigInt(1)));
+    BigInt d;
+    if (!BigInt::ModInverse(e, phi, &d)) continue;  // e not coprime with phi
+    return RsaPrivateKey{n, e, d};
+  }
+}
+
+RsaSignature RsaSignDigest(const RsaPrivateKey& key, const Digest& digest) {
+  size_t k = (key.n.BitLength() + 7) / 8;
+  std::vector<uint8_t> em = EncodeEmsaPkcs1(digest, k);
+  BigInt m = BigInt::FromBytes(em.data(), em.size());
+  BigInt s = BigInt::ModPow(m, key.d, key.n);
+  return s.ToBytes(k);
+}
+
+Status RsaVerifyDigest(const RsaPublicKey& key, const Digest& digest,
+                       const RsaSignature& sig) {
+  size_t k = key.ModulusBytes();
+  if (sig.size() != k) {
+    return Status::VerificationFailure("signature has wrong length");
+  }
+  BigInt s = BigInt::FromBytes(sig.data(), sig.size());
+  if (s >= key.n) {
+    return Status::VerificationFailure("signature out of range");
+  }
+  BigInt m = BigInt::ModPow(s, key.e, key.n);
+  std::vector<uint8_t> em = m.ToBytes(k);
+  std::vector<uint8_t> expected = EncodeEmsaPkcs1(digest, k);
+  if (em != expected) {
+    return Status::VerificationFailure("PKCS#1 encoding mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace sae::crypto

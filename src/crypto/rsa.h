@@ -1,0 +1,59 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// RSA signatures with EMSA-PKCS#1 v1.5 encoding over SHA-1 digests, the
+// public-key primitive TOM uses to bind the MB-tree root digest to the data
+// owner. Hand-rolled on sae::crypto::BigInt; correctness is what matters for
+// the reproduction (the experiments measure signature size and sign/verify
+// latency, not cryptanalytic strength).
+
+#ifndef SAE_CRYPTO_RSA_H_
+#define SAE_CRYPTO_RSA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bigint.h"
+#include "crypto/digest.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sae::crypto {
+
+/// RSA public key (n, e).
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  /// Modulus size in bytes; also the signature size.
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+};
+
+/// RSA private key. Holds the public part too for convenience.
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+
+  RsaPublicKey PublicKey() const { return RsaPublicKey{n, e}; }
+};
+
+/// A detached RSA signature (big-endian, ModulusBytes() long).
+using RsaSignature = std::vector<uint8_t>;
+
+/// Generates a fresh key pair with a modulus of `modulus_bits` (e = 65537).
+/// Deterministic given the Rng seed, which keeps tests and benches
+/// reproducible.
+RsaPrivateKey RsaGenerateKey(Rng* rng, size_t modulus_bits);
+
+/// Signs a 20-byte digest: EMSA-PKCS1-v1_5(SHA-1 DigestInfo) then s = m^d
+/// mod n.
+RsaSignature RsaSignDigest(const RsaPrivateKey& key, const Digest& digest);
+
+/// Verifies `sig` over `digest`. Returns VerificationFailure on mismatch or
+/// malformed input; never aborts on attacker-controlled bytes.
+Status RsaVerifyDigest(const RsaPublicKey& key, const Digest& digest,
+                       const RsaSignature& sig);
+
+}  // namespace sae::crypto
+
+#endif  // SAE_CRYPTO_RSA_H_

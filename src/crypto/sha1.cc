@@ -1,0 +1,127 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace sae::crypto {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (uint32_t(p[0]) << 24) | (uint32_t(p[1]) << 16) |
+         (uint32_t(p[2]) << 8) | uint32_t(p[3]);
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = uint8_t(v >> 24);
+  p[1] = uint8_t(v >> 16);
+  p[2] = uint8_t(v >> 8);
+  p[3] = uint8_t(v);
+}
+
+}  // namespace
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t block[kBlockSize]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = LoadBe32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+
+  if (buffer_len_ > 0) {
+    size_t take = kBlockSize - buffer_len_;
+    if (take > len) take = len;
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == kBlockSize) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+
+  while (len >= kBlockSize) {
+    ProcessBlock(p);
+    p += kBlockSize;
+    len -= kBlockSize;
+  }
+
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+void Sha1::Finish(uint8_t out[kDigestSize]) {
+  // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad[kBlockSize + 8] = {0x80};
+  size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
+                                      : (kBlockSize + 56 - buffer_len_);
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = uint8_t(bit_len >> (56 - 8 * i));
+  Update(pad, pad_len);
+  Update(len_be, 8);
+  // After absorbing the length the buffer is block-aligned and empty.
+  for (int i = 0; i < 5; ++i) StoreBe32(out + 4 * i, h_[i]);
+}
+
+std::array<uint8_t, Sha1::kDigestSize> Sha1::Hash(const void* data,
+                                                  size_t len) {
+  Sha1 hasher;
+  hasher.Update(data, len);
+  std::array<uint8_t, kDigestSize> out;
+  hasher.Finish(out.data());
+  return out;
+}
+
+}  // namespace sae::crypto

@@ -1,0 +1,52 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// SHA-1 (FIPS 180-4). The paper uses 20-byte digests for both SAE and TOM;
+// SHA-1 is the natural 2008-era choice (Crypto++ default). This is a faithful
+// from-scratch implementation validated against the FIPS test vectors.
+//
+// Note: SHA-1 is used here to reproduce the paper's measurements; the library
+// also ships SHA-256 (crypto/sha256.h) for deployments that need a
+// collision-resistant digest by modern standards.
+
+#ifndef SAE_CRYPTO_SHA1_H_
+#define SAE_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace sae::crypto {
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1() { Reset(); }
+
+  /// Resets to the initial state; the hasher is reusable after Finish().
+  void Reset();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+
+  /// Finalizes and writes 20 bytes to `out`. The hasher must be Reset()
+  /// before reuse.
+  void Finish(uint8_t out[kDigestSize]);
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[5];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace sae::crypto
+
+#endif  // SAE_CRYPTO_SHA1_H_

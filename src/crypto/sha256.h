@@ -1,0 +1,41 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// SHA-256 (FIPS 180-4). Modern alternative to SHA-1 for deployments; digests
+// are truncated to 20 bytes when used as the project-wide Digest so that all
+// size-sensitive experiments keep the paper's 20-byte accounting.
+
+#ifndef SAE_CRYPTO_SHA256_H_
+#define SAE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace sae::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Finish(uint8_t out[kDigestSize]);
+
+  static std::array<uint8_t, kDigestSize> Hash(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace sae::crypto
+
+#endif  // SAE_CRYPTO_SHA256_H_

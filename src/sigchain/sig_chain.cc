@@ -1,0 +1,368 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "sigchain/sig_chain.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace sae::sigchain {
+
+namespace {
+
+constexpr uint8_t kVoTag = 0xC5;
+
+// EMSA-PKCS1 digest encoding as an integer modulo n — shared by signing
+// (via crypto::RsaSignDigest) and condensed verification. Mirrors the
+// encoding in crypto/rsa.cc.
+crypto::BigInt EncodedMessage(const crypto::Digest& digest,
+                              const crypto::RsaPublicKey& key) {
+  // Sign a throwaway to reuse the exact EMSA layout would be wasteful;
+  // replicate the deterministic prefix here instead.
+  static constexpr uint8_t kPrefix[] = {0x30, 0x21, 0x30, 0x09, 0x06,
+                                        0x05, 0x2b, 0x0e, 0x03, 0x02,
+                                        0x1a, 0x05, 0x00, 0x04, 0x14};
+  size_t k = key.ModulusBytes();
+  std::vector<uint8_t> em(k, 0xff);
+  const size_t t_len = sizeof(kPrefix) + crypto::Digest::kSize;
+  SAE_CHECK(k >= t_len + 11);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[k - t_len - 1] = 0x00;
+  std::memcpy(&em[k - t_len], kPrefix, sizeof(kPrefix));
+  std::memcpy(&em[k - crypto::Digest::kSize], digest.bytes.data(),
+              crypto::Digest::kSize);
+  return crypto::BigInt::FromBytes(em.data(), em.size());
+}
+
+}  // namespace
+
+crypto::Digest LowSentinel() {
+  crypto::Digest d;
+  d.bytes.fill(0x00);
+  return d;
+}
+
+crypto::Digest HighSentinel() {
+  crypto::Digest d;
+  d.bytes.fill(0xFF);
+  return d;
+}
+
+crypto::Digest ChainDigest(const crypto::Digest& prev,
+                           const crypto::Digest& cur,
+                           const crypto::Digest& next,
+                           crypto::HashScheme scheme) {
+  crypto::Digest parts[3] = {prev, cur, next};
+  return crypto::CombineDigests(parts, 3, scheme);
+}
+
+crypto::RsaSignature CondenseSignatures(
+    const std::vector<crypto::RsaSignature>& sigs,
+    const crypto::RsaPublicKey& key) {
+  crypto::BigInt acc(1);
+  for (const auto& sig : sigs) {
+    crypto::BigInt s = crypto::BigInt::FromBytes(sig.data(), sig.size());
+    acc = crypto::BigInt::Mod(crypto::BigInt::Mul(acc, s), key.n);
+  }
+  return acc.ToBytes(key.ModulusBytes());
+}
+
+Status VerifyCondensed(const crypto::RsaPublicKey& key,
+                       const std::vector<crypto::Digest>& chain_digests,
+                       const crypto::RsaSignature& condensed) {
+  if (condensed.size() != key.ModulusBytes()) {
+    return Status::VerificationFailure("condensed signature length");
+  }
+  crypto::BigInt sigma =
+      crypto::BigInt::FromBytes(condensed.data(), condensed.size());
+  if (sigma >= key.n) {
+    return Status::VerificationFailure("condensed signature out of range");
+  }
+  crypto::BigInt lhs = crypto::BigInt::ModPow(sigma, key.e, key.n);
+  crypto::BigInt rhs(1);
+  for (const auto& digest : chain_digests) {
+    rhs = crypto::BigInt::Mod(
+        crypto::BigInt::Mul(rhs, EncodedMessage(digest, key)), key.n);
+  }
+  if (lhs != rhs) {
+    return Status::VerificationFailure("condensed signature mismatch");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> SigChainVo::Serialize() const {
+  ByteWriter w;
+  w.PutU8(kVoTag);
+  w.PutU32(uint32_t(left_boundary.size()));
+  w.PutBytes(left_boundary.data(), left_boundary.size());
+  w.PutU32(uint32_t(right_boundary.size()));
+  w.PutBytes(right_boundary.data(), right_boundary.size());
+  w.PutBytes(outer_left.bytes.data(), crypto::Digest::kSize);
+  w.PutBytes(outer_right.bytes.data(), crypto::Digest::kSize);
+  w.PutU16(uint16_t(condensed.size()));
+  w.PutBytes(condensed.data(), condensed.size());
+  return w.Release();
+}
+
+Result<SigChainVo> SigChainVo::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kVoTag) {
+    return Status::Corruption("not a sig-chain VO");
+  }
+  SigChainVo vo;
+  uint32_t left_len = r.GetU32();
+  if (left_len > (1u << 20) || r.remaining() < left_len) {
+    return Status::Corruption("sig-chain VO: bad left boundary");
+  }
+  vo.left_boundary.resize(left_len);
+  r.GetBytes(vo.left_boundary.data(), left_len);
+  uint32_t right_len = r.GetU32();
+  if (right_len > (1u << 20) || r.remaining() < right_len) {
+    return Status::Corruption("sig-chain VO: bad right boundary");
+  }
+  vo.right_boundary.resize(right_len);
+  r.GetBytes(vo.right_boundary.data(), right_len);
+  r.GetBytes(vo.outer_left.bytes.data(), crypto::Digest::kSize);
+  r.GetBytes(vo.outer_right.bytes.data(), crypto::Digest::kSize);
+  uint16_t sig_len = r.GetU16();
+  vo.condensed.resize(sig_len);
+  r.GetBytes(vo.condensed.data(), sig_len);
+  if (r.failed()) return Status::Corruption("sig-chain VO truncated");
+  return vo;
+}
+
+// --- owner ---------------------------------------------------------------------
+
+SigChainOwner::SigChainOwner(const Options& options)
+    : options_(options), codec_(options.record_size) {
+  Rng rng(options_.rsa_seed);
+  key_ = crypto::RsaGenerateKey(&rng, options_.rsa_modulus_bits);
+}
+
+Result<std::vector<crypto::RsaSignature>> SigChainOwner::SignDataset(
+    const std::vector<Record>& sorted) {
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1].key > sorted[i].key) {
+      return Status::InvalidArgument("records not sorted by key");
+    }
+  }
+  std::vector<crypto::Digest> digests;
+  digests.reserve(sorted.size());
+  std::vector<uint8_t> scratch(codec_.record_size());
+  for (const Record& r : sorted) {
+    codec_.Serialize(r, scratch.data());
+    digests.push_back(crypto::ComputeDigest(scratch.data(), scratch.size(),
+                                            options_.scheme));
+  }
+
+  std::vector<crypto::RsaSignature> sigs;
+  sigs.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const crypto::Digest& prev = i == 0 ? LowSentinel() : digests[i - 1];
+    const crypto::Digest& next =
+        i + 1 == sorted.size() ? HighSentinel() : digests[i + 1];
+    sigs.push_back(crypto::RsaSignDigest(
+        key_, ChainDigest(prev, digests[i], next, options_.scheme)));
+  }
+  return sigs;
+}
+
+// --- SP ------------------------------------------------------------------------
+
+SigChainSp::SigChainSp(const Options& options)
+    : options_(options),
+      codec_(options.record_size),
+      index_pool_(&index_store_, options.index_pool_pages),
+      heap_pool_(&heap_store_, options.heap_pool_pages),
+      table_heap_(&heap_pool_, options.record_size),
+      sig_heap_(&heap_pool_, std::max<size_t>(options.signature_bytes, 22)) {
+  auto tree = btree::BPlusTree::Create(&index_pool_);
+  SAE_CHECK(tree.ok());
+  index_ = std::move(tree).ValueOrDie();
+}
+
+Status SigChainSp::LoadDataset(
+    const std::vector<Record>& sorted,
+    const std::vector<crypto::RsaSignature>& signatures,
+    const crypto::RsaPublicKey& owner_key) {
+  if (sorted.size() != signatures.size()) {
+    return Status::InvalidArgument("record/signature count mismatch");
+  }
+  owner_key_ = owner_key;
+  std::vector<uint8_t> scratch(codec_.record_size());
+  std::vector<btree::BTreeEntry> postings;
+  postings.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    codec_.Serialize(sorted[i], scratch.data());
+    SAE_ASSIGN_OR_RETURN(storage::Rid rid, table_heap_.Insert(scratch.data()));
+    record_rids_.push_back(rid);
+    keys_.push_back(sorted[i].key);
+    postings.push_back(btree::BTreeEntry{sorted[i].key, rid});
+
+    if (signatures[i].size() != sig_heap_.record_size()) {
+      return Status::InvalidArgument("signature size mismatch");
+    }
+    SAE_ASSIGN_OR_RETURN(storage::Rid sig_rid,
+                         sig_heap_.Insert(signatures[i].data()));
+    sig_rids_.push_back(sig_rid);
+  }
+  return index_->BulkLoad(postings);
+}
+
+Result<Record> SigChainSp::RecordAt(size_t ordinal) const {
+  std::vector<uint8_t> bytes(codec_.record_size());
+  SAE_RETURN_NOT_OK(table_heap_.Get(record_rids_[ordinal], bytes.data()));
+  return codec_.Deserialize(bytes.data());
+}
+
+Result<crypto::RsaSignature> SigChainSp::SignatureAt(size_t ordinal) const {
+  crypto::RsaSignature sig(sig_heap_.record_size());
+  SAE_RETURN_NOT_OK(sig_heap_.Get(sig_rids_[ordinal], sig.data()));
+  return sig;
+}
+
+Result<crypto::Digest> SigChainSp::DigestAt(size_t ordinal) const {
+  std::vector<uint8_t> bytes(codec_.record_size());
+  SAE_RETURN_NOT_OK(table_heap_.Get(record_rids_[ordinal], bytes.data()));
+  return crypto::ComputeDigest(bytes.data(), bytes.size(), options_.scheme);
+}
+
+Result<SigChainSp::QueryResponse> SigChainSp::ExecuteRange(Key lo, Key hi) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  QueryResponse response;
+  size_t n = keys_.size();
+
+  size_t first = std::lower_bound(keys_.begin(), keys_.end(), lo) -
+                 keys_.begin();
+  size_t last_plus = std::upper_bound(keys_.begin(), keys_.end(), hi) -
+                     keys_.begin();  // one past the last result
+
+  // Result records via the index path (for realistic access accounting).
+  std::vector<btree::BTreeEntry> postings;
+  SAE_RETURN_NOT_OK(index_->RangeSearch(lo, hi, &postings));
+  std::vector<storage::Rid> rids;
+  for (const auto& p : postings) rids.push_back(p.rid);
+  SAE_RETURN_NOT_OK(
+      table_heap_.GetMany(rids, [&](size_t, const uint8_t* data) {
+        response.results.push_back(codec_.Deserialize(data));
+      }));
+
+  // Signed span: boundaries included when they exist.
+  size_t span_begin = first == 0 ? 0 : first - 1;
+  size_t span_end = last_plus >= n ? (n == 0 ? 0 : n - 1) : last_plus;
+
+  if (n == 0) {
+    response.vo.outer_left = LowSentinel();
+    response.vo.outer_right = HighSentinel();
+    return response;  // empty table: nothing signed, client sees 0 results
+  }
+
+  if (first > 0) {
+    SAE_ASSIGN_OR_RETURN(Record b, RecordAt(first - 1));
+    response.vo.left_boundary = codec_.Serialize(b);
+  }
+  if (last_plus < n) {
+    SAE_ASSIGN_OR_RETURN(Record b, RecordAt(last_plus));
+    response.vo.right_boundary = codec_.Serialize(b);
+  }
+  if (span_begin == 0) {
+    response.vo.outer_left = LowSentinel();
+  } else {
+    SAE_ASSIGN_OR_RETURN(response.vo.outer_left, DigestAt(span_begin - 1));
+  }
+  if (span_end + 1 >= n) {
+    response.vo.outer_right = HighSentinel();
+  } else {
+    SAE_ASSIGN_OR_RETURN(response.vo.outer_right, DigestAt(span_end + 1));
+  }
+
+  std::vector<crypto::RsaSignature> sigs;
+  sigs.reserve(span_end - span_begin + 1);
+  for (size_t i = span_begin; i <= span_end; ++i) {
+    SAE_ASSIGN_OR_RETURN(crypto::RsaSignature sig, SignatureAt(i));
+    sigs.push_back(std::move(sig));
+  }
+  response.vo.condensed = CondenseSignatures(sigs, owner_key_);
+  return response;
+}
+
+// --- client ----------------------------------------------------------------------
+
+Status SigChainClient::Verify(Key lo, Key hi,
+                              const std::vector<Record>& results,
+                              const SigChainVo& vo,
+                              const crypto::RsaPublicKey& owner_key,
+                              const RecordCodec& codec,
+                              crypto::HashScheme scheme) {
+  // 1. Results sorted and in range.
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].key < lo || results[i].key > hi) {
+      return Status::VerificationFailure("result outside query range");
+    }
+    if (i > 0 && results[i - 1].key > results[i].key) {
+      return Status::VerificationFailure("results out of key order");
+    }
+  }
+
+  // 2. Boundary checks.
+  bool has_left = !vo.left_boundary.empty();
+  bool has_right = !vo.right_boundary.empty();
+  if (has_left && vo.left_boundary.size() != codec.record_size()) {
+    return Status::VerificationFailure("bad left boundary size");
+  }
+  if (has_right && vo.right_boundary.size() != codec.record_size()) {
+    return Status::VerificationFailure("bad right boundary size");
+  }
+  if (has_left && codec.Deserialize(vo.left_boundary.data()).key >= lo) {
+    return Status::VerificationFailure("left boundary not below range");
+  }
+  if (has_right && codec.Deserialize(vo.right_boundary.data()).key <= hi) {
+    return Status::VerificationFailure("right boundary not above range");
+  }
+  // When the result touches a table edge the outer digest must be the
+  // sentinel — otherwise the SP could truncate the table.
+  if (!has_left && vo.outer_left != LowSentinel()) {
+    return Status::VerificationFailure("missing left boundary");
+  }
+  if (!has_right && vo.outer_right != HighSentinel()) {
+    return Status::VerificationFailure("missing right boundary");
+  }
+
+  // 3. Rebuild the digest sequence outer_left .. outer_right.
+  std::vector<crypto::Digest> ds;
+  ds.push_back(vo.outer_left);
+  std::vector<uint8_t> scratch(codec.record_size());
+  if (has_left) {
+    ds.push_back(crypto::ComputeDigest(vo.left_boundary.data(),
+                                       vo.left_boundary.size(), scheme));
+  }
+  for (const Record& r : results) {
+    codec.Serialize(r, scratch.data());
+    ds.push_back(
+        crypto::ComputeDigest(scratch.data(), scratch.size(), scheme));
+  }
+  if (has_right) {
+    ds.push_back(crypto::ComputeDigest(vo.right_boundary.data(),
+                                       vo.right_boundary.size(), scheme));
+  }
+  ds.push_back(vo.outer_right);
+
+  if (ds.size() < 3) {
+    // Empty result at both table edges: an empty table. Nothing signed.
+    return results.empty()
+               ? Status::OK()
+               : Status::VerificationFailure("results from an empty table");
+  }
+
+  // 4. Chain hashes for every signed position, then the condensed check.
+  std::vector<crypto::Digest> chain;
+  chain.reserve(ds.size() - 2);
+  for (size_t k = 1; k + 1 < ds.size(); ++k) {
+    chain.push_back(ChainDigest(ds[k - 1], ds[k], ds[k + 1], scheme));
+  }
+  return VerifyCondensed(owner_key, chain, vo.condensed);
+}
+
+}  // namespace sae::sigchain

@@ -1,0 +1,5 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Header-only definitions live in channel.h; this TU anchors the target.
+
+#include "sim/channel.h"

@@ -1,0 +1,5 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Header-only definitions live in cost_model.h; this TU anchors the target.
+
+#include "sim/cost_model.h"

@@ -1,0 +1,52 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// A simple latency/bandwidth network model used by the response-time bench.
+// The paper argues SAE lowers the client's *response time* — the interval
+// between query transmission and result verification — because the SP and
+// TE paths run in parallel (§II footnote 1) and the VT is tiny; this model
+// makes that claim measurable.
+
+#ifndef SAE_SIM_NETWORK_H_
+#define SAE_SIM_NETWORK_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace sae::sim {
+
+/// One-way link with fixed latency and finite bandwidth.
+struct NetworkModel {
+  double latency_ms = 20.0;       ///< one-way propagation delay
+  double bandwidth_mbps = 8.0;    ///< 8 Mbit/s ~ 2008-era broadband
+
+  /// Time to deliver `bytes` over the link.
+  double TransferMs(size_t bytes) const {
+    return latency_ms + double(bytes) * 8.0 / (bandwidth_mbps * 1000.0);
+  }
+};
+
+/// Client-observed response time for SAE: the query goes to the SP and the
+/// TE simultaneously; the client verifies once both replies arrived.
+inline double SaeResponseMs(const NetworkModel& net, double sp_proc_ms,
+                            double te_proc_ms, size_t result_bytes,
+                            size_t vt_bytes, size_t query_bytes,
+                            double verify_ms) {
+  double sp_path = net.TransferMs(query_bytes) + sp_proc_ms +
+                   net.TransferMs(result_bytes);
+  double te_path = net.TransferMs(query_bytes) + te_proc_ms +
+                   net.TransferMs(vt_bytes);
+  return std::max(sp_path, te_path) + verify_ms;
+}
+
+/// Client-observed response time for TOM: a single SP round trip carrying
+/// result + VO.
+inline double TomResponseMs(const NetworkModel& net, double sp_proc_ms,
+                            size_t result_bytes, size_t vo_bytes,
+                            size_t query_bytes, double verify_ms) {
+  return net.TransferMs(query_bytes) + sp_proc_ms +
+         net.TransferMs(result_bytes + vo_bytes) + verify_ms;
+}
+
+}  // namespace sae::sim
+
+#endif  // SAE_SIM_NETWORK_H_

@@ -1,0 +1,156 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "storage/buffer_pool.h"
+
+#include "util/macros.h"
+
+namespace sae::storage {
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+Page& BufferPool::PageRef::Mutable() {
+  SAE_CHECK(valid());
+  pool_->MarkDirty(frame_);
+  return pool_->frames_[frame_].page;
+}
+
+const Page& BufferPool::PageRef::Get() const {
+  SAE_CHECK(valid());
+  return pool_->frames_[frame_].page;
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageStore* store, size_t capacity)
+    : store_(store), capacity_(capacity) {
+  SAE_CHECK(capacity_ >= 4);
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i-- > 0;) free_frames_.push_back(i);
+}
+
+BufferPool::~BufferPool() { SAE_CHECK_OK(FlushAll()); }
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  SAE_CHECK(f.in_use && f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    lru_.push_back(frame);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::OutOfRange("all buffer frames pinned");
+  }
+  size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  if (f.dirty) {
+    SAE_RETURN_NOT_OK(store_->Write(f.id, f.page));
+  }
+  table_.erase(f.id);
+  f.in_use = false;
+  f.dirty = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
+  ++stats_.accesses;
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageRef(this, it->second, id);
+  }
+
+  ++stats_.misses;
+  SAE_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  Status st = store_->Read(id, &f.page);
+  if (!st.ok()) {
+    free_frames_.push_back(frame);
+    return st;
+  }
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_use = true;
+  f.in_lru = false;
+  table_[id] = frame;
+  return PageRef(this, frame, id);
+}
+
+Result<BufferPool::PageRef> BufferPool::New() {
+  ++stats_.accesses;
+  ++stats_.allocations;
+  SAE_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  SAE_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  f.page.Zero();
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.in_use = true;
+  f.in_lru = false;
+  table_[id] = frame;
+  return PageRef(this, frame, id);
+}
+
+Status BufferPool::Free(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::InvalidArgument("freeing a pinned page");
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.in_use = false;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    table_.erase(it);
+  }
+  return store_->Free(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.in_use && f.dirty) {
+      SAE_RETURN_NOT_OK(store_->Write(f.id, f.page));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sae::storage

@@ -1,0 +1,118 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// LRU buffer pool. All index and heap-file page traffic goes through here,
+// which gives the experiments a single place to count *node accesses* — the
+// paper's cost unit (10 ms each). `Stats::accesses` counts every logical
+// fetch (what the paper charges); `Stats::misses` counts frame faults, which
+// the buffer-capacity ablation uses.
+
+#ifndef SAE_STORAGE_BUFFER_POOL_H_
+#define SAE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace sae::storage {
+
+/// Pins pages in memory and evicts least-recently-used unpinned frames.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t accesses = 0;   // logical page fetches (hits + misses)
+    uint64_t misses = 0;     // fetches that had to read the store
+    uint64_t evictions = 0;  // frames written back / dropped to make room
+    uint64_t allocations = 0;  // new pages created through the pool
+  };
+
+  /// RAII pin on a cached page. Move-only; unpins on destruction.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef() { Release(); }
+
+    bool valid() const { return pool_ != nullptr; }
+    PageId id() const { return id_; }
+
+    /// Mutable access automatically marks the frame dirty.
+    Page& Mutable();
+    const Page& Get() const;
+
+    /// Explicitly unpin before destruction (idempotent).
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, size_t frame, PageId id)
+        : pool_(pool), frame_(frame), id_(id) {}
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+    PageId id_ = kInvalidPageId;
+  };
+
+  /// \param store     backing page store (not owned)
+  /// \param capacity  max resident frames; must allow the deepest pin chain
+  ///                  (a root-to-leaf path plus siblings; 16 is plenty)
+  BufferPool(PageStore* store, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches and pins a page; counts one logical node access.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page, pins it, returns the ref; `Fetch`-style
+  /// access accounting applies.
+  Result<PageRef> New();
+
+  /// Frees a page (must not be pinned); drops any cached frame.
+  Status Free(PageId id);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  size_t capacity() const { return capacity_; }
+  PageStore* store() const { return store_; }
+
+ private:
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && in_use
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+  // Finds a free frame, evicting if necessary. Returns frame index.
+  Result<size_t> GrabFrame();
+
+  PageStore* store_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = least recently used, unpinned only
+  std::unordered_map<PageId, size_t> table_;
+  Stats stats_;
+};
+
+}  // namespace sae::storage
+
+#endif  // SAE_STORAGE_BUFFER_POOL_H_

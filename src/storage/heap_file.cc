@@ -1,0 +1,213 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "util/codec.h"
+#include "util/macros.h"
+
+namespace sae::storage {
+
+HeapFile::HeapFile(BufferPool* pool, size_t record_size)
+    : pool_(pool), record_size_(record_size) {
+  SAE_CHECK(record_size_ >= 22 && record_size_ <= kPageSize - kHeaderSize);
+  slots_per_page_ = (kPageSize - kHeaderSize) / record_size_;
+  if (slots_per_page_ > kBitmapBytes * 8) slots_per_page_ = kBitmapBytes * 8;
+  SAE_CHECK(slots_per_page_ >= 1);
+}
+
+HeapFile::~HeapFile() = default;
+
+Result<Rid> HeapFile::Insert(const uint8_t* data) {
+  PageId page_id;
+  BufferPool::PageRef ref;
+  if (!pages_with_room_.empty()) {
+    page_id = pages_with_room_.back();
+    SAE_ASSIGN_OR_RETURN(ref, pool_->Fetch(page_id));
+  } else {
+    SAE_ASSIGN_OR_RETURN(ref, pool_->New());
+    page_id = ref.id();
+    Page& page = ref.Mutable();
+    EncodeU32(page.bytes(), kMagic);
+    EncodeU16(page.bytes() + 4, uint16_t(slots_per_page_));
+    EncodeU16(page.bytes() + 6, 0);
+    pages_.push_back(page_id);
+    pages_with_room_.push_back(page_id);
+  }
+
+  Page& page = ref.Mutable();
+  uint8_t* bitmap = page.bytes() + kBitmapOffset;
+  uint16_t used = DecodeU16(page.bytes() + 6);
+  SAE_CHECK(used < slots_per_page_);
+
+  uint32_t slot = 0;
+  while (TestBit(bitmap, slot)) ++slot;
+  SAE_CHECK(slot < slots_per_page_);
+
+  SetBit(bitmap, slot);
+  EncodeU16(page.bytes() + 6, uint16_t(used + 1));
+  std::memcpy(page.bytes() + kHeaderSize + slot * record_size_, data,
+              record_size_);
+
+  if (size_t(used) + 1 == slots_per_page_) {
+    // Page is now full; drop it from the free stack (it is on top).
+    SAE_CHECK(pages_with_room_.back() == page_id);
+    pages_with_room_.pop_back();
+  }
+  ++record_count_;
+  return MakeRid(page_id, slot);
+}
+
+Status HeapFile::Get(Rid rid, uint8_t* out) const {
+  SAE_ASSIGN_OR_RETURN(auto ref, pool_->Fetch(RidPage(rid)));
+  const Page& page = ref.Get();
+  uint32_t slot = RidSlot(rid);
+  if (DecodeU32(page.bytes()) != kMagic || slot >= slots_per_page_ ||
+      !TestBit(page.bytes() + kBitmapOffset, slot)) {
+    return Status::NotFound("no record at rid");
+  }
+  std::memcpy(out, page.bytes() + kHeaderSize + slot * record_size_,
+              record_size_);
+  return Status::OK();
+}
+
+Status HeapFile::GetMany(
+    const std::vector<Rid>& rids,
+    const std::function<void(size_t, const uint8_t*)>& callback) const {
+  BufferPool::PageRef ref;
+  PageId current = kInvalidPageId;
+  for (size_t i = 0; i < rids.size(); ++i) {
+    PageId page_id = RidPage(rids[i]);
+    if (page_id != current) {
+      SAE_ASSIGN_OR_RETURN(ref, pool_->Fetch(page_id));
+      current = page_id;
+    }
+    const Page& page = ref.Get();
+    uint32_t slot = RidSlot(rids[i]);
+    if (DecodeU32(page.bytes()) != kMagic || slot >= slots_per_page_ ||
+        !TestBit(page.bytes() + kBitmapOffset, slot)) {
+      return Status::NotFound("no record at rid");
+    }
+    callback(i, page.bytes() + kHeaderSize + slot * record_size_);
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Update(Rid rid, const uint8_t* data) {
+  SAE_ASSIGN_OR_RETURN(auto ref, pool_->Fetch(RidPage(rid)));
+  Page& page = ref.Mutable();
+  uint32_t slot = RidSlot(rid);
+  if (DecodeU32(page.bytes()) != kMagic || slot >= slots_per_page_ ||
+      !TestBit(page.bytes() + kBitmapOffset, slot)) {
+    return Status::NotFound("no record at rid");
+  }
+  std::memcpy(page.bytes() + kHeaderSize + slot * record_size_, data,
+              record_size_);
+  return Status::OK();
+}
+
+Status HeapFile::Delete(Rid rid) {
+  SAE_ASSIGN_OR_RETURN(auto ref, pool_->Fetch(RidPage(rid)));
+  Page& page = ref.Mutable();
+  uint32_t slot = RidSlot(rid);
+  uint8_t* bitmap = page.bytes() + kBitmapOffset;
+  if (DecodeU32(page.bytes()) != kMagic || slot >= slots_per_page_ ||
+      !TestBit(bitmap, slot)) {
+    return Status::NotFound("no record at rid");
+  }
+  uint16_t used = DecodeU16(page.bytes() + 6);
+  ClearBit(bitmap, slot);
+  EncodeU16(page.bytes() + 6, uint16_t(used - 1));
+  if (used == slots_per_page_) {
+    // Page was full and now has room again.
+    pages_with_room_.push_back(RidPage(rid));
+  }
+  --record_count_;
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x48505353u;  // "HPSS"
+}
+
+void HeapFile::WriteSnapshot(ByteWriter* out) const {
+  out->PutU32(kSnapshotMagic);
+  out->PutU32(uint32_t(record_size_));
+  out->PutU64(record_count_);
+  out->PutU32(uint32_t(pages_.size()));
+  for (PageId p : pages_) out->PutU32(p);
+  out->PutU32(uint32_t(pages_with_room_.size()));
+  for (PageId p : pages_with_room_) out->PutU32(p);
+}
+
+Status HeapFile::RestoreSnapshot(ByteReader* in) {
+  if (record_count_ != 0 || !pages_.empty()) {
+    return Status::InvalidArgument("restore requires an empty heap file");
+  }
+  if (in->GetU32() != kSnapshotMagic) {
+    return Status::Corruption("not a heap-file snapshot");
+  }
+  if (in->GetU32() != record_size_) {
+    return Status::Corruption("heap-file snapshot record size mismatch");
+  }
+  record_count_ = in->GetU64();
+  uint32_t page_count = in->GetU32();
+  pages_.reserve(page_count);
+  for (uint32_t i = 0; i < page_count; ++i) pages_.push_back(in->GetU32());
+  uint32_t room_count = in->GetU32();
+  pages_with_room_.reserve(room_count);
+  for (uint32_t i = 0; i < room_count; ++i) {
+    pages_with_room_.push_back(in->GetU32());
+  }
+  if (in->failed()) return Status::Corruption("truncated heap-file snapshot");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::OpenSnapshot(BufferPool* pool,
+                                                         ByteReader* in) {
+  // Peek the record size without consuming: copy the reader is not
+  // supported, so parse the header manually into a fresh object.
+  if (in->remaining() < 8) {
+    return Status::Corruption("truncated heap-file snapshot");
+  }
+  // The snapshot layout starts [magic u32][record_size u32]; construct with
+  // that size, then restore through the normal path.
+  uint32_t magic = in->GetU32();
+  uint32_t record_size = in->GetU32();
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("not a heap-file snapshot");
+  }
+  auto heap = std::make_unique<HeapFile>(pool, record_size);
+  heap->record_count_ = in->GetU64();
+  uint32_t page_count = in->GetU32();
+  heap->pages_.reserve(page_count);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    heap->pages_.push_back(in->GetU32());
+  }
+  uint32_t room_count = in->GetU32();
+  heap->pages_with_room_.reserve(room_count);
+  for (uint32_t i = 0; i < room_count; ++i) {
+    heap->pages_with_room_.push_back(in->GetU32());
+  }
+  if (in->failed()) return Status::Corruption("truncated heap-file snapshot");
+  return heap;
+}
+
+Status HeapFile::Scan(
+    const std::function<void(Rid, const uint8_t*)>& callback) const {
+  for (PageId page_id : pages_) {
+    SAE_ASSIGN_OR_RETURN(auto ref, pool_->Fetch(page_id));
+    const Page& page = ref.Get();
+    const uint8_t* bitmap = page.bytes() + kBitmapOffset;
+    for (uint32_t slot = 0; slot < slots_per_page_; ++slot) {
+      if (TestBit(bitmap, slot)) {
+        callback(MakeRid(page_id, slot),
+                 page.bytes() + kHeaderSize + slot * record_size_);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sae::storage

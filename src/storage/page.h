@@ -1,0 +1,34 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Fixed-size page abstraction. Every index and the dataset file are laid out
+// on 4096-byte pages (paper §IV: "All indexes are disk-based using pages of
+// 4096 bytes"), which is what makes fanout — and thus every Fig. 6/8 series —
+// emerge from entry sizes rather than be hard-coded.
+
+#ifndef SAE_STORAGE_PAGE_H_
+#define SAE_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace sae::storage {
+
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+inline constexpr size_t kPageSize = 4096;
+
+/// Raw 4096-byte page buffer with bounds-checked field accessors.
+struct Page {
+  std::array<uint8_t, kPageSize> data{};
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+
+  void Zero() { data.fill(0); }
+};
+
+}  // namespace sae::storage
+
+#endif  // SAE_STORAGE_PAGE_H_

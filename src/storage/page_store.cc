@@ -1,0 +1,141 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "storage/page_store.h"
+
+namespace sae::storage {
+
+Result<PageId> InMemoryPageStore::Allocate() {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id] = std::make_unique<Page>();
+  } else {
+    id = static_cast<PageId>(pages_.size());
+    if (id == kInvalidPageId) {
+      return Status::OutOfRange("page id space exhausted");
+    }
+    pages_.push_back(std::make_unique<Page>());
+  }
+  ++live_count_;
+  return id;
+}
+
+Status InMemoryPageStore::Free(PageId id) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("freeing unallocated page");
+  }
+  pages_[id].reset();
+  free_list_.push_back(id);
+  --live_count_;
+  return Status::OK();
+}
+
+Status InMemoryPageStore::Read(PageId id, Page* out) const {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("reading unallocated page");
+  }
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status InMemoryPageStore::Write(PageId id, const Page& page) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("writing unallocated page");
+  }
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  return std::unique_ptr<FilePageStore>(new FilePageStore(file));
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed");
+  }
+  long size = std::ftell(file);
+  if (size < 0 || size % long(kPageSize) != 0) {
+    std::fclose(file);
+    return Status::Corruption("page file size is not page-aligned");
+  }
+  auto store = std::unique_ptr<FilePageStore>(new FilePageStore(file));
+  store->live_.assign(size_t(size) / kPageSize, true);
+  store->live_count_ = store->live_.size();
+  return store;
+}
+
+FilePageStore::~FilePageStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> FilePageStore::Allocate() {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+  } else {
+    id = static_cast<PageId>(live_.size());
+    if (id == kInvalidPageId) {
+      return Status::OutOfRange("page id space exhausted");
+    }
+    live_.push_back(true);
+  }
+  ++live_count_;
+  // Zero the page on disk so Read-after-Allocate is well-defined.
+  Page zero;
+  Status st = Write(id, zero);
+  if (!st.ok()) return st;
+  return id;
+}
+
+Status FilePageStore::Free(PageId id) {
+  if (id >= live_.size() || !live_[id]) {
+    return Status::InvalidArgument("freeing unallocated page");
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  --live_count_;
+  return Status::OK();
+}
+
+Status FilePageStore::Read(PageId id, Page* out) const {
+  if (id >= live_.size() || !live_[id]) {
+    return Status::InvalidArgument("reading unallocated page");
+  }
+  if (std::fseek(file_, long(id) * long(kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fread(out->bytes(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("short read");
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::Write(PageId id, const Page& page) {
+  if (id >= live_.size() || !live_[id]) {
+    return Status::InvalidArgument("writing unallocated page");
+  }
+  if (std::fseek(file_, long(id) * long(kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(page.bytes(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+}  // namespace sae::storage

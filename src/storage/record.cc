@@ -1,0 +1,56 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "storage/record.h"
+
+#include <cstring>
+
+#include "util/codec.h"
+#include "util/macros.h"
+
+namespace sae::storage {
+
+RecordCodec::RecordCodec(size_t record_size) : record_size_(record_size) {
+  SAE_CHECK(record_size >= kRecordHeaderSize);
+}
+
+void RecordCodec::Serialize(const Record& record, uint8_t* out) const {
+  SAE_CHECK(record.payload.size() <= payload_size());
+  EncodeU64(out, record.id);
+  EncodeU32(out + 8, record.key);
+  std::memset(out + kRecordHeaderSize, 0, payload_size());
+  if (!record.payload.empty()) {
+    std::memcpy(out + kRecordHeaderSize, record.payload.data(),
+                record.payload.size());
+  }
+}
+
+std::vector<uint8_t> RecordCodec::Serialize(const Record& record) const {
+  std::vector<uint8_t> out(record_size_);
+  Serialize(record, out.data());
+  return out;
+}
+
+Record RecordCodec::Deserialize(const uint8_t* data) const {
+  Record r;
+  r.id = DecodeU64(data);
+  r.key = DecodeU32(data + 8);
+  r.payload.assign(data + kRecordHeaderSize, data + record_size_);
+  return r;
+}
+
+Record RecordCodec::MakeRecord(RecordId id, Key key) const {
+  Record r;
+  r.id = id;
+  r.key = key;
+  r.payload.resize(payload_size());
+  // Cheap deterministic byte pattern (splitmix-style) keyed by the record id.
+  uint64_t x = id * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+  for (size_t i = 0; i < r.payload.size(); ++i) {
+    x ^= x >> 27;
+    x *= 0x3c79ac492ba7b653ULL;
+    r.payload[i] = static_cast<uint8_t>(x >> 56);
+  }
+  return r;
+}
+
+}  // namespace sae::storage

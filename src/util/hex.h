@@ -1,0 +1,21 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#ifndef SAE_UTIL_HEX_H_
+#define SAE_UTIL_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sae {
+
+/// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(const uint8_t* data, size_t len);
+
+/// Inverse of HexEncode; returns empty vector on malformed input of odd
+/// length or non-hex characters.
+std::vector<uint8_t> HexDecode(const std::string& hex);
+
+}  // namespace sae
+
+#endif  // SAE_UTIL_HEX_H_

@@ -1,0 +1,47 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Assertion macros. SAE_CHECK fires in all build types and is used to guard
+// invariants whose violation indicates a programming error (never bad user
+// input — fallible operations return Status instead).
+
+#ifndef SAE_UTIL_MACROS_H_
+#define SAE_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SAE_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SAE_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SAE_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    const ::sae::Status& _st = (expr);                                      \
+    if (!_st.ok()) {                                                        \
+      std::fprintf(stderr, "SAE_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, _st.ToString().c_str());                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define SAE_DCHECK(cond) SAE_CHECK(cond)
+#else
+#define SAE_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+// Propagates a non-OK Status from the current function.
+#define SAE_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::sae::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#endif  // SAE_UTIL_MACROS_H_

@@ -1,0 +1,40 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Deterministic PRNG (xoshiro256**) used by dataset generators, query
+// workloads and property tests. Every consumer takes an explicit seed so
+// experiments are reproducible run-to-run.
+
+#ifndef SAE_UTIL_RANDOM_H_
+#define SAE_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace sae {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sae
+
+#endif  // SAE_UTIL_RANDOM_H_

@@ -1,0 +1,128 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Status / Result<T>: exception-free error handling in the style of
+// Arrow/RocksDB. Functions that can fail on bad input or I/O return Status
+// (or Result<T> when they also produce a value).
+
+#ifndef SAE_UTIL_STATUS_H_
+#define SAE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace sae {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kVerificationFailure,
+  kUnimplemented,
+};
+
+/// Outcome of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status VerificationFailure(std::string msg) {
+    return Status(StatusCode::kVerificationFailure, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test output.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (SAE_CHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}        // NOLINT: implicit
+  Result(Status status) : var_(std::move(status)) {  // NOLINT: implicit
+    SAE_CHECK(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() {
+    SAE_CHECK(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const {
+    SAE_CHECK(ok());
+    return std::get<T>(var_);
+  }
+
+  T ValueOrDie() && {
+    SAE_CHECK(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace sae
+
+#define SAE_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define SAE_INTERNAL_CONCAT(a, b) SAE_INTERNAL_CONCAT_IMPL(a, b)
+
+#define SAE_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp.value())
+
+// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define SAE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SAE_INTERNAL_ASSIGN_OR_RETURN(SAE_INTERNAL_CONCAT(_res_, __LINE__), lhs, \
+                                rexpr)
+
+#endif  // SAE_UTIL_STATUS_H_

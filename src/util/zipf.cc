@@ -1,0 +1,63 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace sae {
+
+namespace {
+
+// Truncated harmonic: sum_{i=1..n} 1/i^theta. O(n) but computed once per
+// generator; for the bucketed key generator n is small (~1000).
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  SAE_CHECK(n >= 1);
+  SAE_CHECK(theta >= 0.0 && theta < 1.0);
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) {
+  // Gray et al. quantile approximation.
+  double u = rng->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+SkewedKeyGenerator::SkewedKeyGenerator(uint64_t domain_max, double theta,
+                                       uint64_t buckets, uint64_t seed)
+    : domain_max_(domain_max),
+      buckets_(buckets),
+      zipf_(buckets, theta),
+      rng_(seed) {
+  SAE_CHECK(buckets >= 1 && buckets <= domain_max + 1);
+}
+
+uint32_t SkewedKeyGenerator::Next() {
+  uint64_t bucket = zipf_.Next(&rng_);
+  uint64_t width = (domain_max_ + 1) / buckets_;
+  uint64_t lo = bucket * width;
+  uint64_t hi = (bucket + 1 == buckets_) ? domain_max_ : lo + width - 1;
+  return static_cast<uint32_t>(rng_.NextRange(lo, hi));
+}
+
+}  // namespace sae

@@ -1,0 +1,62 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Zipfian sampling for the paper's SKW dataset: search keys generated with
+// ZIPF, skewness 0.8, "so that 77% of the search keys are concentrated in
+// 20% of the domain" (paper §IV).
+
+#ifndef SAE_UTIL_ZIPF_H_
+#define SAE_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sae {
+
+/// Samples ranks from a Zipf(theta) distribution over {0, ..., n-1}:
+/// P(rank = i) proportional to 1 / (i+1)^theta. Uses the Gray et al.
+/// (SIGMOD'94) constant-time approximation standard in DB benchmarks.
+class ZipfGenerator {
+ public:
+  /// \param n      number of distinct ranks
+  /// \param theta  skew in [0, 1); 0 degenerates to uniform
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Next rank in [0, n); rank 0 is the most popular.
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+/// Maps Zipf ranks onto a numeric key domain [0, domain_max] so that popular
+/// ranks cluster at the low end of the domain: rank buckets are laid out in
+/// rank order, each covering an equal slice of the domain, and a key is drawn
+/// uniformly within its bucket. With theta=0.8 and 1000 buckets this puts
+/// ~77% of keys into the lowest ~20% of the domain, matching the paper.
+class SkewedKeyGenerator {
+ public:
+  SkewedKeyGenerator(uint64_t domain_max, double theta, uint64_t buckets,
+                     uint64_t seed);
+
+  uint32_t Next();
+
+ private:
+  uint64_t domain_max_;
+  uint64_t buckets_;
+  ZipfGenerator zipf_;
+  Rng rng_;
+};
+
+}  // namespace sae
+
+#endif  // SAE_UTIL_ZIPF_H_

@@ -1,0 +1,41 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The paper's experimental datasets (§IV): n records of 500 bytes, search
+// keys 4-byte integers in [0, 10^7]; UNF draws keys uniformly, SKW from a
+// Zipf distribution with skew 0.8 (~77% of the keys in 20% of the domain).
+
+#ifndef SAE_WORKLOAD_DATASET_H_
+#define SAE_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/record.h"
+
+namespace sae::workload {
+
+inline constexpr uint32_t kDefaultDomainMax = 10'000'000;
+
+enum class Distribution {
+  kUniform,  ///< the paper's UNF
+  kSkewed,   ///< the paper's SKW (Zipf, theta = 0.8)
+};
+
+struct DatasetSpec {
+  size_t cardinality = 100'000;
+  Distribution distribution = Distribution::kUniform;
+  uint32_t domain_max = kDefaultDomainMax;
+  double zipf_theta = 0.8;
+  uint64_t zipf_buckets = 1000;
+  size_t record_size = storage::kDefaultRecordSize;
+  uint64_t seed = 42;
+};
+
+/// Generates the dataset; record ids are 1..n, payloads deterministic from
+/// the id (see RecordCodec::MakeRecord). Records are returned sorted by key
+/// so they can be bulk loaded directly.
+std::vector<storage::Record> GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace sae::workload
+
+#endif  // SAE_WORKLOAD_DATASET_H_

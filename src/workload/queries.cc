@@ -1,0 +1,26 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+
+#include "workload/queries.h"
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace sae::workload {
+
+std::vector<RangeQuery> GenerateQueries(const QueryWorkloadSpec& spec) {
+  SAE_CHECK(spec.extent_fraction > 0.0 && spec.extent_fraction <= 1.0);
+  uint64_t domain = uint64_t(spec.domain_max) + 1;
+  uint32_t extent = uint32_t(double(domain) * spec.extent_fraction);
+  if (extent == 0) extent = 1;
+
+  Rng rng(spec.seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(spec.count);
+  for (size_t i = 0; i < spec.count; ++i) {
+    uint32_t lo = uint32_t(rng.NextRange(0, spec.domain_max - extent));
+    queries.push_back(RangeQuery{lo, lo + extent});
+  }
+  return queries;
+}
+
+}  // namespace sae::workload

@@ -1,0 +1,34 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Query workload (paper §IV): uniformly placed range queries with a fixed
+// extent of 0.5% of the key domain; every experiment averages 100 of them.
+
+#ifndef SAE_WORKLOAD_QUERIES_H_
+#define SAE_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/record.h"
+#include "workload/dataset.h"
+
+namespace sae::workload {
+
+struct RangeQuery {
+  storage::Key lo;
+  storage::Key hi;
+};
+
+struct QueryWorkloadSpec {
+  size_t count = 100;
+  double extent_fraction = 0.005;  // 0.5% of the domain
+  uint32_t domain_max = kDefaultDomainMax;
+  uint64_t seed = 7;
+};
+
+/// Uniformly placed fixed-extent range queries over the domain.
+std::vector<RangeQuery> GenerateQueries(const QueryWorkloadSpec& spec);
+
+}  // namespace sae::workload
+
+#endif  // SAE_WORKLOAD_QUERIES_H_

@@ -1,0 +1,418 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Unit tests for src/crypto: FIPS 180 test vectors for SHA-1/SHA-256, the
+// digest XOR algebra, BigInt arithmetic (cross-checked against known values
+// and a uint64 reference model) and RSA sign/verify.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/bigint.h"
+#include "crypto/digest.h"
+#include "crypto/rsa.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+#include "util/random.h"
+
+namespace sae::crypto {
+namespace {
+
+std::string Sha1Hex(const std::string& msg) {
+  auto d = Sha1::Hash(msg.data(), msg.size());
+  return HexEncode(d.data(), d.size());
+}
+
+std::string Sha256Hex(const std::string& msg) {
+  auto d = Sha256::Hash(msg.data(), msg.size());
+  return HexEncode(d.data(), d.size());
+}
+
+// --- SHA-1 (FIPS 180 / RFC 3174 vectors) ---------------------------------------
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(Sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(Sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk.data(), chunk.size());
+  uint8_t out[Sha1::kDigestSize];
+  hasher.Finish(out);
+  EXPECT_EQ(HexEncode(out, sizeof(out)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and at odd "
+      "block boundaries to stress the buffering logic.";
+  for (size_t cut = 0; cut <= msg.size(); cut += 7) {
+    Sha1 hasher;
+    hasher.Update(msg.data(), cut);
+    hasher.Update(msg.data() + cut, msg.size() - cut);
+    uint8_t out[Sha1::kDigestSize];
+    hasher.Finish(out);
+    auto ref = Sha1::Hash(msg.data(), msg.size());
+    EXPECT_EQ(HexEncode(out, 20), HexEncode(ref.data(), 20)) << "cut " << cut;
+  }
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 hasher;
+  hasher.Update("junk", 4);
+  uint8_t out[Sha1::kDigestSize];
+  hasher.Finish(out);
+  hasher.Reset();
+  hasher.Update("abc", 3);
+  hasher.Finish(out);
+  EXPECT_EQ(HexEncode(out, 20), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+// Exactly one block minus padding edge: 55, 56, 57, 63, 64, 65 bytes.
+TEST(Sha1Test, PaddingBoundaries) {
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    std::string msg(len, 'x');
+    // Compare against incremental 1-byte feeding, which exercises all paths.
+    Sha1 hasher;
+    for (char c : msg) hasher.Update(&c, 1);
+    uint8_t a[Sha1::kDigestSize];
+    hasher.Finish(a);
+    auto b = Sha1::Hash(msg.data(), msg.size());
+    EXPECT_EQ(HexEncode(a, 20), HexEncode(b.data(), 20)) << "len " << len;
+  }
+}
+
+// --- SHA-256 (FIPS 180 vectors) ------------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(
+      Sha256Hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(
+      Sha256Hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk.data(), chunk.size());
+  uint8_t out[Sha256::kDigestSize];
+  hasher.Finish(out);
+  EXPECT_EQ(
+      HexEncode(out, sizeof(out)),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// --- Digest algebra --------------------------------------------------------------
+
+TEST(DigestTest, ZeroIsIdentity) {
+  Digest d = ComputeDigest("record", 6);
+  EXPECT_EQ(d ^ Digest::Zero(), d);
+  EXPECT_TRUE(Digest::Zero().IsZero());
+  EXPECT_FALSE(d.IsZero());
+}
+
+TEST(DigestTest, SelfInverse) {
+  Digest d = ComputeDigest("record", 6);
+  EXPECT_TRUE((d ^ d).IsZero());
+}
+
+TEST(DigestTest, Commutative) {
+  Digest a = ComputeDigest("a", 1);
+  Digest b = ComputeDigest("b", 1);
+  Digest c = ComputeDigest("c", 1);
+  EXPECT_EQ((a ^ b) ^ c, a ^ (b ^ c));
+  EXPECT_EQ(a ^ b, b ^ a);
+}
+
+TEST(DigestTest, SchemesDiffer) {
+  Digest sha1 = ComputeDigest("x", 1, HashScheme::kSha1);
+  Digest sha256 = ComputeDigest("x", 1, HashScheme::kSha256Trunc);
+  EXPECT_NE(sha1, sha256);
+}
+
+TEST(DigestTest, Sha256TruncMatchesPrefix) {
+  auto full = Sha256::Hash("payload", 7);
+  Digest trunc = ComputeDigest("payload", 7, HashScheme::kSha256Trunc);
+  EXPECT_EQ(HexEncode(full.data(), 20), trunc.ToHex());
+}
+
+TEST(DigestTest, CombineMatchesManualConcat) {
+  Digest a = ComputeDigest("a", 1);
+  Digest b = ComputeDigest("b", 1);
+  Digest combined = CombineDigests(&a, 1);
+  // H(a.bytes) must equal hashing the 20 raw bytes directly.
+  EXPECT_EQ(combined,
+            ComputeDigest(a.bytes.data(), a.bytes.size()));
+  std::vector<uint8_t> concat(a.bytes.begin(), a.bytes.end());
+  concat.insert(concat.end(), b.bytes.begin(), b.bytes.end());
+  Digest pair[] = {a, b};
+  EXPECT_EQ(CombineDigests(pair, 2),
+            ComputeDigest(concat.data(), concat.size()));
+}
+
+// --- BigInt ----------------------------------------------------------------------
+
+TEST(BigIntTest, ConstructionAndHex) {
+  EXPECT_EQ(BigInt(0).ToHex(), "0");
+  EXPECT_EQ(BigInt(255).ToHex(), "ff");
+  EXPECT_EQ(BigInt(0x123456789abcdefULL).ToHex(), "123456789abcdef");
+  EXPECT_TRUE(BigInt(0).IsZero());
+  EXPECT_FALSE(BigInt(1).IsZero());
+}
+
+TEST(BigIntTest, FromHexRoundTrip) {
+  std::string hex = "deadbeefcafebabe0123456789abcdef";
+  EXPECT_EQ(BigInt::FromHex(hex).ToHex(), hex);
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  std::vector<uint8_t> bytes{0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::FromBytes(bytes.data(), bytes.size());
+  EXPECT_EQ(v.ToHex(), "102030405");
+  EXPECT_EQ(v.ToBytes(5), bytes);
+  // Leading zeros are absorbed.
+  std::vector<uint8_t> padded{0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05};
+  EXPECT_EQ(BigInt::FromBytes(padded.data(), padded.size()), v);
+}
+
+TEST(BigIntTest, CompareAndOrdering) {
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_GT(BigInt::FromHex("100000000"), BigInt(0xFFFFFFFFull));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+TEST(BigIntTest, AddSubAgainstUint64) {
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Next() >> 1, b = rng.Next() >> 1;
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ(BigInt::Add(BigInt(a), BigInt(b)), BigInt(a + b));
+    EXPECT_EQ(BigInt::Sub(BigInt(a), BigInt(b)), BigInt(a - b));
+  }
+}
+
+TEST(BigIntTest, MulAgainstUint64) {
+  Rng rng(22);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Next() >> 32, b = rng.Next() >> 32;
+    EXPECT_EQ(BigInt::Mul(BigInt(a), BigInt(b)), BigInt(a * b));
+  }
+}
+
+TEST(BigIntTest, MulWideKnownValue) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  BigInt a(0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(BigInt::Mul(a, a).ToHex(),
+            "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigIntTest, DivModAgainstUint64) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Next();
+    uint64_t b = rng.Next() % 1000003 + 1;
+    BigInt rem;
+    BigInt q = BigInt::DivMod(BigInt(a), BigInt(b), &rem);
+    EXPECT_EQ(q, BigInt(a / b));
+    EXPECT_EQ(rem, BigInt(a % b));
+  }
+}
+
+TEST(BigIntTest, DivModWideRandomReconstruction) {
+  Rng rng(24);
+  for (int i = 0; i < 300; ++i) {
+    BigInt a = BigInt::Random(&rng, 256, false);
+    BigInt b = BigInt::Random(&rng, 128, true);
+    BigInt rem;
+    BigInt q = BigInt::DivMod(a, b, &rem);
+    EXPECT_LT(BigInt::Compare(rem, b), 0);
+    EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), rem), a);
+  }
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  BigInt v = BigInt::FromHex("123456789abcdef0fedcba9876543210");
+  for (size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(BigInt::ShiftRight(BigInt::ShiftLeft(v, s), s), v) << s;
+  }
+}
+
+TEST(BigIntTest, BitLengthAndBit) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(0x80000000ull).BitLength(), 32u);
+  BigInt v(0b1011);
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  EXPECT_FALSE(v.Bit(100));
+}
+
+TEST(BigIntTest, ModPowKnownValues) {
+  // 3^7 mod 1000 = 187 ; 2^10 mod 17 = 4
+  EXPECT_EQ(BigInt::ModPow(BigInt(3), BigInt(7), BigInt(1000)), BigInt(187));
+  EXPECT_EQ(BigInt::ModPow(BigInt(2), BigInt(10), BigInt(17)), BigInt(4));
+}
+
+TEST(BigIntTest, ModPowFermat) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+  BigInt p(1000000007ull);
+  Rng rng(25);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a(rng.Next() % 1000000006ull + 1);
+    EXPECT_EQ(BigInt::ModPow(a, BigInt(1000000006ull), p), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), BigInt(36)), BigInt(12));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+}
+
+TEST(BigIntTest, ModInverse) {
+  Rng rng(26);
+  BigInt m(1000000007ull);  // prime modulus -> every nonzero a invertible
+  for (int i = 0; i < 200; ++i) {
+    BigInt a(rng.Next() % 1000000006ull + 1);
+    BigInt inv;
+    ASSERT_TRUE(BigInt::ModInverse(a, m, &inv));
+    EXPECT_EQ(BigInt::Mod(BigInt::Mul(a, inv), m), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModInverseFailsWhenNotCoprime) {
+  BigInt inv;
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9), &inv));
+}
+
+TEST(BigIntTest, PrimalityKnownValues) {
+  Rng rng(27);
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(2), &rng));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(3), &rng));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(1000000007ull), &rng));
+  EXPECT_TRUE(
+      BigInt::IsProbablePrime(BigInt(0xFFFFFFFFFFFFFFC5ull), &rng));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(1), &rng));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(561), &rng));    // Carmichael
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(41041), &rng));  // Carmichael
+  EXPECT_FALSE(BigInt::IsProbablePrime(
+      BigInt::Mul(BigInt(1000003), BigInt(1000033)), &rng));
+}
+
+TEST(BigIntTest, GeneratePrimeHasExactBits) {
+  Rng rng(28);
+  for (size_t bits : {64u, 96u}) {
+    BigInt p = BigInt::GeneratePrime(&rng, bits);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(BigInt::IsProbablePrime(p, &rng));
+  }
+}
+
+// --- RSA ------------------------------------------------------------------------
+
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0xC0FFEE);
+    key_ = new RsaPrivateKey(RsaGenerateKey(&rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    key_ = nullptr;
+  }
+  static RsaPrivateKey* key_;
+};
+
+RsaPrivateKey* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  Digest d = ComputeDigest("mb-tree root", 12);
+  RsaSignature sig = RsaSignDigest(*key_, d);
+  EXPECT_EQ(sig.size(), key_->PublicKey().ModulusBytes());
+  EXPECT_TRUE(RsaVerifyDigest(key_->PublicKey(), d, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongDigest) {
+  Digest d = ComputeDigest("root", 4);
+  RsaSignature sig = RsaSignDigest(*key_, d);
+  Digest other = ComputeDigest("soot", 4);
+  Status st = RsaVerifyDigest(key_->PublicKey(), other, sig);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  Digest d = ComputeDigest("root", 4);
+  RsaSignature sig = RsaSignDigest(*key_, d);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(RsaVerifyDigest(key_->PublicKey(), d, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongLength) {
+  Digest d = ComputeDigest("root", 4);
+  RsaSignature sig = RsaSignDigest(*key_, d);
+  sig.pop_back();
+  EXPECT_FALSE(RsaVerifyDigest(key_->PublicKey(), d, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsOutOfRangeSignature) {
+  Digest d = ComputeDigest("root", 4);
+  size_t k = key_->PublicKey().ModulusBytes();
+  RsaSignature huge(k, 0xFF);  // >= n
+  EXPECT_FALSE(RsaVerifyDigest(key_->PublicKey(), d, huge).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+  Rng rng(0xDECAF);
+  RsaPrivateKey other = RsaGenerateKey(&rng, 512);
+  Digest d = ComputeDigest("root", 4);
+  RsaSignature sig = RsaSignDigest(*key_, d);
+  EXPECT_FALSE(RsaVerifyDigest(other.PublicKey(), d, sig).ok());
+}
+
+TEST_F(RsaTest, DeterministicSignature) {
+  Digest d = ComputeDigest("root", 4);
+  EXPECT_EQ(RsaSignDigest(*key_, d), RsaSignDigest(*key_, d));
+}
+
+TEST(RsaKeyGenTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  RsaPrivateKey ka = RsaGenerateKey(&a, 512);
+  RsaPrivateKey kb = RsaGenerateKey(&b, 512);
+  EXPECT_EQ(ka.n, kb.n);
+  EXPECT_EQ(ka.d, kb.d);
+}
+
+TEST(RsaKeyGenTest, ModulusHasRequestedBits) {
+  Rng rng(43);
+  RsaPrivateKey key = RsaGenerateKey(&rng, 768);
+  EXPECT_EQ(key.n.BitLength(), 768u);
+}
+
+}  // namespace
+}  // namespace sae::crypto

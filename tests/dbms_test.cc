@@ -1,0 +1,160 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Unit tests for the Table facade: CRUD, range execution, bulk load, and
+// separate index/heap access accounting.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dbms/table.h"
+#include "storage/page_store.h"
+#include "util/random.h"
+
+namespace sae::dbms {
+namespace {
+
+using storage::InMemoryPageStore;
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : index_pool_(&index_store_, 256), heap_pool_(&heap_store_, 256) {
+    auto t = Table::Create(&index_pool_, &heap_pool_, 100);
+    EXPECT_TRUE(t.ok());
+    table_ = std::move(t).ValueOrDie();
+  }
+
+  Record Make(uint64_t id, uint32_t key) {
+    return table_->codec().MakeRecord(id, key);
+  }
+
+  InMemoryPageStore index_store_;
+  InMemoryPageStore heap_store_;
+  BufferPool index_pool_;
+  BufferPool heap_pool_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, InsertGetRoundTrip) {
+  Record r = Make(1, 100);
+  ASSERT_TRUE(table_->Insert(r).ok());
+  auto got = table_->Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), r);
+  EXPECT_EQ(table_->size(), 1u);
+}
+
+TEST_F(TableTest, DuplicateIdRejected) {
+  ASSERT_TRUE(table_->Insert(Make(1, 100)).ok());
+  EXPECT_EQ(table_->Insert(Make(1, 200)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TableTest, DuplicateKeysAllowed) {
+  ASSERT_TRUE(table_->Insert(Make(1, 100)).ok());
+  ASSERT_TRUE(table_->Insert(Make(2, 100)).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(table_->RangeQuery(100, 100, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(TableTest, DeleteRemovesFromIndexAndHeap) {
+  ASSERT_TRUE(table_->Insert(Make(1, 100)).ok());
+  ASSERT_TRUE(table_->Delete(1).ok());
+  EXPECT_EQ(table_->size(), 0u);
+  EXPECT_EQ(table_->Get(1).status().code(), StatusCode::kNotFound);
+  std::vector<Record> out;
+  ASSERT_TRUE(table_->RangeQuery(0, 1000, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(table_->Delete(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TableTest, UpdateChangesKey) {
+  ASSERT_TRUE(table_->Insert(Make(1, 100)).ok());
+  Record moved = Make(1, 900);
+  ASSERT_TRUE(table_->Update(moved).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(table_->RangeQuery(100, 100, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(table_->RangeQuery(900, 900, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], moved);
+}
+
+TEST_F(TableTest, RangeQueryReturnsKeyOrder) {
+  Rng rng(5);
+  std::multimap<uint32_t, Record> model;
+  for (uint64_t id = 1; id <= 400; ++id) {
+    Record r = Make(id, uint32_t(rng.NextBounded(2000)));
+    ASSERT_TRUE(table_->Insert(r).ok());
+    model.emplace(r.key, r);
+  }
+  for (int q = 0; q < 25; ++q) {
+    uint32_t lo = uint32_t(rng.NextBounded(2000));
+    uint32_t hi = lo + uint32_t(rng.NextBounded(400));
+    std::vector<Record> out;
+    ASSERT_TRUE(table_->RangeQuery(lo, hi, &out).ok());
+    size_t expect = 0;
+    for (auto it = model.lower_bound(lo); it != model.end() && it->first <= hi;
+         ++it) {
+      ++expect;
+    }
+    ASSERT_EQ(out.size(), expect);
+    for (size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LE(out[i - 1].key, out[i].key);
+    }
+  }
+}
+
+TEST_F(TableTest, BulkLoadThenQuery) {
+  std::vector<Record> records;
+  for (uint64_t id = 1; id <= 1000; ++id) {
+    records.push_back(Make(id, uint32_t(id * 3)));
+  }
+  ASSERT_TRUE(table_->BulkLoad(records).ok());
+  EXPECT_EQ(table_->size(), 1000u);
+  ASSERT_TRUE(table_->index().Validate().ok());
+
+  std::vector<Record> out;
+  ASSERT_TRUE(table_->RangeQuery(300, 600, &out).ok());
+  EXPECT_EQ(out.size(), 101u);  // keys 300, 303, ..., 600
+}
+
+TEST_F(TableTest, BulkLoadRejectsUnsortedAndDuplicates) {
+  std::vector<Record> unsorted{Make(1, 10), Make(2, 5)};
+  EXPECT_FALSE(table_->BulkLoad(unsorted).ok());
+
+  auto t2 = Table::Create(&index_pool_, &heap_pool_, 100).ValueOrDie();
+  std::vector<Record> dup_id{Make(1, 5), Make(1, 10)};
+  EXPECT_FALSE(t2->BulkLoad(dup_id).ok());
+}
+
+TEST_F(TableTest, IndexAndHeapAccessesAreSeparated) {
+  std::vector<Record> records;
+  for (uint64_t id = 1; id <= 2000; ++id) {
+    records.push_back(Make(id, uint32_t(id)));
+  }
+  ASSERT_TRUE(table_->BulkLoad(records).ok());
+  index_pool_.ResetStats();
+  heap_pool_.ResetStats();
+
+  std::vector<Record> out;
+  ASSERT_TRUE(table_->RangeQuery(500, 700, &out).ok());
+  ASSERT_EQ(out.size(), 201u);
+  EXPECT_GT(index_pool_.stats().accesses, 0u);
+  EXPECT_GT(heap_pool_.stats().accesses, 0u);
+}
+
+TEST_F(TableTest, StorageAccountingGrowsWithData) {
+  size_t heap0 = table_->HeapSizeBytes();
+  std::vector<Record> records;
+  for (uint64_t id = 1; id <= 500; ++id) {
+    records.push_back(Make(id, uint32_t(id)));
+  }
+  ASSERT_TRUE(table_->BulkLoad(records).ok());
+  EXPECT_GT(table_->HeapSizeBytes(), heap0);
+  EXPECT_GT(table_->IndexSizeBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sae::dbms

@@ -1,0 +1,290 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Persistence tests: every disk structure (B+-tree, MB-tree, XB-tree, heap
+// file, table) is built on a FilePageStore, snapshotted, torn down, and
+// reopened from the file — queries, verification material and invariants
+// must survive the restart. This is the "SP restarts without the DO
+// re-shipping the dataset" story.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "btree/bplus_tree.h"
+#include "dbms/table.h"
+#include "mbtree/mb_tree.h"
+#include "storage/page_store.h"
+#include "util/codec.h"
+#include "xbtree/xb_tree.h"
+
+namespace sae {
+namespace {
+
+using storage::BufferPool;
+using storage::FilePageStore;
+using storage::Record;
+using storage::RecordCodec;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/saedb_persist_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(PersistenceTest, BPlusTreeSurvivesRestart) {
+  ByteWriter snapshot;
+  {
+    auto store = FilePageStore::Create(path_).ValueOrDie();
+    BufferPool pool(store.get(), 64);
+    btree::BPlusTreeOptions options;
+    options.max_leaf_entries = 8;
+    options.max_internal_keys = 8;
+    auto tree = btree::BPlusTree::Create(&pool, options).ValueOrDie();
+    for (uint32_t k = 0; k < 500; ++k) {
+      ASSERT_TRUE(tree->Insert(k * 3, k).ok());
+    }
+    tree->WriteSnapshot(&snapshot);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+
+  auto store = FilePageStore::Open(path_).ValueOrDie();
+  BufferPool pool(store.get(), 64);
+  ByteReader reader(snapshot.bytes().data(), snapshot.size());
+  auto tree = btree::BPlusTree::OpenSnapshot(&pool, &reader).ValueOrDie();
+  EXPECT_EQ(tree->size(), 500u);
+  ASSERT_TRUE(tree->Validate().ok());
+
+  std::vector<btree::BTreeEntry> out;
+  ASSERT_TRUE(tree->RangeSearch(300, 600, &out).ok());
+  EXPECT_EQ(out.size(), 101u);
+
+  // The reopened tree accepts further updates.
+  ASSERT_TRUE(tree->Insert(1, 9999).ok());
+  ASSERT_TRUE(tree->Delete(0, 0).ok());
+  ASSERT_TRUE(tree->Validate().ok());
+}
+
+TEST_F(PersistenceTest, MbTreeSurvivesRestartWithSameRootDigest) {
+  ByteWriter snapshot;
+  crypto::Digest digest_before;
+  {
+    auto store = FilePageStore::Create(path_).ValueOrDie();
+    BufferPool pool(store.get(), 64);
+    mbtree::MbTreeOptions options;
+    options.max_leaf_entries = 6;
+    options.max_internal_keys = 5;
+    auto tree = mbtree::MbTree::Create(&pool, options).ValueOrDie();
+    for (uint64_t id = 1; id <= 200; ++id) {
+      ASSERT_TRUE(tree->Insert(mbtree::MbEntry{
+                          uint32_t(id * 7), id,
+                          crypto::ComputeDigest(&id, sizeof(id))})
+                      .ok());
+    }
+    digest_before = tree->root_digest();
+    tree->WriteSnapshot(&snapshot);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+
+  auto store = FilePageStore::Open(path_).ValueOrDie();
+  BufferPool pool(store.get(), 64);
+  ByteReader reader(snapshot.bytes().data(), snapshot.size());
+  auto tree = mbtree::MbTree::OpenSnapshot(&pool, &reader).ValueOrDie();
+  EXPECT_EQ(tree->root_digest(), digest_before);
+  ASSERT_TRUE(tree->Validate().ok());
+  std::vector<mbtree::MbEntry> out;
+  ASSERT_TRUE(tree->RangeSearch(70, 140, &out).ok());
+  EXPECT_EQ(out.size(), 11u);
+}
+
+TEST_F(PersistenceTest, MbTreeSnapshotDetectsTamperedPages) {
+  ByteWriter snapshot;
+  {
+    auto store = FilePageStore::Create(path_).ValueOrDie();
+    BufferPool pool(store.get(), 64);
+    auto tree = mbtree::MbTree::Create(&pool).ValueOrDie();
+    for (uint64_t id = 1; id <= 50; ++id) {
+      ASSERT_TRUE(tree->Insert(mbtree::MbEntry{
+                          uint32_t(id), id,
+                          crypto::ComputeDigest(&id, sizeof(id))})
+                      .ok());
+    }
+    tree->WriteSnapshot(&snapshot);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+
+  // Corrupt a byte in the (single-node) tree's root page on disk.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 100, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 100, SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+
+  auto store = FilePageStore::Open(path_).ValueOrDie();
+  BufferPool pool(store.get(), 64);
+  ByteReader reader(snapshot.bytes().data(), snapshot.size());
+  auto reopened = mbtree::MbTree::OpenSnapshot(&pool, &reader);
+  // Either the node fails to parse or the root digest no longer matches.
+  EXPECT_FALSE(reopened.ok());
+}
+
+TEST_F(PersistenceTest, XbTreeSurvivesRestartAndKeepsVt) {
+  ByteWriter snapshot;
+  crypto::Digest vt_before;
+  {
+    auto store = FilePageStore::Create(path_).ValueOrDie();
+    BufferPool pool(store.get(), 64);
+    xbtree::XbTreeOptions options;
+    options.max_entries = 5;
+    auto tree = xbtree::XbTree::Create(&pool, options).ValueOrDie();
+    for (uint64_t id = 1; id <= 300; ++id) {
+      ASSERT_TRUE(tree->Insert(uint32_t(id % 90), id,
+                               crypto::ComputeDigest(&id, sizeof(id)))
+                      .ok());
+    }
+    vt_before = tree->GenerateVT(10, 60).ValueOrDie();
+    tree->WriteSnapshot(&snapshot);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+
+  auto store = FilePageStore::Open(path_).ValueOrDie();
+  BufferPool pool(store.get(), 64);
+  ByteReader reader(snapshot.bytes().data(), snapshot.size());
+  auto tree = xbtree::XbTree::OpenSnapshot(&pool, &reader).ValueOrDie();
+  EXPECT_EQ(tree->size(), 300u);
+  ASSERT_TRUE(tree->Validate().ok());
+  EXPECT_EQ(tree->GenerateVT(10, 60).ValueOrDie(), vt_before);
+
+  // Updates after reopen keep the aggregates consistent.
+  uint64_t id = 9999;
+  ASSERT_TRUE(
+      tree->Insert(42, id, crypto::ComputeDigest(&id, sizeof(id))).ok());
+  ASSERT_TRUE(tree->Delete(42, id).ok());
+  ASSERT_TRUE(tree->Validate().ok());
+  EXPECT_EQ(tree->GenerateVT(10, 60).ValueOrDie(), vt_before);
+}
+
+TEST_F(PersistenceTest, HeapFileSurvivesRestart) {
+  ByteWriter snapshot;
+  RecordCodec codec(100);
+  std::vector<storage::Rid> rids;
+  {
+    auto store = FilePageStore::Create(path_).ValueOrDie();
+    BufferPool pool(store.get(), 64);
+    storage::HeapFile heap(&pool, 100);
+    for (uint64_t id = 1; id <= 120; ++id) {
+      auto bytes = codec.Serialize(codec.MakeRecord(id, uint32_t(id)));
+      rids.push_back(heap.Insert(bytes.data()).ValueOrDie());
+    }
+    ASSERT_TRUE(heap.Delete(rids[5]).ok());
+    heap.WriteSnapshot(&snapshot);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+
+  auto store = FilePageStore::Open(path_).ValueOrDie();
+  BufferPool pool(store.get(), 64);
+  ByteReader reader(snapshot.bytes().data(), snapshot.size());
+  auto heap = storage::HeapFile::OpenSnapshot(&pool, &reader).ValueOrDie();
+  EXPECT_EQ(heap->size(), 119u);
+  std::vector<uint8_t> out(100);
+  ASSERT_TRUE(heap->Get(rids[7], out.data()).ok());
+  EXPECT_EQ(codec.Deserialize(out.data()).id, 8u);
+  EXPECT_EQ(heap->Get(rids[5], out.data()).code(), StatusCode::kNotFound);
+
+  // The freed slot is found again by new inserts.
+  auto bytes = codec.Serialize(codec.MakeRecord(999, 999));
+  EXPECT_EQ(heap->Insert(bytes.data()).ValueOrDie(), rids[5]);
+}
+
+TEST_F(PersistenceTest, TableSurvivesRestart) {
+  std::string heap_path = path_ + ".heap";
+  std::remove(heap_path.c_str());
+  ByteWriter snapshot;
+  RecordCodec codec(100);
+  {
+    auto index_store = FilePageStore::Create(path_).ValueOrDie();
+    auto heap_store = FilePageStore::Create(heap_path).ValueOrDie();
+    BufferPool index_pool(index_store.get(), 64);
+    BufferPool heap_pool(heap_store.get(), 64);
+    auto table =
+        dbms::Table::Create(&index_pool, &heap_pool, 100).ValueOrDie();
+    std::vector<Record> records;
+    for (uint64_t id = 1; id <= 400; ++id) {
+      records.push_back(codec.MakeRecord(id, uint32_t(id * 2)));
+    }
+    ASSERT_TRUE(table->BulkLoad(records).ok());
+    table->WriteSnapshot(&snapshot);
+    ASSERT_TRUE(index_pool.FlushAll().ok());
+    ASSERT_TRUE(heap_pool.FlushAll().ok());
+  }
+
+  auto index_store = FilePageStore::Open(path_).ValueOrDie();
+  auto heap_store = FilePageStore::Open(heap_path).ValueOrDie();
+  BufferPool index_pool(index_store.get(), 64);
+  BufferPool heap_pool(heap_store.get(), 64);
+  ByteReader reader(snapshot.bytes().data(), snapshot.size());
+  auto table =
+      dbms::Table::OpenSnapshot(&index_pool, &heap_pool, &reader)
+          .ValueOrDie();
+  EXPECT_EQ(table->size(), 400u);
+  ASSERT_TRUE(table->index().Validate().ok());
+
+  std::vector<Record> out;
+  ASSERT_TRUE(table->RangeQuery(100, 200, &out).ok());
+  EXPECT_EQ(out.size(), 51u);
+  EXPECT_EQ(table->Get(123).ValueOrDie().key, 246u);
+
+  // CRUD continues to work after reopen.
+  ASSERT_TRUE(table->Delete(123).ok());
+  ASSERT_TRUE(table->Insert(codec.MakeRecord(9001, 100)).ok());
+  out.clear();
+  ASSERT_TRUE(table->RangeQuery(100, 100, &out).ok());
+  EXPECT_EQ(out.size(), 2u);  // id 50 (key 100) + the new record
+  std::remove(heap_path.c_str());
+}
+
+TEST_F(PersistenceTest, SnapshotRejectsGarbage) {
+  auto store = FilePageStore::Create(path_).ValueOrDie();
+  BufferPool pool(store.get(), 64);
+  std::vector<uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
+  {
+    ByteReader r(junk);
+    EXPECT_FALSE(btree::BPlusTree::OpenSnapshot(&pool, &r).ok());
+  }
+  {
+    ByteReader r(junk);
+    EXPECT_FALSE(mbtree::MbTree::OpenSnapshot(&pool, &r).ok());
+  }
+  {
+    ByteReader r(junk);
+    EXPECT_FALSE(xbtree::XbTree::OpenSnapshot(&pool, &r).ok());
+  }
+  {
+    ByteReader r(junk);
+    EXPECT_FALSE(storage::HeapFile::OpenSnapshot(&pool, &r).ok());
+  }
+}
+
+TEST_F(PersistenceTest, FilePageStoreOpenRejectsMisalignedFile) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a page file", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(FilePageStore::Open(path_).ok());
+}
+
+}  // namespace
+}  // namespace sae

@@ -1,0 +1,428 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Adversarial security tests beyond simple result tampering: hand-crafted
+// malicious verification objects for TOM, forged tokens/signatures, and the
+// algebraic properties SAE's security argument rests on.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "core/client.h"
+#include "core/system.h"
+#include "crypto/rsa.h"
+#include "mbtree/mb_tree.h"
+#include "mbtree/vo.h"
+#include "storage/page_store.h"
+#include "util/random.h"
+#include "workload/dataset.h"
+
+namespace sae {
+namespace {
+
+using core::Record;
+using storage::BufferPool;
+using storage::InMemoryPageStore;
+using storage::RecordCodec;
+
+constexpr size_t kRecSize = 64;
+
+crypto::RsaPrivateKey* SharedKey() {
+  static crypto::RsaPrivateKey* key = [] {
+    Rng rng(0x5EED1);
+    return new crypto::RsaPrivateKey(crypto::RsaGenerateKey(&rng, 512));
+  }();
+  return key;
+}
+
+// A TOM stack small enough to craft VOs by hand.
+class VoCraftTest : public ::testing::Test {
+ protected:
+  VoCraftTest() : pool_(&store_, 512), codec_(kRecSize) {
+    mbtree::MbTreeOptions options;
+    options.max_leaf_entries = 5;
+    options.max_internal_keys = 4;
+    tree_ = mbtree::MbTree::Create(&pool_, options).ValueOrDie();
+    for (uint64_t id = 1; id <= 100; ++id) {
+      Record r = codec_.MakeRecord(id, uint32_t(id * 10));
+      records_[id] = r;
+      auto bytes = codec_.Serialize(r);
+      SAE_CHECK_OK(tree_->Insert(mbtree::MbEntry{
+          r.key, storage::Rid(id),
+          crypto::ComputeDigest(bytes.data(), bytes.size())}));
+    }
+  }
+
+  mbtree::MbTree::RecordFetcher Fetcher() {
+    return [this](storage::Rid rid) -> Result<std::vector<uint8_t>> {
+      return codec_.Serialize(records_.at(rid));
+    };
+  }
+
+  std::vector<Record> Results(uint32_t lo, uint32_t hi) {
+    std::vector<Record> out;
+    for (auto& [id, r] : records_) {
+      if (r.key >= lo && r.key <= hi) out.push_back(r);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Record& a, const Record& b) { return a.key < b.key; });
+    return out;
+  }
+
+  mbtree::VerificationObject SignedVo(uint32_t lo, uint32_t hi) {
+    auto vo = tree_->BuildVo(lo, hi, Fetcher()).ValueOrDie();
+    vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+    return vo;
+  }
+
+  // Walks the VO and applies `fn` to every item (depth first).
+  static void ForEachItem(mbtree::VoNode* node,
+                          const std::function<void(mbtree::VoNode*, size_t)>& fn) {
+    for (size_t i = 0; i < node->items.size(); ++i) {
+      fn(node, i);
+      if (node->items[i].type == mbtree::VoItem::Type::kChild) {
+        ForEachItem(node->items[i].child.get(), fn);
+      }
+    }
+  }
+
+  InMemoryPageStore store_;
+  BufferPool pool_;
+  RecordCodec codec_;
+  std::unique_ptr<mbtree::MbTree> tree_;
+  std::map<uint64_t, Record> records_;
+};
+
+TEST_F(VoCraftTest, HonestBaselineVerifies) {
+  auto vo = SignedVo(200, 600);
+  EXPECT_TRUE(mbtree::VerifyVO(vo, 200, 600, Results(200, 600),
+                               SharedKey()->PublicKey(), codec_)
+                  .ok());
+}
+
+// The classic hiding attack: replace a covered result slot with its bare
+// digest, drop the record, and keep the root digest perfectly valid. Only
+// the structural span check can catch this.
+TEST_F(VoCraftTest, HidingResultBehindDigestIsDetected) {
+  auto vo = SignedVo(200, 600);
+  std::vector<Record> results = Results(200, 600);
+
+  // Find the first result slot and replace it with the record's digest.
+  bool replaced = false;
+  ForEachItem(&vo.root, [&](mbtree::VoNode* node, size_t i) {
+    if (replaced || node->items[i].type != mbtree::VoItem::Type::kResultEntry)
+      return;
+    auto bytes = codec_.Serialize(results.front());
+    node->items[i].type = mbtree::VoItem::Type::kDigest;
+    node->items[i].digest =
+        crypto::ComputeDigest(bytes.data(), bytes.size());
+    replaced = true;
+  });
+  ASSERT_TRUE(replaced);
+  results.erase(results.begin());
+
+  // Root digest still reconstructs, so only the span rule rejects it.
+  Status st = mbtree::VerifyVO(vo, 200, 600, results,
+                               SharedKey()->PublicKey(), codec_);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
+}
+
+// Hiding an entire subtree: replace a covered child with its digest.
+TEST_F(VoCraftTest, HidingSubtreeBehindDigestIsDetected) {
+  auto vo = SignedVo(0, 2000);  // wide range -> covered children exist
+  std::vector<Record> results = Results(0, 2000);
+
+  // Locate a child item whose subtree contains result slots, compute its
+  // true digest by replaying it, then collapse it.
+  std::function<size_t(const mbtree::VoNode&)> count_results =
+      [&](const mbtree::VoNode& node) {
+        size_t n = 0;
+        for (const auto& item : node.items) {
+          if (item.type == mbtree::VoItem::Type::kResultEntry) ++n;
+          if (item.type == mbtree::VoItem::Type::kChild) {
+            n += count_results(*item.child);
+          }
+        }
+        return n;
+      };
+
+  bool collapsed = false;
+  size_t skip = 0;
+  ForEachItem(&vo.root, [&](mbtree::VoNode* node, size_t i) {
+    auto& item = node->items[i];
+    if (collapsed || item.type != mbtree::VoItem::Type::kChild) return;
+    size_t in_subtree = count_results(*item.child);
+    if (in_subtree == 0 || in_subtree == results.size()) return;
+
+    // Count result slots before this subtree to know which records vanish.
+    // (Cheap approach: collapse the first eligible subtree, which by
+    // in-order layout covers the first `in_subtree` remaining results.)
+    std::vector<crypto::Digest> digests;
+    std::function<crypto::Digest(const mbtree::VoNode&)> replay =
+        [&](const mbtree::VoNode& n) {
+          std::vector<crypto::Digest> ds;
+          for (const auto& it : n.items) {
+            switch (it.type) {
+              case mbtree::VoItem::Type::kDigest:
+                ds.push_back(it.digest);
+                break;
+              case mbtree::VoItem::Type::kBoundaryRecord: {
+                ds.push_back(crypto::ComputeDigest(it.record_bytes.data(),
+                                                   it.record_bytes.size()));
+                break;
+              }
+              case mbtree::VoItem::Type::kResultEntry: {
+                auto bytes = codec_.Serialize(results[skip]);
+                ds.push_back(
+                    crypto::ComputeDigest(bytes.data(), bytes.size()));
+                ++skip;
+                break;
+              }
+              case mbtree::VoItem::Type::kChild:
+                ds.push_back(replay(*it.child));
+                break;
+            }
+          }
+          return crypto::CombineDigests(ds.data(), ds.size());
+        };
+    // Records consumed before this item: replay preceding siblings only to
+    // advance `skip` (simplification: assume this is the first child with
+    // results, true for this dataset/query).
+    crypto::Digest true_digest = replay(*item.child);
+    item.type = mbtree::VoItem::Type::kDigest;
+    item.digest = true_digest;
+    item.child.reset();
+    results.erase(results.begin() + long(0),
+                  results.begin() + long(in_subtree));
+    collapsed = true;
+  });
+  ASSERT_TRUE(collapsed);
+
+  Status st = mbtree::VerifyVO(vo, 0, 2000, results,
+                               SharedKey()->PublicKey(), codec_);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
+}
+
+TEST_F(VoCraftTest, BoundaryForgeryIsDetected) {
+  // Claim a narrower completeness span by moving the left boundary: replace
+  // the left boundary record with a record of higher key (a record between
+  // the true boundary and the hidden result).
+  auto vo = SignedVo(200, 600);
+  std::vector<Record> results = Results(200, 600);
+  ASSERT_GE(results.size(), 2u);
+
+  bool forged = false;
+  ForEachItem(&vo.root, [&](mbtree::VoNode* node, size_t i) {
+    auto& item = node->items[i];
+    if (forged || item.type != mbtree::VoItem::Type::kBoundaryRecord) return;
+    // Overwrite the boundary bytes with the first result record; then drop
+    // that record from the result list ("it was just the boundary").
+    item.record_bytes = codec_.Serialize(results.front());
+    forged = true;
+  });
+  ASSERT_TRUE(forged);
+  results.erase(results.begin());
+
+  Status st = mbtree::VerifyVO(vo, 200, 600, results,
+                               SharedKey()->PublicKey(), codec_);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
+}
+
+TEST_F(VoCraftTest, SignatureFromForeignKeyIsRejected) {
+  auto vo = tree_->BuildVo(200, 600, Fetcher()).ValueOrDie();
+  Rng rng(777);
+  crypto::RsaPrivateKey mallory = crypto::RsaGenerateKey(&rng, 512);
+  vo.signature = crypto::RsaSignDigest(mallory, tree_->root_digest());
+  Status st = mbtree::VerifyVO(vo, 200, 600, Results(200, 600),
+                               SharedKey()->PublicKey(), codec_);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
+}
+
+TEST_F(VoCraftTest, ReplayedVoForOldStateIsRejected) {
+  auto old_vo = SignedVo(200, 600);
+  auto old_results = Results(200, 600);
+  // The dataset changes (a record inside the range is deleted).
+  Record victim = old_results[1];
+  SAE_CHECK_OK(tree_->Delete(victim.key, storage::Rid(victim.id)));
+  records_.erase(victim.id);
+
+  // The SP replays the old VO + old results against the *new* signature.
+  auto fresh_sig =
+      crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  old_vo.signature = fresh_sig;
+  Status st = mbtree::VerifyVO(old_vo, 200, 600, old_results,
+                               SharedKey()->PublicKey(), codec_);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
+}
+
+// --- hand-built malformed VOs ----------------------------------------------------
+
+class MalformedVoTest : public ::testing::Test {
+ protected:
+  RecordCodec codec_{kRecSize};
+
+  Status Verify(mbtree::VerificationObject vo,
+                const std::vector<Record>& results) {
+    // Content is structurally wrong before the signature matters; use any
+    // key so signature checking is reached only on structurally valid VOs.
+    vo.signature.assign(64, 0x11);
+    return mbtree::VerifyVO(vo, 10, 20, results, SharedKey()->PublicKey(),
+                            codec_);
+  }
+};
+
+TEST_F(MalformedVoTest, EmptyRootRejected) {
+  mbtree::VerificationObject vo;
+  vo.root.is_leaf = true;
+  EXPECT_FALSE(Verify(std::move(vo), {}).ok());
+}
+
+TEST_F(MalformedVoTest, ResultSlotAboveLeafLevelRejected) {
+  mbtree::VerificationObject vo;
+  vo.root.is_leaf = false;  // internal node claiming a result slot
+  mbtree::VoItem item;
+  item.type = mbtree::VoItem::Type::kResultEntry;
+  vo.root.items.push_back(std::move(item));
+  Record r = codec_.MakeRecord(1, 15);
+  EXPECT_FALSE(Verify(std::move(vo), {r}).ok());
+}
+
+TEST_F(MalformedVoTest, ChildUnderLeafRejected) {
+  mbtree::VerificationObject vo;
+  vo.root.is_leaf = true;
+  mbtree::VoItem item;
+  item.type = mbtree::VoItem::Type::kChild;
+  item.child = std::make_unique<mbtree::VoNode>();
+  item.child->is_leaf = true;
+  mbtree::VoItem inner;
+  inner.type = mbtree::VoItem::Type::kResultEntry;
+  item.child->items.push_back(std::move(inner));
+  vo.root.items.push_back(std::move(item));
+  Record r = codec_.MakeRecord(1, 15);
+  EXPECT_FALSE(Verify(std::move(vo), {r}).ok());
+}
+
+TEST_F(MalformedVoTest, ThreeBoundariesRejected) {
+  mbtree::VerificationObject vo;
+  vo.root.is_leaf = true;
+  for (uint32_t key : {5u, 25u, 30u}) {
+    mbtree::VoItem item;
+    item.type = mbtree::VoItem::Type::kBoundaryRecord;
+    item.record_bytes = codec_.Serialize(codec_.MakeRecord(key, key));
+    vo.root.items.push_back(std::move(item));
+  }
+  EXPECT_FALSE(Verify(std::move(vo), {}).ok());
+}
+
+TEST_F(MalformedVoTest, MoreResultSlotsThanRecordsRejected) {
+  mbtree::VerificationObject vo;
+  vo.root.is_leaf = true;
+  for (int i = 0; i < 3; ++i) {
+    mbtree::VoItem item;
+    item.type = mbtree::VoItem::Type::kResultEntry;
+    vo.root.items.push_back(std::move(item));
+  }
+  Record r = codec_.MakeRecord(1, 15);
+  EXPECT_FALSE(Verify(std::move(vo), {r}).ok());
+}
+
+TEST_F(MalformedVoTest, FewerResultSlotsThanRecordsRejected) {
+  mbtree::VerificationObject vo;
+  vo.root.is_leaf = true;
+  mbtree::VoItem item;
+  item.type = mbtree::VoItem::Type::kResultEntry;
+  vo.root.items.push_back(std::move(item));
+  Record a = codec_.MakeRecord(1, 15);
+  Record b = codec_.MakeRecord(2, 16);
+  EXPECT_FALSE(Verify(std::move(vo), {a, b}).ok());
+}
+
+// --- SAE token properties -------------------------------------------------------
+
+TEST(VtAlgebraTest, DisjointRangesCompose) {
+  // VT[a,c] = VT[a,b] ^ VT(b,c] — the XOR group structure GenerateVT
+  // exploits. Checked through the public TE interface.
+  InMemoryPageStore store;
+  BufferPool pool(&store, 512);
+  auto tree = xbtree::XbTree::Create(&pool).ValueOrDie();
+  Rng rng(4242);
+  for (uint64_t id = 1; id <= 2000; ++id) {
+    crypto::Digest d = crypto::ComputeDigest(&id, sizeof(id));
+    SAE_CHECK_OK(tree->Insert(uint32_t(rng.NextBounded(10000)), id, d));
+  }
+  for (int i = 0; i < 25; ++i) {
+    uint32_t a = uint32_t(rng.NextBounded(8000));
+    uint32_t b = a + uint32_t(rng.NextBounded(1000));
+    uint32_t c = b + 1 + uint32_t(rng.NextBounded(1000));
+    crypto::Digest whole = tree->GenerateVT(a, c).ValueOrDie();
+    crypto::Digest left = tree->GenerateVT(a, b).ValueOrDie();
+    crypto::Digest right = tree->GenerateVT(b + 1, c).ValueOrDie();
+    EXPECT_EQ(whole, left ^ right) << a << " " << b << " " << c;
+  }
+}
+
+TEST(VtAlgebraTest, SwappingRecordsAcrossRangesIsDetected) {
+  // A malicious SP cannot satisfy the token by substituting a record from
+  // outside the range, even one from the same table.
+  RecordCodec codec(kRecSize);
+  std::vector<Record> in_range, out_of_range;
+  for (uint64_t id = 1; id <= 10; ++id) {
+    in_range.push_back(codec.MakeRecord(id, uint32_t(100 + id)));
+    out_of_range.push_back(codec.MakeRecord(100 + id, uint32_t(900 + id)));
+  }
+  crypto::Digest vt = core::Client::ResultXor(in_range, codec);
+
+  std::vector<Record> swapped = in_range;
+  swapped[3] = out_of_range[3];
+  EXPECT_FALSE(core::Client::VerifyResult(swapped, vt, codec).ok());
+}
+
+TEST(VtAlgebraTest, PayloadBitFlipChangesToken) {
+  RecordCodec codec(kRecSize);
+  std::vector<Record> records{codec.MakeRecord(1, 10)};
+  crypto::Digest vt = core::Client::ResultXor(records, codec);
+  for (size_t byte : {0u, 7u, 20u, 51u}) {
+    std::vector<Record> tampered = records;
+    tampered[0].payload[byte] ^= 0x01;
+    EXPECT_FALSE(core::Client::VerifyResult(tampered, vt, codec).ok())
+        << "byte " << byte;
+  }
+}
+
+TEST(VtAlgebraTest, PairCancellationRequiresIdenticalRecords) {
+  // XOR-cancellation (adding a record twice) only "works" when the very
+  // same bytes appear twice — which the client can reject by checking for
+  // duplicate ids; different records never cancel.
+  RecordCodec codec(kRecSize);
+  Record a = codec.MakeRecord(1, 10);
+  Record b = codec.MakeRecord(2, 10);
+  std::vector<Record> honest{a};
+  crypto::Digest vt = core::Client::ResultXor(honest, codec);
+  std::vector<Record> padded{a, b, b};
+  // b ^ b cancels: the multiset {a, b, b} has the same XOR as {a}.
+  EXPECT_TRUE(core::Client::VerifyResult(padded, vt, codec).ok());
+  // ...but {a, b, b'} with b' != b never matches.
+  Record b_prime = b;
+  b_prime.payload[0] ^= 1;
+  std::vector<Record> broken{a, b, b_prime};
+  EXPECT_FALSE(core::Client::VerifyResult(broken, vt, codec).ok());
+}
+
+TEST(VtAlgebraTest, EndToEndDuplicatePairAttackVisibility) {
+  // The XOR check alone admits even-multiplicity padding (previous test);
+  // the paper's client can additionally reject duplicate record ids. Verify
+  // the library exposes enough information to do so.
+  RecordCodec codec(kRecSize);
+  Record a = codec.MakeRecord(1, 10);
+  Record b = codec.MakeRecord(2, 11);
+  std::vector<Record> padded{a, b, b};
+  std::map<uint64_t, int> id_count;
+  for (const auto& r : padded) ++id_count[r.id];
+  bool has_duplicate_ids = false;
+  for (auto& [id, n] : id_count) has_duplicate_ids |= (n > 1);
+  EXPECT_TRUE(has_duplicate_ids);
+}
+
+}  // namespace
+}  // namespace sae

@@ -1,0 +1,150 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Tests for the dataset and query generators driving the experiments.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/dataset.h"
+#include "workload/queries.h"
+
+namespace sae::workload {
+namespace {
+
+TEST(DatasetTest, CardinalityAndSortedness) {
+  DatasetSpec spec;
+  spec.cardinality = 5000;
+  spec.record_size = 100;
+  std::vector<storage::Record> records = GenerateDataset(spec);
+  ASSERT_EQ(records.size(), 5000u);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].key, records[i].key);
+  }
+}
+
+TEST(DatasetTest, UniqueIds) {
+  DatasetSpec spec;
+  spec.cardinality = 5000;
+  spec.record_size = 100;
+  std::vector<storage::Record> records = GenerateDataset(spec);
+  std::set<storage::RecordId> ids;
+  for (const auto& r : records) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), records.size());
+}
+
+TEST(DatasetTest, KeysWithinDomain) {
+  for (auto dist : {Distribution::kUniform, Distribution::kSkewed}) {
+    DatasetSpec spec;
+    spec.cardinality = 3000;
+    spec.distribution = dist;
+    spec.domain_max = 100000;
+    spec.record_size = 64;
+    for (const auto& r : GenerateDataset(spec)) {
+      EXPECT_LE(r.key, 100000u);
+    }
+  }
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  DatasetSpec spec;
+  spec.cardinality = 1000;
+  spec.record_size = 64;
+  spec.seed = 99;
+  auto a = GenerateDataset(spec);
+  auto b = GenerateDataset(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  spec.seed = 100;
+  auto c = GenerateDataset(spec);
+  bool all_equal = true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == c[i])) {
+      all_equal = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(DatasetTest, SkewConcentratesKeys) {
+  DatasetSpec spec;
+  spec.cardinality = 50000;
+  spec.distribution = Distribution::kSkewed;
+  spec.record_size = 64;
+  auto records = GenerateDataset(spec);
+  size_t low = 0;
+  for (const auto& r : records) {
+    if (r.key <= spec.domain_max / 5) ++low;
+  }
+  // Standard Zipf(0.8) concentrates ~65% of the keys in the lowest 20% of
+  // the domain (the paper quotes 77%; see the note in util_test.cc and
+  // EXPERIMENTS.md).
+  double fraction = double(low) / double(records.size());
+  EXPECT_GT(fraction, 0.60);
+  EXPECT_LT(fraction, 0.72);
+}
+
+TEST(DatasetTest, UniformSpreadsKeys) {
+  DatasetSpec spec;
+  spec.cardinality = 50000;
+  spec.record_size = 64;
+  auto records = GenerateDataset(spec);
+  size_t low = 0;
+  for (const auto& r : records) {
+    if (r.key <= spec.domain_max / 5) ++low;
+  }
+  double fraction = double(low) / double(records.size());
+  EXPECT_GT(fraction, 0.17);
+  EXPECT_LT(fraction, 0.23);
+}
+
+TEST(DatasetTest, RecordSizeHonored) {
+  DatasetSpec spec;
+  spec.cardinality = 10;
+  spec.record_size = 500;
+  storage::RecordCodec codec(500);
+  for (const auto& r : GenerateDataset(spec)) {
+    EXPECT_EQ(codec.Serialize(r).size(), 500u);
+  }
+}
+
+TEST(QueryTest, CountAndExtent) {
+  QueryWorkloadSpec spec;
+  spec.count = 100;
+  spec.extent_fraction = 0.005;
+  auto queries = GenerateQueries(spec);
+  ASSERT_EQ(queries.size(), 100u);
+  uint32_t extent = uint32_t((uint64_t(spec.domain_max) + 1) * 0.005);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.hi - q.lo, extent);
+    EXPECT_LE(q.hi, spec.domain_max);
+  }
+}
+
+TEST(QueryTest, Deterministic) {
+  QueryWorkloadSpec spec;
+  spec.seed = 5;
+  auto a = GenerateQueries(spec);
+  auto b = GenerateQueries(spec);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lo, b[i].lo);
+    EXPECT_EQ(a[i].hi, b[i].hi);
+  }
+}
+
+TEST(QueryTest, PlacementCoversDomain) {
+  QueryWorkloadSpec spec;
+  spec.count = 2000;
+  auto queries = GenerateQueries(spec);
+  uint32_t min_lo = UINT32_MAX, max_lo = 0;
+  for (const auto& q : queries) {
+    min_lo = std::min(min_lo, q.lo);
+    max_lo = std::max(max_lo, q.lo);
+  }
+  EXPECT_LT(min_lo, spec.domain_max / 10);
+  EXPECT_GT(max_lo, spec.domain_max * 8ull / 10);
+}
+
+}  // namespace
+}  // namespace sae::workload
