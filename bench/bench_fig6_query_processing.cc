@@ -5,7 +5,7 @@
 // 10 ms per node access.
 //
 // The paper does not state which page accesses the 10 ms charge covers (see
-// DESIGN.md). Both accountings are printed:
+// docs/ARCHITECTURE.md §5.1). Both accountings are printed:
 //   * index-only — index node accesses (the component that differs between
 //     the B+-tree and the lower-fanout MB-tree);
 //   * total      — index nodes plus dataset-file pages (the dataset term is

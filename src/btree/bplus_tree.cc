@@ -1,4 +1,8 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the conventional disk B+-tree (btree/bplus_tree.h): search,
+// insert with splits, delete with borrow/merge, bulk load, and range scans
+// over (key, rid) pairs with duplicate support.
 
 #include "btree/bplus_tree.h"
 

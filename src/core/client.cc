@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements SAE client verification (core/client.h): hash the SP's
+// result, XOR, compare with the TE's token.
 
 #include "core/client.h"
 

@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the data owner (core/data_owner.h): initial shipping and
+// incremental updates to SP and TE (and ADS maintenance under TOM).
 
 #include "core/data_owner.h"
 

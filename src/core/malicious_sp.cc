@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the threat-model mutations (core/malicious_sp.h): drop,
+// inject, and tamper attacks on query results.
 
 #include "core/malicious_sp.h"
 

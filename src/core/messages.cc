@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the wire formats (core/messages.h) serialized across the
+// byte-metered entity channels.
 
 #include "core/messages.h"
 

@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements multi-attribute SAE (core/multi_attr.h): one XB-tree per
+// indexed column sharing the per-record digests.
 
 #include "core/multi_attr.h"
 

@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the service provider (core/service_provider.h): a plain
+// dbms::Table answering range queries with no authentication machinery.
 
 #include "core/service_provider.h"
 

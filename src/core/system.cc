@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the end-to-end SaeSystem and TomSystem harnesses
+// (core/system.h) used by the examples and figure benches.
 
 #include "core/system.h"
 

@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the traditional outsourcing model baseline (core/tom.h):
+// MB-tree ADS at the SP, root signatures from the DO, VO-based queries.
 
 #include "core/tom.h"
 

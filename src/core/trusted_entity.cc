@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the trusted entity (core/trusted_entity.h): XB-tree over
+// <id, key, H(record)> tuples answering queries with the 20-byte VT.
 
 #include "core/trusted_entity.h"
 

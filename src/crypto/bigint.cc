@@ -1,4 +1,8 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements BigInt (crypto/bigint.h): schoolbook multiply, Knuth
+// Algorithm D division, square-and-multiply modular exponentiation, and
+// Miller-Rabin prime generation for RSA key sizes.
 
 #include "crypto/bigint.h"
 

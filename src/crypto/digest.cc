@@ -1,4 +1,8 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the 20-byte Digest type (crypto/digest.h): hashing records
+// under the selected scheme (SHA-1, or SHA-256 truncated to 20 bytes),
+// XOR folding, and Merkle-style child-digest combination.
 
 #include "crypto/digest.h"
 

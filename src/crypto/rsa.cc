@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements RSA (crypto/rsa.h): keygen with e = 65537 over BigInt
+// primes, and EMSA-PKCS#1 v1.5 sign/verify on SHA-1 digests.
 
 #include "crypto/rsa.h"
 

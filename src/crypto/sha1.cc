@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the SHA-1 compression function and streaming interface
+// (crypto/sha1.h) per FIPS 180-4.
 
 #include "crypto/sha1.h"
 

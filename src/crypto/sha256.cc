@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the SHA-256 compression function and streaming interface
+// (crypto/sha256.h) per FIPS 180-4.
 
 #include "crypto/sha256.h"
 

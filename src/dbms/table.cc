@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements Table (dbms/table.h): heap-file storage plus B+-tree index
+// with separate buffer pools, range queries, updates, and snapshot/reopen.
 
 #include "dbms/table.h"
 

@@ -4,7 +4,7 @@
 // fixed-size records plus a plain B+-tree on the query attribute. Index and
 // dataset pages live in *separate* buffer pools so experiments can account
 // index node accesses and dataset-page fetches independently (see the Fig. 6
-// cost-accounting note in DESIGN.md).
+// cost-accounting note in docs/ARCHITECTURE.md §5.1).
 
 #ifndef SAE_DBMS_TABLE_H_
 #define SAE_DBMS_TABLE_H_

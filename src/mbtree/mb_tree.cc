@@ -1,4 +1,8 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the Merkle B-tree (mbtree/mb_tree.h): B+-tree maintenance with
+// per-entry digests recomputed along every root path, plus the range-search
+// hooks VO construction traverses.
 
 #include "mbtree/mb_tree.h"
 

@@ -1,4 +1,8 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the TOM verification object (mbtree/vo.h): VO construction at
+// the SP (boundary records + sibling digests) and the client-side replay
+// that rebuilds the signed root digest.
 
 #include "mbtree/vo.h"
 

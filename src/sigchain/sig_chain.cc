@@ -1,4 +1,8 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements signature chaining (sigchain/sig_chain.h): per-record chain
+// hashes binding key-order neighbours, RSA-signed by the data owner, with
+// range-query proofs and client verification.
 
 #include "sigchain/sig_chain.h"
 

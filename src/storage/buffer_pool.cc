@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the LRU BufferPool (storage/buffer_pool.h) and its logical
+// node-access / frame-miss counters — the paper's cost instrumentation.
 
 #include "storage/buffer_pool.h"
 

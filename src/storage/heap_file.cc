@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements HeapFile (storage/heap_file.h): fixed-size record slots on
+// 4096-byte pages with free-slot reuse and snapshot/restore.
 
 #include "storage/heap_file.h"
 

@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the PageStore backends (storage/page_store.h): the heap-backed
+// InMemoryPageStore and the file-backed FilePageStore.
 
 #include "storage/page_store.h"
 

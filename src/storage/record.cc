@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements Record serialization (storage/record.h): the canonical binary
+// layout that record digests are computed over.
 
 #include "storage/record.h"
 

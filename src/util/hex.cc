@@ -1,4 +1,6 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the lowercase hex codec declared in util/hex.h.
 
 #include "util/hex.h"
 

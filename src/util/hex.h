@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Lowercase hex codec for digests and test golden values; the inverse
+// pair HexEncode/HexDecode round-trips arbitrary byte strings.
 
 #ifndef SAE_UTIL_HEX_H_
 #define SAE_UTIL_HEX_H_

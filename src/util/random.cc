@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the xoshiro256** PRNG (util/random.h): splitmix64 seeding,
+// NextBounded without modulo bias.
 
 #include "util/random.h"
 

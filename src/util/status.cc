@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements Status/Result (util/status.h): status-code names and the
+// human-readable ToString used by SAE_CHECK_OK failure messages.
 
 #include "util/status.h"
 

@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the bucketed Zipf sampler (util/zipf.h) with the Gray et al.
+// quantile approximation for the paper's SKW key distribution.
 
 #include "util/zipf.h"
 

@@ -1,4 +1,6 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the UNF/SKW dataset generators (workload/dataset.h).
 
 #include "workload/dataset.h"
 

@@ -1,4 +1,7 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the fixed-extent uniform range-query workload
+// (workload/queries.h).
 
 #include "workload/queries.h"
 

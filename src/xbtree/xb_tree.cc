@@ -1,4 +1,8 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the XB-tree (xbtree/xb_tree.h): keyed nodes with running XOR
+// summaries, duplicate lists chunked into shared slab pages, O(log n)
+// GenerateVT, and insert/delete with X-value maintenance.
 
 #include "xbtree/xb_tree.h"
 

@@ -20,7 +20,7 @@
 // keys), contradicting the paper's Fig. 8 where the TE footprint is minor;
 // we therefore store duplicate lists as fixed-size chunks packed into shared
 // slab pages — same content and asymptotics, realistic space (see
-// DESIGN.md §2).
+// docs/ARCHITECTURE.md §5.2).
 //
 // Page formats (4096-byte pages):
 //   node page : [magic u32][is_leaf u8][pad u8][count u16][rsvd u64]

@@ -224,7 +224,7 @@ TEST(ZipfTest, ThetaZeroDegeneratesTowardUniform) {
 // (P(rank i) ~ 1/i^0.8 over 1000 buckets) the exact figure is ~65%, and no
 // bucket count reaches 77% at theta = 0.8 (the limit is 0.2^0.2 = 72.5%).
 // We pin our generator's true behaviour here and document the delta in
-// EXPERIMENTS.md; the qualitative skew the SKW experiments rely on (dense
+// docs/BENCHMARKS.md; the qualitative skew the SKW experiments rely on (dense
 // low-domain region, sparse tail) is unaffected.
 TEST(ZipfTest, SkewConcentration) {
   constexpr uint32_t kDomainMax = 10'000'000;

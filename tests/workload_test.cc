@@ -79,7 +79,7 @@ TEST(DatasetTest, SkewConcentratesKeys) {
   }
   // Standard Zipf(0.8) concentrates ~65% of the keys in the lowest 20% of
   // the domain (the paper quotes 77%; see the note in util_test.cc and
-  // EXPERIMENTS.md).
+  // docs/BENCHMARKS.md).
   double fraction = double(low) / double(records.size());
   EXPECT_GT(fraction, 0.60);
   EXPECT_LT(fraction, 0.72);
