@@ -29,14 +29,15 @@ int main() {
     core::ServiceProvider sp(options);
     SAE_CHECK_OK(sp.LoadDataset(dataset));
 
-    sp.ResetStats();
+    auto idx0 = sp.index_pool_stats();
+    auto heap0 = sp.heap_pool_stats();
     for (const auto& q : queries) {
       SAE_CHECK(sp.ExecuteRange(q.lo, q.hi).ok());
     }
-    uint64_t accesses =
-        sp.index_pool_stats().accesses + sp.heap_pool_stats().accesses;
-    uint64_t misses =
-        sp.index_pool_stats().misses + sp.heap_pool_stats().misses;
+    auto idx = sp.index_pool_stats() - idx0;
+    auto heap = sp.heap_pool_stats() - heap0;
+    uint64_t accesses = idx.accesses + heap.accesses;
+    uint64_t misses = idx.misses + heap.misses;
     std::printf("%12zu %11llu %11llu %10.1f%%\n", pool_pages,
                 (unsigned long long)accesses, (unsigned long long)misses,
                 100.0 * double(misses) / double(accesses));

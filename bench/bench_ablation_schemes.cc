@@ -33,18 +33,18 @@ int main() {
   {
     auto sp = BuildSaeSp(dataset);
     auto te = BuildTe(dataset);
-    uint64_t auth = 0, idx = 0;
+    uint64_t auth = 0;
     double verify_ms = 0;
+    auto idx0 = sp->index_pool_stats();
     for (const auto& q : queries) {
-      sp->ResetStats();
       auto results = sp->ExecuteRange(q.lo, q.hi).ValueOrDie();
       auto vt = te->GenerateVt(q.lo, q.hi).ValueOrDie();
-      idx += sp->index_pool_stats().accesses;
       auth += core::SerializeVt(vt).size();
       sim::Stopwatch watch;
       SAE_CHECK(core::Client::VerifyResult(results, vt, codec).ok());
       verify_ms += watch.ElapsedMs();
     }
+    uint64_t idx = (sp->index_pool_stats() - idx0).accesses;
     std::printf("  %-22s %14.0f %14.1f %14.2f %14.2f\n", "SAE (this paper)",
                 double(auth) / nq, cost.AccessCostMs(idx) / nq,
                 (sp->IndexStorageBytes() + te->StorageBytes()) / 1048576.0,
@@ -55,12 +55,11 @@ int main() {
   // --- TOM ---
   {
     TomSpBundle tom = BuildTomSp(dataset);
-    uint64_t auth = 0, idx = 0;
+    uint64_t auth = 0;
     double verify_ms = 0;
+    auto idx0 = tom.sp->index_pool_stats();
     for (const auto& q : queries) {
-      tom.sp->ResetStats();
       auto response = tom.sp->ExecuteRange(q.lo, q.hi).ValueOrDie();
-      idx += tom.sp->index_pool_stats().accesses;
       auth += response.vo.Serialize().size();
       sim::Stopwatch watch;
       SAE_CHECK(core::TomClient::Verify(q.lo, q.hi, response.results,
@@ -68,6 +67,7 @@ int main() {
                     .ok());
       verify_ms += watch.ElapsedMs();
     }
+    uint64_t idx = (tom.sp->index_pool_stats() - idx0).accesses;
     std::printf("  %-22s %14.0f %14.1f %14.2f %14.2f\n", "TOM (MB-tree VO)",
                 double(auth) / nq, cost.AccessCostMs(idx) / nq,
                 tom.sp->IndexStorageBytes() / 1048576.0, verify_ms / nq);
@@ -86,12 +86,11 @@ int main() {
     sigchain::SigChainSp sp(sp_options);
     SAE_CHECK_OK(sp.LoadDataset(dataset, sigs, owner.public_key()));
 
-    uint64_t auth = 0, idx = 0;
+    uint64_t auth = 0;
     double verify_ms = 0;
+    auto idx0 = sp.index_pool_stats();
     for (const auto& q : queries) {
-      sp.ResetStats();
       auto response = sp.ExecuteRange(q.lo, q.hi).ValueOrDie();
-      idx += sp.index_pool_stats().accesses;
       auth += response.vo.Serialize().size();
       sim::Stopwatch watch;
       SAE_CHECK(sigchain::SigChainClient::Verify(q.lo, q.hi,
@@ -101,6 +100,7 @@ int main() {
                     .ok());
       verify_ms += watch.ElapsedMs();
     }
+    uint64_t idx = (sp.index_pool_stats() - idx0).accesses;
     std::printf("  %-22s %14.0f %14.1f %14.2f %14.2f\n",
                 "SigChain (Condensed)", double(auth) / nq,
                 cost.AccessCostMs(idx) / nq,

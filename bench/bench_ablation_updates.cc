@@ -30,25 +30,27 @@ int main() {
       fresh.push_back(codec.MakeRecord(
           10'000'000 + i, uint32_t(rng.NextBounded(kDomainMax))));
     }
-    te->ResetStats();
+    auto te0 = te->pool_stats();
     for (const auto& r : fresh) SAE_CHECK_OK(te->InsertRecord(r));
     double xb_ins =
-        double(te->pool_stats().accesses) / double(kOps);
-    te->ResetStats();
+        double((te->pool_stats() - te0).accesses) / double(kOps);
+    te0 = te->pool_stats();
     for (const auto& r : fresh) SAE_CHECK_OK(te->DeleteRecord(r.key, r.id));
-    double xb_del = double(te->pool_stats().accesses) / double(kOps);
+    double xb_del = double((te->pool_stats() - te0).accesses) / double(kOps);
 
     // --- MB-tree (TOM SP mirror; the DO repeats this and re-signs) ---
     TomSpBundle tom = BuildTomSp(dataset, 512);
-    tom.sp->ResetStats();
+    auto idx0 = tom.sp->index_pool_stats();
+    auto heap0 = tom.sp->heap_pool_stats();
     for (const auto& r : fresh) SAE_CHECK_OK(tom.sp->ApplyInsert(r, {}));
-    double mb_ins = double(tom.sp->index_pool_stats().accesses +
-                           tom.sp->heap_pool_stats().accesses) /
+    double mb_ins = double((tom.sp->index_pool_stats() - idx0).accesses +
+                           (tom.sp->heap_pool_stats() - heap0).accesses) /
                     double(kOps);
-    tom.sp->ResetStats();
+    idx0 = tom.sp->index_pool_stats();
+    heap0 = tom.sp->heap_pool_stats();
     for (const auto& r : fresh) SAE_CHECK_OK(tom.sp->ApplyDelete(r.id, {}));
-    double mb_del = double(tom.sp->index_pool_stats().accesses +
-                           tom.sp->heap_pool_stats().accesses) /
+    double mb_del = double((tom.sp->index_pool_stats() - idx0).accesses +
+                           (tom.sp->heap_pool_stats() - heap0).accesses) /
                     double(kOps);
 
     std::printf("%10zu %8.1f %8.1f %8.1f %8.1f\n", n, xb_ins, xb_del, mb_ins,

@@ -35,26 +35,28 @@ int main() {
       {
         auto sp = BuildSaeSp(dataset);
         auto te = BuildTe(dataset);
+        auto idx0 = sp->index_pool_stats();
+        auto heap0 = sp->heap_pool_stats();
+        auto te0 = te->pool_stats();
         for (const auto& q : queries) {
-          sp->ResetStats();
-          te->ResetStats();
           SAE_CHECK(sp->ExecuteRange(q.lo, q.hi).ok());
           SAE_CHECK(te->GenerateVt(q.lo, q.hi).ok());
-          sae_idx += sp->index_pool_stats().accesses;
-          sae_heap += sp->heap_pool_stats().accesses;
-          te_acc += te->pool_stats().accesses;
         }
+        sae_idx = (sp->index_pool_stats() - idx0).accesses;
+        sae_heap = (sp->heap_pool_stats() - heap0).accesses;
+        te_acc = (te->pool_stats() - te0).accesses;
       }
 
       uint64_t tom_idx = 0, tom_heap = 0;
       {
         TomSpBundle tom = BuildTomSp(dataset);
+        auto idx0 = tom.sp->index_pool_stats();
+        auto heap0 = tom.sp->heap_pool_stats();
         for (const auto& q : queries) {
-          tom.sp->ResetStats();
           SAE_CHECK(tom.sp->ExecuteRange(q.lo, q.hi).ok());
-          tom_idx += tom.sp->index_pool_stats().accesses;
-          tom_heap += tom.sp->heap_pool_stats().accesses;
         }
+        tom_idx = (tom.sp->index_pool_stats() - idx0).accesses;
+        tom_heap = (tom.sp->heap_pool_stats() - heap0).accesses;
       }
 
       double tom_idx_ms = cost.AccessCostMs(tom_idx) / nq;

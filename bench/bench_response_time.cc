@@ -33,16 +33,18 @@ int main() {
         auto sp = BuildSaeSp(dataset);
         auto te = BuildTe(dataset);
         for (const auto& q : queries) {
-          sp->ResetStats();
-          te->ResetStats();
+          auto idx0 = sp->index_pool_stats();
+          auto heap0 = sp->heap_pool_stats();
+          auto te0 = te->pool_stats();
           auto results = sp->ExecuteRange(q.lo, q.hi);
           SAE_CHECK(results.ok());
           auto vt = te->GenerateVt(q.lo, q.hi);
           SAE_CHECK(vt.ok());
 
-          double sp_ms = cost.AccessCostMs(sp->index_pool_stats().accesses +
-                                           sp->heap_pool_stats().accesses);
-          double te_ms = cost.AccessCostMs(te->pool_stats().accesses);
+          double sp_ms =
+              cost.AccessCostMs((sp->index_pool_stats() - idx0).accesses +
+                                (sp->heap_pool_stats() - heap0).accesses);
+          double te_ms = cost.AccessCostMs((te->pool_stats() - te0).accesses);
           size_t result_bytes =
               core::SerializeRecords(results.value(), codec).size();
 
@@ -59,12 +61,13 @@ int main() {
       {
         TomSpBundle tom = BuildTomSp(dataset);
         for (const auto& q : queries) {
-          tom.sp->ResetStats();
+          auto idx0 = tom.sp->index_pool_stats();
+          auto heap0 = tom.sp->heap_pool_stats();
           auto response = tom.sp->ExecuteRange(q.lo, q.hi);
           SAE_CHECK(response.ok());
           double sp_ms =
-              cost.AccessCostMs(tom.sp->index_pool_stats().accesses +
-                                tom.sp->heap_pool_stats().accesses);
+              cost.AccessCostMs((tom.sp->index_pool_stats() - idx0).accesses +
+                                (tom.sp->heap_pool_stats() - heap0).accesses);
           size_t result_bytes =
               core::SerializeRecords(response.value().results, codec).size();
           size_t vo_bytes = response.value().vo.Serialize().size();

@@ -52,8 +52,9 @@ struct BPlusTreeOptions {
   size_t max_internal_keys = 0;
 };
 
-/// Disk-based B+-tree. Not thread-safe (single-writer model, as in the
-/// paper's single-query-at-a-time experiments).
+/// Disk-based B+-tree. Const methods (RangeSearch, Contains, Validate) are
+/// safe to call from many threads over a thread-safe BufferPool; mutations
+/// (single-writer model) require exclusive access to the tree.
 class BPlusTree {
  public:
   /// Creates an empty tree rooted at a fresh leaf page.

@@ -74,9 +74,7 @@ class MultiAttrTrustedEntity {
   std::vector<std::string> AttributeNames() const;
 
   size_t StorageBytes() const;
-  const storage::BufferPool::Stats& pool_stats() const {
-    return pool_.stats();
-  }
+  storage::BufferPool::Stats pool_stats() const { return pool_.stats(); }
   void ResetStats() { pool_.ResetStats(); }
 
  private:

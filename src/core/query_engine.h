@@ -1,0 +1,115 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Multi-threaded batched query engine over the thread-safe read path. The
+// paper argues SAE lets the SP run "as fast as in conventional database
+// systems"; a conventional DBMS serves many clients at once, so this engine
+// accepts a batch of [lo, hi] range queries (optionally each behind a
+// compromised SP), fans them out across a worker-thread pool against the
+// shared SP + TE, verifies each result on the worker that produced it, and
+// reports per-query outcomes plus aggregated costs and throughput.
+//
+// Per-query cost attribution under concurrency uses the buffer pools'
+// per-thread counters (BufferPool::ThreadStats) and per-query channel
+// sessions (sim::Channel::Session): each query runs entirely on one worker
+// thread, so its deltas are exact and the aggregated batch costs equal the
+// sum of the per-query costs.
+
+#ifndef SAE_CORE_QUERY_ENGINE_H_
+#define SAE_CORE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/system.h"
+
+namespace sae::core {
+
+/// One range query in a batch, optionally executed behind a malicious SP.
+struct BatchQuery {
+  Key lo = 0;
+  Key hi = 0;
+  AttackMode attack = AttackMode::kNone;
+};
+
+/// Aggregate measurements over one batch run.
+struct BatchStats {
+  size_t queries = 0;    ///< batch size
+  size_t accepted = 0;   ///< outcomes the client verified successfully
+  size_t rejected = 0;   ///< outcomes the client rejected
+  size_t failed = 0;     ///< queries that errored before verification
+  QueryCosts total;      ///< sum of the per-query costs
+  double wall_ms = 0.0;  ///< wall-clock time for the whole batch
+
+  double QueriesPerSecond() const {
+    return wall_ms > 0.0 ? double(queries) * 1000.0 / wall_ms : 0.0;
+  }
+};
+
+struct QueryEngineOptions {
+  /// Worker threads owned by the engine. 0 = run batches inline on the
+  /// calling thread (no threads are spawned) — what the single-query
+  /// SaeSystem::Query / TomSystem::Query wrappers use.
+  size_t worker_threads = 0;
+};
+
+/// Fans batches of range queries out across a worker pool. The engine is
+/// reusable across batches and systems, but Run() itself is not re-entrant:
+/// issue one batch at a time per engine. The target system must not be
+/// mutated (Insert/Delete/Load) while a batch is in flight.
+class QueryEngine {
+ public:
+  using Options = QueryEngineOptions;
+
+  explicit QueryEngine(const Options& options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  struct SaeBatch {
+    /// One outcome per input query, in input order.
+    std::vector<Result<SaeSystem::QueryOutcome>> outcomes;
+    BatchStats stats;
+  };
+  struct TomBatch {
+    std::vector<Result<TomSystem::QueryOutcome>> outcomes;
+    BatchStats stats;
+  };
+
+  /// Runs the batch to completion against the shared system.
+  SaeBatch Run(SaeSystem* system, const std::vector<BatchQuery>& queries);
+  TomBatch Run(TomSystem* system, const std::vector<BatchQuery>& queries);
+
+  size_t worker_threads() const { return workers_.size(); }
+
+ private:
+  template <typename BatchT, typename System>
+  BatchT RunBatch(System* system, const std::vector<BatchQuery>& queries);
+
+  /// Executes task(0) .. task(count - 1) across the pool (inline when the
+  /// engine owns no workers) and returns when all have completed.
+  void Dispatch(size_t count, const std::function<void(size_t)>& task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  // Job state, guarded by mu_. Workers claim indices under the lock and run
+  // tasks outside it; generation_ distinguishes successive batches.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_size_ = 0;
+  size_t job_next_ = 0;
+  size_t job_done_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_QUERY_ENGINE_H_

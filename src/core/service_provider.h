@@ -43,19 +43,26 @@ class ServiceProvider {
   Status DeleteRecord(RecordId id);
 
   /// Executes the range query and returns the result records in key order.
+  /// Safe to call from many threads concurrently (no concurrent updates).
   Result<std::vector<Record>> ExecuteRange(Key lo, Key hi) const;
 
   const dbms::Table& table() const { return *table_; }
 
-  const storage::BufferPool::Stats& index_pool_stats() const {
+  /// Snapshots of the pools' global counters; diff two snapshots to measure
+  /// the work in between (replaces the racy reset-then-read pattern).
+  storage::BufferPool::Stats index_pool_stats() const {
     return index_pool_.stats();
   }
-  const storage::BufferPool::Stats& heap_pool_stats() const {
+  storage::BufferPool::Stats heap_pool_stats() const {
     return heap_pool_.stats();
   }
-  void ResetStats() {
-    index_pool_.ResetStats();
-    heap_pool_.ResetStats();
+
+  /// Calling-thread-only counters for exact per-query attribution.
+  storage::BufferPool::Stats index_pool_thread_stats() const {
+    return index_pool_.ThreadStats();
+  }
+  storage::BufferPool::Stats heap_pool_thread_stats() const {
+    return heap_pool_.ThreadStats();
   }
 
   size_t IndexStorageBytes() const { return table_->IndexSizeBytes(); }
@@ -67,6 +74,7 @@ class ServiceProvider {
  private:
   storage::InMemoryPageStore index_store_;
   storage::InMemoryPageStore heap_store_;
+  // mutable: const reads fetch pages; the pools lock internally.
   mutable storage::BufferPool index_pool_;
   mutable storage::BufferPool heap_pool_;
   std::unique_ptr<dbms::Table> table_;

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "core/messages.h"
+#include "core/query_engine.h"
 #include "sim/cost_model.h"
 #include "util/macros.h"
 
@@ -44,25 +45,41 @@ Status SaeSystem::Load(const std::vector<Record>& records) {
 
 Result<SaeSystem::QueryOutcome> SaeSystem::Query(Key lo, Key hi,
                                                  AttackMode attack) {
+  QueryEngine engine;  // no workers: the batch of one runs on this thread
+  QueryEngine::SaeBatch batch = engine.Run(this, {BatchQuery{lo, hi, attack}});
+  return std::move(batch.outcomes[0]);
+}
+
+Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(Key lo, Key hi,
+                                                        AttackMode attack) {
   QueryOutcome outcome;
-  sp_.ResetStats();
-  te_.ResetStats();
+  // Per-thread pool counters and per-query channel sessions keep the cost
+  // attribution exact when many queries run concurrently.
+  storage::BufferPool::Stats sp_index0 = sp_.index_pool_thread_stats();
+  storage::BufferPool::Stats sp_heap0 = sp_.heap_pool_thread_stats();
+  storage::BufferPool::Stats te0 = te_.pool_thread_stats();
 
   // Client -> SP: execute; the SP may be compromised.
   SAE_ASSIGN_OR_RETURN(std::vector<Record> honest, sp_.ExecuteRange(lo, hi));
-  outcome.results = ApplyAttack(honest, attack, codec(), attack_seed_++);
+  outcome.results =
+      ApplyAttack(honest, attack, codec(),
+                  attack_seed_.fetch_add(1, std::memory_order_relaxed));
   std::vector<uint8_t> result_msg = SerializeRecords(outcome.results, codec());
-  sp_client_.Send(result_msg);
-  outcome.costs.result_bytes = result_msg.size();
-  outcome.costs.sp_index_accesses = sp_.index_pool_stats().accesses;
-  outcome.costs.sp_heap_accesses = sp_.heap_pool_stats().accesses;
+  sim::Channel::Session sp_session = sp_client_.OpenSession();
+  sp_session.Send(result_msg);
+  outcome.costs.result_bytes = sp_session.bytes();
+  outcome.costs.sp_index_accesses =
+      (sp_.index_pool_thread_stats() - sp_index0).accesses;
+  outcome.costs.sp_heap_accesses =
+      (sp_.heap_pool_thread_stats() - sp_heap0).accesses;
 
   // Client -> TE: verification token (always honest).
   SAE_ASSIGN_OR_RETURN(crypto::Digest vt, te_.GenerateVt(lo, hi));
   std::vector<uint8_t> vt_msg = SerializeVt(vt);
-  te_client_.Send(vt_msg);
-  outcome.costs.auth_bytes = vt_msg.size();
-  outcome.costs.te_accesses = te_.pool_stats().accesses;
+  sim::Channel::Session te_session = te_client_.OpenSession();
+  te_session.Send(vt_msg);
+  outcome.costs.auth_bytes = te_session.bytes();
+  outcome.costs.te_accesses = (te_.pool_thread_stats() - te0).accesses;
 
   // Client: decode and verify.
   SAE_ASSIGN_OR_RETURN(std::vector<Record> received,
@@ -109,23 +126,35 @@ Status TomSystem::Load(const std::vector<Record>& records) {
 
 Result<TomSystem::QueryOutcome> TomSystem::Query(Key lo, Key hi,
                                                  AttackMode attack) {
+  QueryEngine engine;  // no workers: the batch of one runs on this thread
+  QueryEngine::TomBatch batch = engine.Run(this, {BatchQuery{lo, hi, attack}});
+  return std::move(batch.outcomes[0]);
+}
+
+Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(Key lo, Key hi,
+                                                        AttackMode attack) {
   QueryOutcome outcome;
-  sp_.ResetStats();
+  storage::BufferPool::Stats sp_index0 = sp_.index_pool_thread_stats();
+  storage::BufferPool::Stats sp_heap0 = sp_.heap_pool_thread_stats();
 
   SAE_ASSIGN_OR_RETURN(TomServiceProvider::QueryResponse response,
                        sp_.ExecuteRange(lo, hi));
   outcome.results =
-      ApplyAttack(response.results, attack, codec_, attack_seed_++);
+      ApplyAttack(response.results, attack, codec_,
+                  attack_seed_.fetch_add(1, std::memory_order_relaxed));
   outcome.vo = std::move(response.vo);
 
   std::vector<uint8_t> result_msg = SerializeRecords(outcome.results, codec_);
   std::vector<uint8_t> vo_msg = outcome.vo.Serialize();
-  sp_client_.Send(result_msg);
-  sp_client_.Send(vo_msg);
-  outcome.costs.result_bytes = result_msg.size();
-  outcome.costs.auth_bytes = vo_msg.size();
-  outcome.costs.sp_index_accesses = sp_.index_pool_stats().accesses;
-  outcome.costs.sp_heap_accesses = sp_.heap_pool_stats().accesses;
+  sim::Channel::Session session = sp_client_.OpenSession();
+  session.Send(result_msg);
+  outcome.costs.result_bytes = session.bytes();
+  session.Send(vo_msg);
+  outcome.costs.auth_bytes = session.bytes() - outcome.costs.result_bytes;
+  outcome.costs.sp_index_accesses =
+      (sp_.index_pool_thread_stats() - sp_index0).accesses;
+  outcome.costs.sp_heap_accesses =
+      (sp_.heap_pool_thread_stats() - sp_heap0).accesses;
 
   SAE_ASSIGN_OR_RETURN(std::vector<Record> received,
                        DeserializeRecords(result_msg, codec_));

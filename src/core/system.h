@@ -8,6 +8,7 @@
 #ifndef SAE_CORE_SYSTEM_H_
 #define SAE_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,17 @@ struct QueryCosts {
   size_t result_bytes = 0;   ///< result traffic (excluded from Fig. 5)
   double client_verify_ms = 0.0;  ///< wall-clock client verification time
 };
+
+/// Component-wise accumulation — per-query costs compose into batch totals.
+inline QueryCosts& operator+=(QueryCosts& a, const QueryCosts& b) {
+  a.sp_index_accesses += b.sp_index_accesses;
+  a.sp_heap_accesses += b.sp_heap_accesses;
+  a.te_accesses += b.te_accesses;
+  a.auth_bytes += b.auth_bytes;
+  a.result_bytes += b.result_bytes;
+  a.client_verify_ms += b.client_verify_ms;
+  return a;
+}
 
 struct SaeSystemOptions {
   size_t record_size = storage::kDefaultRecordSize;
@@ -58,10 +70,21 @@ class SaeSystem {
   };
 
   /// Client issues [lo, hi] to SP and TE simultaneously and verifies.
+  /// Routed through a batch-of-one QueryEngine; for multi-query load build
+  /// a core::QueryEngine with worker threads and pass it a batch.
   Result<QueryOutcome> Query(Key lo, Key hi,
                              AttackMode attack = AttackMode::kNone);
 
-  /// DO-side updates, propagated to SP and TE.
+  /// The thread-safe single-query operation QueryEngine workers invoke:
+  /// runs SP execution, TE token generation, and client verification
+  /// entirely on the calling thread, attributing costs via per-thread pool
+  /// counters and per-query channel sessions. Many threads may call this
+  /// concurrently; updates (Insert/Delete/Load) require exclusive access.
+  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
+                                    AttackMode attack = AttackMode::kNone);
+
+  /// DO-side updates, propagated to SP and TE. Exclusive: do not run
+  /// concurrently with queries.
   Status Insert(const Record& record);
   Status Delete(RecordId id);
 
@@ -83,7 +106,7 @@ class SaeSystem {
   sim::Channel do_te_{"DO->TE"};
   sim::Channel sp_client_{"SP->Client"};
   sim::Channel te_client_{"TE->Client"};
-  uint64_t attack_seed_ = 0xBADC0DE;
+  std::atomic<uint64_t> attack_seed_{0xBADC0DE};
 };
 
 struct TomSystemOptions {
@@ -112,10 +135,16 @@ class TomSystem {
     QueryCosts costs;
   };
 
+  /// Routed through a batch-of-one QueryEngine, like SaeSystem::Query.
   Result<QueryOutcome> Query(Key lo, Key hi,
                              AttackMode attack = AttackMode::kNone);
 
+  /// Thread-safe single-query operation (see SaeSystem::ExecuteQuery).
+  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
+                                    AttackMode attack = AttackMode::kNone);
+
   /// Updates flow DO -> SP together with a fresh root signature.
+  /// Exclusive: do not run concurrently with queries.
   Status Insert(const Record& record);
   Status Delete(RecordId id);
 
@@ -132,7 +161,7 @@ class TomSystem {
   TomServiceProvider sp_;
   sim::Channel do_sp_{"DO->SP"};
   sim::Channel sp_client_{"SP->Client"};
-  uint64_t attack_seed_ = 0xBADC0DE;
+  std::atomic<uint64_t> attack_seed_{0xBADC0DE};
 };
 
 }  // namespace sae::core

@@ -144,7 +144,7 @@ Status TomServiceProvider::ApplyDelete(RecordId id,
 }
 
 Result<TomServiceProvider::QueryResponse> TomServiceProvider::ExecuteRange(
-    Key lo, Key hi) {
+    Key lo, Key hi) const {
   QueryResponse response;
 
   // Traversal 1: locate and fetch the result records (each dataset page

@@ -103,20 +103,27 @@ class TomServiceProvider {
     mbtree::VerificationObject vo;        // includes the root signature
   };
 
-  /// Executes the range query and constructs the VO (paper §I).
-  Result<QueryResponse> ExecuteRange(Key lo, Key hi);
+  /// Executes the range query and constructs the VO (paper §I). Safe to
+  /// call from many threads concurrently (no concurrent updates).
+  Result<QueryResponse> ExecuteRange(Key lo, Key hi) const;
 
   const mbtree::MbTree& ads() const { return *mb_; }
 
-  const storage::BufferPool::Stats& index_pool_stats() const {
+  /// Snapshots of the pools' global counters; diff two snapshots to measure
+  /// the work in between (replaces the racy reset-then-read pattern).
+  storage::BufferPool::Stats index_pool_stats() const {
     return index_pool_.stats();
   }
-  const storage::BufferPool::Stats& heap_pool_stats() const {
+  storage::BufferPool::Stats heap_pool_stats() const {
     return heap_pool_.stats();
   }
-  void ResetStats() {
-    index_pool_.ResetStats();
-    heap_pool_.ResetStats();
+
+  /// Calling-thread-only counters for exact per-query attribution.
+  storage::BufferPool::Stats index_pool_thread_stats() const {
+    return index_pool_.ThreadStats();
+  }
+  storage::BufferPool::Stats heap_pool_thread_stats() const {
+    return heap_pool_.ThreadStats();
   }
 
   size_t IndexStorageBytes() const { return mb_->SizeBytes(); }
@@ -130,6 +137,7 @@ class TomServiceProvider {
   RecordCodec codec_;
   storage::InMemoryPageStore index_store_;
   storage::InMemoryPageStore heap_store_;
+  // The pools lock internally; const reads fetch pages via stored pointers.
   storage::BufferPool index_pool_;
   storage::BufferPool heap_pool_;
   storage::HeapFile heap_;

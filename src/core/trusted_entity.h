@@ -51,14 +51,21 @@ class TrustedEntity {
   Status DeleteRecord(Key key, RecordId id);
 
   /// Produces the verification token for [lo, hi] — two O(log n) tree
-  /// traversals, independent of the result size.
+  /// traversals, independent of the result size. Safe to call from many
+  /// threads concurrently (no concurrent Insert/Delete/Load).
   Result<crypto::Digest> GenerateVt(Key lo, Key hi) const;
 
   const xbtree::XbTree& xb_tree() const { return *xb_; }
-  const storage::BufferPool::Stats& pool_stats() const {
-    return pool_.stats();
+
+  /// Snapshot of the pool's global counters; diff two snapshots to measure
+  /// the work in between (replaces the racy reset-then-read pattern).
+  storage::BufferPool::Stats pool_stats() const { return pool_.stats(); }
+
+  /// Counters for fetches made by the calling thread only — exact per-query
+  /// attribution when each query runs on one worker thread.
+  storage::BufferPool::Stats pool_thread_stats() const {
+    return pool_.ThreadStats();
   }
-  void ResetStats() { pool_.ResetStats(); }
 
   /// Total storage footprint (XB-Tree nodes + duplicate pages).
   size_t StorageBytes() const { return xb_->SizeBytes(); }
@@ -69,6 +76,7 @@ class TrustedEntity {
   Options options_;
   RecordCodec codec_;
   storage::InMemoryPageStore store_;
+  // mutable: const reads fetch pages; the pool locks internally.
   mutable storage::BufferPool pool_;
   std::unique_ptr<xbtree::XbTree> xb_;
 };

@@ -603,7 +603,7 @@ Result<std::optional<MbEntry>> MbTree::Successor(Key hi) const {
 Status MbTree::BuildVoRec(PageId page, Key lo, Key hi,
                           const std::optional<MbEntry>& left_boundary,
                           const std::optional<MbEntry>& right_boundary,
-                          const RecordFetcher& fetch, VoNode* out) {
+                          const RecordFetcher& fetch, VoNode* out) const {
   SAE_ASSIGN_OR_RETURN(Node node, LoadNode(page));
   out->is_leaf = node.is_leaf;
 
@@ -656,7 +656,7 @@ Status MbTree::BuildVoRec(PageId page, Key lo, Key hi,
 }
 
 Result<VerificationObject> MbTree::BuildVo(Key lo, Key hi,
-                                           const RecordFetcher& fetch) {
+                                           const RecordFetcher& fetch) const {
   if (lo > hi) return Status::InvalidArgument("lo > hi");
   SAE_ASSIGN_OR_RETURN(auto left_boundary, Predecessor(lo));
   SAE_ASSIGN_OR_RETURN(auto right_boundary, Successor(hi));

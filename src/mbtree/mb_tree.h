@@ -54,7 +54,9 @@ struct MbTreeOptions {
 };
 
 /// Merkle B+-tree. Same structural behaviour as btree::BPlusTree plus digest
-/// maintenance on every mutation. Not thread-safe.
+/// maintenance on every mutation. Const methods (RangeSearch, BuildVo,
+/// Validate) are safe to call from many threads over a thread-safe
+/// BufferPool; mutations require exclusive access to the tree.
 class MbTree {
  public:
   static Result<std::unique_ptr<MbTree>> Create(
@@ -80,7 +82,7 @@ class MbTree {
   /// Builds the covering-subtree VO for [lo, hi] (paper §I). The signature
   /// field is left empty; the SP attaches the DO's current root signature.
   Result<VerificationObject> BuildVo(Key lo, Key hi,
-                                     const RecordFetcher& fetch);
+                                     const RecordFetcher& fetch) const;
 
   /// Current root digest (the value the DO signs).
   const crypto::Digest& root_digest() const { return root_digest_; }
@@ -153,7 +155,7 @@ class MbTree {
   Status BuildVoRec(PageId page, Key lo, Key hi,
                     const std::optional<MbEntry>& left_boundary,
                     const std::optional<MbEntry>& right_boundary,
-                    const RecordFetcher& fetch, VoNode* out);
+                    const RecordFetcher& fetch, VoNode* out) const;
 
   Status ValidateRec(PageId page, size_t depth, std::optional<Key> lo,
                      std::optional<Key> hi, size_t* leaf_depth,

@@ -143,10 +143,10 @@ class SigChainSp {
   }
   size_t SignatureStorageBytes() const { return sig_heap_.SizeBytes(); }
 
-  const storage::BufferPool::Stats& index_pool_stats() const {
+  storage::BufferPool::Stats index_pool_stats() const {
     return index_pool_.stats();
   }
-  const storage::BufferPool::Stats& heap_pool_stats() const {
+  storage::BufferPool::Stats heap_pool_stats() const {
     return heap_pool_.stats();
   }
   void ResetStats() {

@@ -3,10 +3,17 @@
 // Byte-metered message channels between the outsourcing entities. Every
 // protocol message is serialized before "transmission", so the meter reports
 // genuine wire sizes — the quantity Fig. 5 plots.
+//
+// Concurrency: the global meters are atomic, so any number of concurrent
+// queries may Send() on a shared channel. Per-query cost accounting goes
+// through a Session — a private view whose counters only the owning query
+// touches — so concurrent queries can each read back their own traffic
+// without racing on (or resetting) the shared totals.
 
 #ifndef SAE_SIM_CHANNEL_H_
 #define SAE_SIM_CHANNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,33 +23,65 @@ namespace sae::sim {
 /// Unidirectional metered channel.
 class Channel {
  public:
+  /// A per-query (or per-client) view over a shared channel. Sends are
+  /// metered into both the channel's global counters and this session's
+  /// private ones; `bytes()`/`messages()` report only this session's
+  /// traffic. Not itself shareable across threads — open one per query.
+  class Session {
+   public:
+    void Send(const std::vector<uint8_t>& bytes) { SendBytes(bytes.size()); }
+
+    void SendBytes(size_t n) {
+      channel_->SendBytes(n);
+      bytes_ += n;
+      ++messages_;
+    }
+
+    uint64_t bytes() const { return bytes_; }
+    uint64_t messages() const { return messages_; }
+    const Channel& channel() const { return *channel_; }
+
+   private:
+    friend class Channel;
+    explicit Session(Channel* channel) : channel_(channel) {}
+
+    Channel* channel_;
+    uint64_t bytes_ = 0;
+    uint64_t messages_ = 0;
+  };
+
   explicit Channel(std::string name) : name_(std::move(name)) {}
 
-  /// "Transmits" a serialized message, accumulating its size.
-  void Send(const std::vector<uint8_t>& bytes) {
-    total_bytes_ += bytes.size();
-    ++messages_;
+  /// "Transmits" a serialized message, accumulating its size. Thread-safe.
+  void Send(const std::vector<uint8_t>& bytes) { SendBytes(bytes.size()); }
+
+  /// Meters an out-of-band payload given only its size. Thread-safe.
+  void SendBytes(size_t n) {
+    total_bytes_.fetch_add(n, std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Meters an out-of-band payload given only its size.
-  void SendBytes(size_t n) {
-    total_bytes_ += n;
-    ++messages_;
-  }
+  /// Opens a session view for one query's traffic.
+  Session OpenSession() { return Session(this); }
 
   const std::string& name() const { return name_; }
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t messages() const { return messages_; }
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
 
+  /// Zeroes the global meters. Do not call while other threads send.
   void Reset() {
-    total_bytes_ = 0;
-    messages_ = 0;
+    total_bytes_.store(0, std::memory_order_relaxed);
+    messages_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::string name_;
-  uint64_t total_bytes_ = 0;
-  uint64_t messages_ = 0;
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> messages_{0};
 };
 
 }  // namespace sae::sim

@@ -2,12 +2,25 @@
 //
 // Implements the LRU BufferPool (storage/buffer_pool.h) and its logical
 // node-access / frame-miss counters — the paper's cost instrumentation.
+// One mutex guards all frame bookkeeping; counters are atomic and also
+// mirrored into per-thread slots so workers can attribute accesses to the
+// query they are running without touching shared mutable state.
 
 #include "storage/buffer_pool.h"
 
 #include "util/macros.h"
 
 namespace sae::storage {
+
+namespace {
+
+// Per-(thread, pool) counters, keyed by pool address. Entries of destroyed
+// pools are never erased; callers only consume snapshot *deltas*, so a
+// stale base value from a recycled address cancels out.
+thread_local std::unordered_map<const void*, BufferPool::Stats>
+    t_pool_stats;
+
+}  // namespace
 
 BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
@@ -48,7 +61,49 @@ BufferPool::BufferPool(PageStore* store, size_t capacity)
 
 BufferPool::~BufferPool() { SAE_CHECK_OK(FlushAll()); }
 
+void BufferPool::CountAccess(bool miss) {
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  Stats& tls = t_pool_stats[this];
+  ++tls.accesses;
+  if (miss) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++tls.misses;
+  }
+}
+
+void BufferPool::CountEviction() {
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  ++t_pool_stats[this].evictions;
+}
+
+void BufferPool::CountAllocation() {
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  ++t_pool_stats[this].allocations;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.accesses = accesses_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+BufferPool::Stats BufferPool::ThreadStats() const {
+  auto it = t_pool_stats.find(this);
+  return it == t_pool_stats.end() ? Stats{} : it->second;
+}
+
+void BufferPool::ResetStats() {
+  accesses_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  allocations_.store(0, std::memory_order_relaxed);
+}
+
 void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame];
   SAE_CHECK(f.in_use && f.pin_count > 0);
   if (--f.pin_count == 0) {
@@ -58,7 +113,7 @@ void BufferPool::Unpin(size_t frame) {
   }
 }
 
-Result<size_t> BufferPool::GrabFrame() {
+Result<size_t> BufferPool::GrabFrame(bool* evicted) {
   if (!free_frames_.empty()) {
     size_t frame = free_frames_.back();
     free_frames_.pop_back();
@@ -77,57 +132,71 @@ Result<size_t> BufferPool::GrabFrame() {
   table_.erase(f.id);
   f.in_use = false;
   f.dirty = false;
-  ++stats_.evictions;
+  *evicted = true;
   return victim;
 }
 
 Result<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
-  ++stats_.accesses;
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pin_count == 0 && f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+  bool miss = false;
+  bool evicted = false;
+  Result<PageRef> result = [&]() -> Result<PageRef> {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(id);
+    if (it != table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.pin_count == 0 && f.in_lru) {
+        lru_.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      ++f.pin_count;
+      return PageRef(this, it->second, id);
     }
-    ++f.pin_count;
-    return PageRef(this, it->second, id);
-  }
 
-  ++stats_.misses;
-  SAE_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
-  Frame& f = frames_[frame];
-  Status st = store_->Read(id, &f.page);
-  if (!st.ok()) {
-    free_frames_.push_back(frame);
-    return st;
-  }
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.in_use = true;
-  f.in_lru = false;
-  table_[id] = frame;
-  return PageRef(this, frame, id);
+    miss = true;
+    SAE_ASSIGN_OR_RETURN(size_t frame, GrabFrame(&evicted));
+    Frame& f = frames_[frame];
+    Status st = store_->Read(id, &f.page);
+    if (!st.ok()) {
+      free_frames_.push_back(frame);
+      return st;
+    }
+    f.id = id;
+    f.pin_count = 1;
+    f.dirty = false;
+    f.in_use = true;
+    f.in_lru = false;
+    table_[id] = frame;
+    return PageRef(this, frame, id);
+  }();
+  CountAccess(miss);
+  if (evicted) CountEviction();
+  return result;
 }
 
 Result<BufferPool::PageRef> BufferPool::New() {
-  ++stats_.accesses;
-  ++stats_.allocations;
-  SAE_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
-  SAE_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
-  Frame& f = frames_[frame];
-  f.page.Zero();
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = true;
-  f.in_use = true;
-  f.in_lru = false;
-  table_[id] = frame;
-  return PageRef(this, frame, id);
+  bool evicted = false;
+  Result<PageRef> result = [&]() -> Result<PageRef> {
+    std::lock_guard<std::mutex> lock(mu_);
+    SAE_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+    SAE_ASSIGN_OR_RETURN(size_t frame, GrabFrame(&evicted));
+    Frame& f = frames_[frame];
+    f.page.Zero();
+    f.id = id;
+    f.pin_count = 1;
+    f.dirty = true;
+    f.in_use = true;
+    f.in_lru = false;
+    table_[id] = frame;
+    return PageRef(this, frame, id);
+  }();
+  CountAccess(/*miss=*/false);
+  CountAllocation();
+  if (evicted) CountEviction();
+  return result;
 }
 
 Status BufferPool::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(id);
   if (it != table_.end()) {
     Frame& f = frames_[it->second];
@@ -147,6 +216,7 @@ Status BufferPool::Free(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.in_use && f.dirty) {
       SAE_RETURN_NOT_OK(store_->Write(f.id, f.page));

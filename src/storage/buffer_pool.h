@@ -5,12 +5,26 @@
 // paper's cost unit (10 ms each). `Stats::accesses` counts every logical
 // fetch (what the paper charges); `Stats::misses` counts frame faults, which
 // the buffer-capacity ablation uses.
+//
+// Concurrency: the pool is safe for any number of concurrent readers (and
+// for readers concurrent with a single writer touching disjoint pages). An
+// internal mutex guards the frame table / LRU / pin counts, counters are
+// atomic, and `stats()` returns a consistent snapshot instead of a racy
+// reference. Per-thread counters (`ThreadStats()`) let a worker attribute
+// node accesses to the query it is executing without racing other workers;
+// callers diff two snapshots, so the counters themselves never need
+// resetting. Page *contents* are protected by the pin discipline: a pinned
+// frame is never evicted or reused, so `PageRef::Get()` may read it without
+// the mutex; writers (`Mutable()`) require that no other thread holds a ref
+// to the same page.
 
 #ifndef SAE_STORAGE_BUFFER_POOL_H_
 #define SAE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,11 +37,33 @@ namespace sae::storage {
 /// Pins pages in memory and evicts least-recently-used unpinned frames.
 class BufferPool {
  public:
+  /// A snapshot of the pool's counters. Obtain via `stats()` (all threads)
+  /// or `ThreadStats()` (calling thread only) and diff two snapshots to
+  /// measure the work in between. Each field is individually exact
+  /// (relaxed atomics); a `stats()` snapshot taken while workers are mid-
+  /// fetch is not cross-field consistent — snapshot quiescent pools when
+  /// ratios between fields matter.
   struct Stats {
     uint64_t accesses = 0;   // logical page fetches (hits + misses)
     uint64_t misses = 0;     // fetches that had to read the store
     uint64_t evictions = 0;  // frames written back / dropped to make room
     uint64_t allocations = 0;  // new pages created through the pool
+
+    /// Component-wise delta: the cost of the work between two snapshots.
+    friend Stats operator-(Stats a, const Stats& b) {
+      a.accesses -= b.accesses;
+      a.misses -= b.misses;
+      a.evictions -= b.evictions;
+      a.allocations -= b.allocations;
+      return a;
+    }
+    Stats& operator+=(const Stats& o) {
+      accesses += o.accesses;
+      misses += o.misses;
+      evictions += o.evictions;
+      allocations += o.allocations;
+      return *this;
+    }
   };
 
   /// RAII pin on a cached page. Move-only; unpins on destruction.
@@ -43,7 +79,8 @@ class BufferPool {
     bool valid() const { return pool_ != nullptr; }
     PageId id() const { return id_; }
 
-    /// Mutable access automatically marks the frame dirty.
+    /// Mutable access automatically marks the frame dirty. The caller must
+    /// be the only thread holding a ref to this page.
     Page& Mutable();
     const Page& Get() const;
 
@@ -60,16 +97,18 @@ class BufferPool {
     PageId id_ = kInvalidPageId;
   };
 
-  /// \param store     backing page store (not owned)
+  /// \param store     backing page store (not owned; accessed only under the
+  ///                  pool's internal lock)
   /// \param capacity  max resident frames; must allow the deepest pin chain
-  ///                  (a root-to-leaf path plus siblings; 16 is plenty)
+  ///                  (a root-to-leaf path plus siblings, per concurrent
+  ///                  reader; 16 per thread is plenty)
   BufferPool(PageStore* store, size_t capacity);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches and pins a page; counts one logical node access.
+  /// Fetches and pins a page; counts one logical node access. Thread-safe.
   Result<PageRef> Fetch(PageId id);
 
   /// Allocates a fresh zeroed page, pins it, returns the ref; `Fetch`-style
@@ -82,8 +121,19 @@ class BufferPool {
   /// Writes back all dirty frames.
   Status FlushAll();
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  /// Snapshot of the global counters (every thread's fetches).
+  Stats stats() const;
+
+  /// Snapshot of the counters for fetches made *by the calling thread*.
+  /// Because a query runs entirely on one worker thread, diffing this
+  /// around the query attributes its node accesses exactly, with no races
+  /// against concurrent queries and no reset of shared state.
+  Stats ThreadStats() const;
+
+  /// Zeroes the global counters. Single-threaded convenience for tests and
+  /// benches; do not call while other threads use the pool (prefer
+  /// snapshot deltas, which need no reset).
+  void ResetStats();
 
   size_t capacity() const { return capacity_; }
   PageStore* store() const { return store_; }
@@ -101,16 +151,36 @@ class BufferPool {
 
   void Unpin(size_t frame);
   void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
-  // Finds a free frame, evicting if necessary. Returns frame index.
-  Result<size_t> GrabFrame();
+  // Finds a free frame, evicting if necessary; sets *evicted when a victim
+  // was pushed out. Returns frame index. Caller must hold mu_.
+  Result<size_t> GrabFrame(bool* evicted);
+
+  // Bump the global atomics and this thread's counters. Called outside mu_
+  // so the hash-map lookup never extends the critical section.
+  void CountAccess(bool miss);
+  void CountEviction();
+  void CountAllocation();
 
   PageStore* store_;
   size_t capacity_;
+
+  // mu_ guards frames_ metadata (pin counts, dirty/in-use flags, ids),
+  // free_frames_, lru_, table_, and all PageStore calls. Page *contents* of
+  // pinned frames are read outside the lock (see class comment). The lock
+  // is held across store I/O on the miss path — negligible for the
+  // simulator's in-memory store; sharding the lock (or moving reads behind
+  // an io-pending flag) is the next step if a real disk store needs to
+  // scale under miss-heavy load.
+  mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::list<size_t> lru_;  // front = least recently used, unpinned only
   std::unordered_map<PageId, size_t> table_;
-  Stats stats_;
+
+  std::atomic<uint64_t> accesses_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> allocations_{0};
 };
 
 }  // namespace sae::storage

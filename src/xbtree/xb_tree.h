@@ -63,7 +63,9 @@ struct XbTreeOptions {
   size_t tuples_per_chunk = 0;  ///< tuples per duplicate chunk (default 2)
 };
 
-/// Disk-based XOR B-tree. Not thread-safe.
+/// Disk-based XOR B-tree. Const methods (GenerateVT, Validate) are safe to
+/// call from many threads over a thread-safe BufferPool; mutations require
+/// exclusive access to the tree.
 class XbTree {
  public:
   static Result<std::unique_ptr<XbTree>> Create(

@@ -1,0 +1,281 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Concurrency suite for the thread-safe read path: the BufferPool under
+// parallel readers, Channel sessions under parallel senders, and the
+// QueryEngine fanning batches across one loaded SaeSystem / TomSystem.
+// The engine runs must produce exactly the serial results and VTs, every
+// per-query cost must compose into the batch aggregate, and the whole
+// suite must be clean under ThreadSanitizer (the CI tsan job runs it).
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_engine.h"
+#include "core/system.h"
+#include "sim/channel.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace sae {
+namespace {
+
+using core::AttackMode;
+using core::BatchQuery;
+using core::QueryEngine;
+using core::SaeSystem;
+using core::TomSystem;
+using storage::BufferPool;
+using storage::PageId;
+using storage::Record;
+using storage::RecordCodec;
+
+constexpr size_t kRecSize = 64;
+constexpr size_t kThreads = 4;
+
+std::vector<Record> SmallDataset(size_t n) {
+  RecordCodec codec(kRecSize);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (uint64_t id = 1; id <= n; ++id) {
+    records.push_back(codec.MakeRecord(id, uint32_t(id * 10)));
+  }
+  return records;
+}
+
+std::vector<BatchQuery> MakeBatch(size_t count, uint32_t domain,
+                                  AttackMode attack = AttackMode::kNone) {
+  std::vector<BatchQuery> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t lo = uint32_t((i * 997) % domain);
+    batch.push_back(BatchQuery{lo, lo + domain / 20, attack});
+  }
+  return batch;
+}
+
+// --- storage: BufferPool under concurrent readers ----------------------------
+
+TEST(BufferPoolConcurrencyTest, ParallelFetchersSeeConsistentPages) {
+  storage::InMemoryPageStore store;
+  BufferPool pool(&store, 16);  // smaller than the page count: forces
+                                // eviction churn under contention
+  constexpr size_t kPages = 64;
+  std::vector<PageId> ids;
+  for (size_t i = 0; i < kPages; ++i) {
+    auto ref = pool.New();
+    ASSERT_TRUE(ref.ok());
+    // Stamp the page with its id so readers can detect frame mixups.
+    std::memcpy(ref.value().Mutable().bytes(), &i, sizeof(i));
+    ids.push_back(ref.value().id());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  BufferPool::Stats before = pool.stats();
+  constexpr size_t kFetchesPerThread = 2000;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<uint64_t> thread_access_sum{0};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      BufferPool::Stats start = pool.ThreadStats();
+      uint64_t state = 0x9E3779B97F4A7C15ull * (t + 1);
+      for (size_t i = 0; i < kFetchesPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        size_t pick = size_t(state >> 33) % kPages;
+        auto ref = pool.Fetch(ids[pick]);
+        ASSERT_TRUE(ref.ok());
+        size_t stamp = 0;
+        std::memcpy(&stamp, ref.value().Get().bytes(), sizeof(stamp));
+        if (stamp != pick) mismatches.fetch_add(1);
+      }
+      thread_access_sum.fetch_add(
+          (pool.ThreadStats() - start).accesses);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  BufferPool::Stats delta = pool.stats() - before;
+  EXPECT_EQ(delta.accesses, kThreads * kFetchesPerThread);
+  // The per-thread counters partition the global count exactly.
+  EXPECT_EQ(thread_access_sum.load(), delta.accesses);
+}
+
+// --- sim: Channel sessions under concurrent senders --------------------------
+
+TEST(ChannelConcurrencyTest, SessionsMeterPrivatelyAndGloballyAtomically) {
+  sim::Channel channel("shared");
+  constexpr size_t kSendsPerThread = 1000;
+
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> session_byte_sum{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sim::Channel::Session session = channel.OpenSession();
+      for (size_t i = 0; i < kSendsPerThread; ++i) {
+        session.SendBytes(t + 1);
+      }
+      EXPECT_EQ(session.messages(), kSendsPerThread);
+      EXPECT_EQ(session.bytes(), kSendsPerThread * (t + 1));
+      session_byte_sum.fetch_add(session.bytes());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(channel.messages(), kThreads * kSendsPerThread);
+  EXPECT_EQ(channel.total_bytes(), session_byte_sum.load());
+}
+
+// --- core: SAE batches through the QueryEngine -------------------------------
+
+class SaeConcurrencyTest : public ::testing::Test {
+ protected:
+  SaeConcurrencyTest()
+      : system_(SaeSystem::Options{kRecSize, crypto::HashScheme::kSha1, 256,
+                                   256, 256}) {
+    SAE_CHECK_OK(system_.Load(SmallDataset(2000)));
+  }
+
+  SaeSystem system_;
+};
+
+TEST_F(SaeConcurrencyTest, ThreadedBatchMatchesSerialRun) {
+  std::vector<BatchQuery> batch = MakeBatch(48, 20000);
+
+  // Serial baseline through the public single-query API.
+  std::vector<SaeSystem::QueryOutcome> serial;
+  for (const BatchQuery& q : batch) {
+    auto outcome = system_.Query(q.lo, q.hi);
+    ASSERT_TRUE(outcome.ok());
+    serial.push_back(std::move(outcome.value()));
+  }
+
+  QueryEngine engine(QueryEngine::Options{kThreads});
+  QueryEngine::SaeBatch threaded = engine.Run(&system_, batch);
+
+  ASSERT_EQ(threaded.outcomes.size(), batch.size());
+  EXPECT_EQ(threaded.stats.accepted, batch.size());
+  EXPECT_EQ(threaded.stats.rejected, 0u);
+  EXPECT_EQ(threaded.stats.failed, 0u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(threaded.outcomes[i].ok()) << "query " << i;
+    const SaeSystem::QueryOutcome& got = threaded.outcomes[i].value();
+    EXPECT_TRUE(got.verification.ok()) << "query " << i;
+    EXPECT_EQ(got.results, serial[i].results) << "query " << i;
+    EXPECT_EQ(got.vt, serial[i].vt) << "query " << i;
+  }
+}
+
+TEST_F(SaeConcurrencyTest, AggregatedCostsEqualSumOfPerQueryCosts) {
+  std::vector<BatchQuery> batch = MakeBatch(48, 20000);
+
+  BufferPool::Stats sp_index0 = system_.sp().index_pool_stats();
+  BufferPool::Stats sp_heap0 = system_.sp().heap_pool_stats();
+  BufferPool::Stats te0 = system_.te().pool_stats();
+
+  QueryEngine engine(QueryEngine::Options{kThreads});
+  QueryEngine::SaeBatch run = engine.Run(&system_, batch);
+
+  core::QueryCosts sum;
+  for (const auto& outcome : run.outcomes) {
+    ASSERT_TRUE(outcome.ok());
+    sum += outcome.value().costs;
+  }
+  EXPECT_EQ(run.stats.total.sp_index_accesses, sum.sp_index_accesses);
+  EXPECT_EQ(run.stats.total.sp_heap_accesses, sum.sp_heap_accesses);
+  EXPECT_EQ(run.stats.total.te_accesses, sum.te_accesses);
+  EXPECT_EQ(run.stats.total.auth_bytes, sum.auth_bytes);
+  EXPECT_EQ(run.stats.total.result_bytes, sum.result_bytes);
+
+  // The per-thread attribution partitions the global pool counters: the
+  // batch-wide pool deltas equal the summed per-query costs exactly.
+  EXPECT_EQ((system_.sp().index_pool_stats() - sp_index0).accesses,
+            sum.sp_index_accesses);
+  EXPECT_EQ((system_.sp().heap_pool_stats() - sp_heap0).accesses,
+            sum.sp_heap_accesses);
+  EXPECT_EQ((system_.te().pool_stats() - te0).accesses, sum.te_accesses);
+}
+
+TEST_F(SaeConcurrencyTest, MaliciousQueriesAreRejectedUnderConcurrency) {
+  // Interleave honest queries with every attack mode; each worker must
+  // reach the right verdict for its own queries despite shared state.
+  const AttackMode kModes[] = {
+      AttackMode::kDropOne,      AttackMode::kDropAll,
+      AttackMode::kInjectFake,   AttackMode::kTamperPayload,
+      AttackMode::kTamperKey,    AttackMode::kDuplicateOne,
+  };
+  std::vector<BatchQuery> batch = MakeBatch(48, 20000);
+  size_t attacked = 0;
+  for (size_t i = 0; i < batch.size(); i += 2) {
+    batch[i].attack = kModes[(i / 2) % (sizeof(kModes) / sizeof(kModes[0]))];
+    ++attacked;
+  }
+
+  QueryEngine engine(QueryEngine::Options{kThreads});
+  QueryEngine::SaeBatch run = engine.Run(&system_, batch);
+
+  EXPECT_EQ(run.stats.rejected, attacked);
+  EXPECT_EQ(run.stats.accepted, batch.size() - attacked);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(run.outcomes[i].ok());
+    EXPECT_EQ(run.outcomes[i].value().verification.ok(),
+              batch[i].attack == AttackMode::kNone)
+        << "query " << i;
+  }
+}
+
+TEST_F(SaeConcurrencyTest, EngineIsReusableAcrossBatches) {
+  QueryEngine engine(QueryEngine::Options{2});
+  for (int round = 0; round < 3; ++round) {
+    QueryEngine::SaeBatch run = engine.Run(&system_, MakeBatch(10, 20000));
+    EXPECT_EQ(run.stats.accepted, 10u);
+  }
+  // An inline engine (no workers) goes through the identical path.
+  QueryEngine inline_engine;
+  QueryEngine::SaeBatch run = inline_engine.Run(&system_, MakeBatch(4, 20000));
+  EXPECT_EQ(run.stats.accepted, 4u);
+}
+
+// --- core: TOM batches through the QueryEngine -------------------------------
+
+TEST(TomConcurrencyTest, ThreadedBatchMatchesSerialRun) {
+  TomSystem::Options options;
+  options.record_size = kRecSize;
+  options.rsa_modulus_bits = 512;  // fast for tests
+  TomSystem system(options);
+  SAE_CHECK_OK(system.Load(SmallDataset(1500)));
+
+  std::vector<BatchQuery> batch = MakeBatch(24, 15000);
+  std::vector<TomSystem::QueryOutcome> serial;
+  for (const BatchQuery& q : batch) {
+    auto outcome = system.Query(q.lo, q.hi);
+    ASSERT_TRUE(outcome.ok());
+    serial.push_back(std::move(outcome.value()));
+  }
+
+  QueryEngine engine(QueryEngine::Options{kThreads});
+  QueryEngine::TomBatch threaded = engine.Run(&system, batch);
+
+  ASSERT_EQ(threaded.outcomes.size(), batch.size());
+  EXPECT_EQ(threaded.stats.accepted, batch.size());
+  core::QueryCosts sum;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(threaded.outcomes[i].ok()) << "query " << i;
+    const TomSystem::QueryOutcome& got = threaded.outcomes[i].value();
+    EXPECT_TRUE(got.verification.ok()) << "query " << i;
+    EXPECT_EQ(got.results, serial[i].results) << "query " << i;
+    EXPECT_EQ(got.costs.auth_bytes, serial[i].costs.auth_bytes)
+        << "query " << i;
+    sum += got.costs;
+  }
+  EXPECT_EQ(threaded.stats.total.auth_bytes, sum.auth_bytes);
+  EXPECT_EQ(threaded.stats.total.sp_index_accesses, sum.sp_index_accesses);
+}
+
+}  // namespace
+}  // namespace sae

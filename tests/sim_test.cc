@@ -49,6 +49,22 @@ TEST(ChannelTest, AccumulatesBytesAndMessages) {
   EXPECT_EQ(ch.messages(), 0u);
 }
 
+TEST(ChannelTest, SessionsMeterPrivatelyAndForwardToChannel) {
+  Channel ch("SP->Client");
+  Channel::Session a = ch.OpenSession();
+  Channel::Session b = ch.OpenSession();
+  a.Send(std::vector<uint8_t>(40));
+  b.SendBytes(2);
+  a.SendBytes(10);
+  EXPECT_EQ(a.bytes(), 50u);
+  EXPECT_EQ(a.messages(), 2u);
+  EXPECT_EQ(b.bytes(), 2u);
+  EXPECT_EQ(b.messages(), 1u);
+  // Sessions are views: the shared channel saw everything.
+  EXPECT_EQ(ch.total_bytes(), 52u);
+  EXPECT_EQ(ch.messages(), 3u);
+}
+
 TEST(NetworkTest, ZeroLatencyLinkIsPureBandwidth) {
   NetworkModel net{0.0, 8.0};  // 1 byte per microsecond
   EXPECT_NEAR(net.TransferMs(1'000'000), 1000.0, 1e-6);
