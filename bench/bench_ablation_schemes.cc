@@ -107,7 +107,7 @@ int main() {
                 sp.SignatureStorageBytes() / 1048576.0, verify_ms / nq);
   }
 
-  std::printf("#\n# SAE: constant 21-byte token, no SP-side auth storage "
+  std::printf("#\n# SAE: constant 29-byte token, no SP-side auth storage "
               "beyond a plain index.\n");
   std::printf("# SigChain: small VO but 128 B/record signatures and "
               "3 RSA signings per update.\n");

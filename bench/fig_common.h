@@ -113,13 +113,15 @@ inline TomSpBundle BuildTomSp(const std::vector<storage::Record>& sorted,
 
   Rng rng(0x5AE2009);
   crypto::RsaPrivateKey key = crypto::RsaGenerateKey(&rng, rsa_bits);
-  crypto::RsaSignature sig =
-      crypto::RsaSignDigest(key, sp->ads().root_digest());
+  // Static bench set-up: the epoch stays at 0 and the signature covers the
+  // epoch-stamped root commitment for that epoch.
+  crypto::RsaSignature sig = crypto::RsaSignDigest(
+      key, crypto::EpochStampedDigest(sp->ads().root_digest(), 0));
   // Re-install the dataset signature (LoadDataset consumed an empty one).
   TomSpBundle bundle{std::move(sp), key.PublicKey()};
   // ApplyInsert/ApplyDelete would normally refresh it; here we reload by
   // rebuilding the response path's signature directly.
-  bundle.sp->SetSignature(std::move(sig));
+  bundle.sp->SetSignature(std::move(sig), 0);
   return bundle;
 }
 

@@ -32,6 +32,10 @@ const char* ModeName(AttackMode mode) {
       return "tamper search key    (soundness)";
     case AttackMode::kDuplicateOne:
       return "duplicate a record   (soundness)";
+    case AttackMode::kReplayStaleRoot:
+      return "replay stale snapshot (freshness)";
+    case AttackMode::kStaleVt:
+      return "stale token/signature (freshness)";
   }
   return "?";
 }
@@ -57,6 +61,12 @@ int main() {
   core::TomSystem tom_system(tom_options);
   if (!tom_system.Load(records).ok()) return 1;
 
+  // One update each, so the freshness attacks have a genuinely stale
+  // snapshot to replay (the epoch advances to 2).
+  storage::RecordCodec codec(kRecSize);
+  if (!sae_system.Insert(codec.MakeRecord(999999, 30000)).ok()) return 1;
+  if (!tom_system.Insert(codec.MakeRecord(999999, 30000)).ok()) return 1;
+
   std::printf("query [20000, 40000] under a compromised SP\n\n");
   std::printf("%-40s %-12s %-12s\n", "attack", "SAE client", "TOM client");
   std::printf("%-40s %-12s %-12s\n", "------", "----------", "----------");
@@ -65,7 +75,8 @@ int main() {
   for (AttackMode mode :
        {AttackMode::kNone, AttackMode::kDropOne, AttackMode::kDropAll,
         AttackMode::kInjectFake, AttackMode::kTamperPayload,
-        AttackMode::kTamperKey, AttackMode::kDuplicateOne}) {
+        AttackMode::kTamperKey, AttackMode::kDuplicateOne,
+        AttackMode::kReplayStaleRoot, AttackMode::kStaleVt}) {
     auto sae = sae_system.Query(20000, 40000, mode);
     auto tom = tom_system.Query(20000, 40000, mode);
     if (!sae.ok() || !tom.ok()) return 1;

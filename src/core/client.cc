@@ -30,4 +30,26 @@ Status Client::VerifyResult(const std::vector<Record>& results,
   return Status::OK();
 }
 
+Status Client::VerifyResult(const std::vector<Record>& results,
+                            const VerificationToken& vt,
+                            uint64_t claimed_epoch, uint64_t published_epoch,
+                            const RecordCodec& codec,
+                            crypto::HashScheme scheme) {
+  if (vt.epoch < published_epoch) {
+    return Status::StaleEpoch("verification token lags the published epoch");
+  }
+  if (vt.epoch > published_epoch) {
+    return Status::VerificationFailure(
+        "verification token claims a future epoch");
+  }
+  if (claimed_epoch < published_epoch) {
+    return Status::StaleEpoch(
+        "SP answered from a snapshot older than the published epoch");
+  }
+  if (claimed_epoch > published_epoch) {
+    return Status::VerificationFailure("SP claims a future epoch");
+  }
+  return VerifyResult(results, vt.digest, codec, scheme);
+}
+
 }  // namespace sae::core

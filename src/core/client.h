@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/epoch.h"
 #include "crypto/digest.h"
 #include "storage/record.h"
 #include "util/status.h"
@@ -30,6 +31,31 @@ class Client {
   /// OK when the result matches the token; VerificationFailure otherwise.
   static Status VerifyResult(
       const std::vector<Record>& results, const crypto::Digest& vt,
+      const RecordCodec& codec,
+      crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+
+  /// Token-typed convenience: XOR check only (no freshness reference —
+  /// standalone TE set-ups without a publishing DO stay at epoch 0).
+  static Status VerifyResult(
+      const std::vector<Record>& results, const VerificationToken& vt,
+      const RecordCodec& codec,
+      crypto::HashScheme scheme = crypto::HashScheme::kSha1) {
+    return VerifyResult(results, vt.digest, codec, scheme);
+  }
+
+  /// The full epoch-aware client check, in order:
+  ///   1. the TE token must speak for the published epoch (a lagging token
+  ///      is a replayed/stale VT -> kStaleEpoch);
+  ///   2. the SP's claimed epoch must match the published one (a lagging
+  ///      claim means the SP answered from a pre-update snapshot ->
+  ///      kStaleEpoch);
+  ///   3. the result XOR must match the token digest.
+  /// Freshness is checked first so a replay is reported as staleness, not
+  /// as generic corruption. An SP that lies about its claimed epoch simply
+  /// degrades to case 3 and is caught by the fresh token.
+  static Status VerifyResult(
+      const std::vector<Record>& results, const VerificationToken& vt,
+      uint64_t claimed_epoch, uint64_t published_epoch,
       const RecordCodec& codec,
       crypto::HashScheme scheme = crypto::HashScheme::kSha1);
 };

@@ -16,6 +16,7 @@ DataOwner::DataOwner(size_t record_size) : codec_(record_size) {}
 
 Status DataOwner::SetDataset(const std::vector<Record>& records) {
   master_.clear();
+  epoch_ = 0;  // nothing outsourced yet; Outsource publishes epoch 1
   for (const Record& record : records) {
     if (!master_.emplace(record.id, record).second) {
       return Status::InvalidArgument("duplicate record id");
@@ -40,6 +41,16 @@ Result<Record> DataOwner::Get(RecordId id) const {
   return it->second;
 }
 
+void DataOwner::PublishEpoch(ServiceProvider* sp, TrustedEntity* te,
+                             sim::Channel* to_sp, sim::Channel* to_te) {
+  ++epoch_;
+  std::vector<uint8_t> notice = SerializeEpochNotice(epoch_);
+  to_sp->Send(notice);
+  to_te->Send(notice);
+  sp->SetEpoch(epoch_);
+  te->SetEpoch(epoch_);
+}
+
 Status DataOwner::Outsource(ServiceProvider* sp, TrustedEntity* te,
                             sim::Channel* to_sp, sim::Channel* to_te) {
   std::vector<Record> sorted = SortedDataset();
@@ -47,7 +58,9 @@ Status DataOwner::Outsource(ServiceProvider* sp, TrustedEntity* te,
   to_sp->Send(shipment);
   to_te->Send(shipment);
   SAE_RETURN_NOT_OK(sp->LoadDataset(sorted));
-  return te->LoadDataset(sorted);
+  SAE_RETURN_NOT_OK(te->LoadDataset(sorted));
+  PublishEpoch(sp, te, to_sp, to_te);  // the initial shipment is epoch 1
+  return Status::OK();
 }
 
 Status DataOwner::InsertRecord(const Record& record, ServiceProvider* sp,
@@ -60,7 +73,9 @@ Status DataOwner::InsertRecord(const Record& record, ServiceProvider* sp,
   to_sp->Send(shipment);
   to_te->Send(shipment);
   SAE_RETURN_NOT_OK(sp->InsertRecord(record));
-  return te->InsertRecord(record);
+  SAE_RETURN_NOT_OK(te->InsertRecord(record));
+  PublishEpoch(sp, te, to_sp, to_te);
+  return Status::OK();
 }
 
 Status DataOwner::DeleteRecord(RecordId id, ServiceProvider* sp,
@@ -74,7 +89,9 @@ Status DataOwner::DeleteRecord(RecordId id, ServiceProvider* sp,
   to_sp->Send(note);
   to_te->Send(note);
   SAE_RETURN_NOT_OK(sp->DeleteRecord(id));
-  return te->DeleteRecord(key, id);
+  SAE_RETURN_NOT_OK(te->DeleteRecord(key, id));
+  PublishEpoch(sp, te, to_sp, to_te);
+  return Status::OK();
 }
 
 }  // namespace sae::core

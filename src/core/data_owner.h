@@ -37,18 +37,29 @@ class DataOwner {
   Status Outsource(ServiceProvider* sp, TrustedEntity* te,
                    sim::Channel* to_sp, sim::Channel* to_te);
 
-  /// Update paths: apply to the master copy and propagate to both parties.
+  /// Update paths: apply to the master copy, bump the epoch, and propagate
+  /// record + epoch notice to both parties.
   Status InsertRecord(const Record& record, ServiceProvider* sp,
                       TrustedEntity* te, sim::Channel* to_sp,
                       sim::Channel* to_te);
   Status DeleteRecord(RecordId id, ServiceProvider* sp, TrustedEntity* te,
                       sim::Channel* to_sp, sim::Channel* to_te);
 
+  /// The latest published epoch: 0 before outsourcing, 1 at the initial
+  /// shipment, +1 per update. Clients use it as the freshness reference.
+  /// Guarded by the owning system's reader-writer lock under concurrency.
+  uint64_t epoch() const { return epoch_; }
+
   const RecordCodec& codec() const { return codec_; }
 
  private:
+  /// Bumps the epoch and announces it to both parties (wire notice + state).
+  void PublishEpoch(ServiceProvider* sp, TrustedEntity* te,
+                    sim::Channel* to_sp, sim::Channel* to_te);
+
   RecordCodec codec_;
   std::map<RecordId, Record> master_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace sae::core

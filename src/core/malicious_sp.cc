@@ -25,8 +25,12 @@ std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
     out.insert(out.begin() + pos, fake);
   };
 
-  if (out.empty() && mode != AttackMode::kNone &&
-      mode != AttackMode::kDropAll) {
+  if (mode == AttackMode::kNone || IsFreshnessAttack(mode)) {
+    // Freshness attacks corrupt the epoch claim, not the record bytes.
+    return out;
+  }
+
+  if (out.empty() && mode != AttackMode::kDropAll) {
     // Nothing to drop or tamper with; stay malicious by injecting instead.
     inject_fake();
     return out;
@@ -34,7 +38,9 @@ std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
 
   switch (mode) {
     case AttackMode::kNone:
-      break;
+    case AttackMode::kReplayStaleRoot:
+    case AttackMode::kStaleVt:
+      break;  // handled above
     case AttackMode::kDropOne:
       out.erase(out.begin() + rng.NextBounded(out.size()));
       break;

@@ -19,6 +19,11 @@ using storage::Record;
 using storage::RecordCodec;
 
 /// What a compromised SP does to the honest result before returning it.
+/// The first group mutates the result records; the freshness group replays
+/// authentication state from an earlier epoch and leaves the record bytes
+/// alone — those attacks are staged by the system harnesses (the SP serves
+/// from a pre-update snapshot / an old token or signature is presented),
+/// not by ApplyAttack.
 enum class AttackMode {
   kNone = 0,        ///< honest behaviour
   kDropOne,         ///< completeness attack: remove one record
@@ -27,11 +32,23 @@ enum class AttackMode {
   kTamperPayload,   ///< soundness attack: flip bytes in a record's payload
   kTamperKey,       ///< soundness attack: change a record's search key
   kDuplicateOne,    ///< soundness attack: return a record twice
+  kReplayStaleRoot, ///< freshness attack: SP answers from a pre-update
+                    ///< snapshot (stale results + matching stale auth state)
+  kStaleVt,         ///< freshness attack: token/signature from an old epoch
+                    ///< presented against the current result
 };
+
+/// True for the freshness modes ApplyAttack leaves untouched.
+inline bool IsFreshnessAttack(AttackMode mode) {
+  return mode == AttackMode::kReplayStaleRoot || mode == AttackMode::kStaleVt;
+}
 
 /// Applies the attack to a copy of the honest result. Attacks needing a
 /// victim pick one pseudo-randomly from `seed`; attacks on an empty result
 /// degrade to kInjectFake so that "malicious" never silently means "honest".
+/// Freshness modes return the result unchanged (see AttackMode); the
+/// systems guarantee their detection by rewinding the *claimed epoch* even
+/// when no pre-update snapshot exists yet.
 std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
                                 AttackMode mode, const RecordCodec& codec,
                                 uint64_t seed);

@@ -15,6 +15,8 @@ constexpr uint8_t kTagQuery = 0x02;
 constexpr uint8_t kTagVt = 0x03;
 constexpr uint8_t kTagSignature = 0x04;
 constexpr uint8_t kTagDelete = 0x05;
+constexpr uint8_t kTagEpochNotice = 0x06;
+constexpr uint8_t kTagResults = 0x07;
 }  // namespace
 
 std::vector<uint8_t> SerializeRecords(const std::vector<Record>& records,
@@ -41,7 +43,9 @@ Result<std::vector<Record>> DeserializeRecords(
     return Status::Corruption("record size mismatch");
   }
   uint64_t count = r.GetU64();
-  if (r.remaining() != count * codec.record_size()) {
+  // Overflow-safe cardinality check: count * record_size could wrap.
+  if (r.failed() || r.remaining() % codec.record_size() != 0 ||
+      count != r.remaining() / codec.record_size()) {
     return Status::Corruption("records message truncated");
   }
   std::vector<Record> records;
@@ -76,23 +80,87 @@ Result<std::pair<Key, Key>> DeserializeQuery(
   return std::make_pair(lo, hi);
 }
 
-std::vector<uint8_t> SerializeVt(const crypto::Digest& vt) {
+std::vector<uint8_t> SerializeVt(const VerificationToken& vt) {
   ByteWriter w;
   w.PutU8(kTagVt);
-  w.PutBytes(vt.bytes.data(), vt.bytes.size());
+  w.PutU64(vt.epoch);
+  w.PutBytes(vt.digest.bytes.data(), vt.digest.bytes.size());
   return w.Release();
 }
 
-Result<crypto::Digest> DeserializeVt(const std::vector<uint8_t>& bytes) {
+Result<VerificationToken> DeserializeVt(const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
   if (r.GetU8() != kTagVt) {
     return Status::Corruption("not a VT message");
   }
-  crypto::Digest vt;
-  if (!r.GetBytes(vt.bytes.data(), vt.bytes.size()) || r.failed()) {
+  VerificationToken vt;
+  vt.epoch = r.GetU64();
+  if (!r.GetBytes(vt.digest.bytes.data(), vt.digest.bytes.size()) ||
+      r.failed()) {
     return Status::Corruption("VT message truncated");
   }
   return vt;
+}
+
+std::vector<uint8_t> SerializeResults(const std::vector<Record>& records,
+                                      uint64_t epoch,
+                                      const RecordCodec& codec) {
+  ByteWriter w;
+  w.PutU8(kTagResults);
+  w.PutU64(epoch);
+  w.PutU32(uint32_t(codec.record_size()));
+  w.PutU64(records.size());
+  std::vector<uint8_t> scratch(codec.record_size());
+  for (const Record& record : records) {
+    codec.Serialize(record, scratch.data());
+    w.PutBytes(scratch.data(), scratch.size());
+  }
+  return w.Release();
+}
+
+Result<std::pair<std::vector<Record>, uint64_t>> DeserializeResults(
+    const std::vector<uint8_t>& bytes, const RecordCodec& codec) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagResults) {
+    return Status::Corruption("not a results message");
+  }
+  uint64_t epoch = r.GetU64();
+  if (r.GetU32() != codec.record_size()) {
+    return Status::Corruption("record size mismatch");
+  }
+  uint64_t count = r.GetU64();
+  // Overflow-safe cardinality check: count * record_size could wrap.
+  if (r.failed() || r.remaining() % codec.record_size() != 0 ||
+      count != r.remaining() / codec.record_size()) {
+    return Status::Corruption("results message truncated");
+  }
+  std::vector<Record> records;
+  records.reserve(count);
+  std::vector<uint8_t> scratch(codec.record_size());
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!r.GetBytes(scratch.data(), scratch.size())) {
+      return Status::Corruption("results message truncated");
+    }
+    records.push_back(codec.Deserialize(scratch.data()));
+  }
+  return std::make_pair(std::move(records), epoch);
+}
+
+std::vector<uint8_t> SerializeEpochNotice(uint64_t epoch) {
+  ByteWriter w;
+  w.PutU8(kTagEpochNotice);
+  w.PutU64(epoch);
+  return w.Release();
+}
+
+Result<uint64_t> DeserializeEpochNotice(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagEpochNotice) {
+    return Status::Corruption("not an epoch notice");
+  }
+  uint64_t epoch = r.GetU64();
+  if (r.failed()) return Status::Corruption("epoch notice truncated");
+  return epoch;
 }
 
 std::vector<uint8_t> SerializeDelete(storage::RecordId id, Key key) {
@@ -115,26 +183,29 @@ Result<std::pair<storage::RecordId, Key>> DeserializeDelete(
   return std::make_pair(id, key);
 }
 
-std::vector<uint8_t> SerializeSignature(const crypto::RsaSignature& sig) {
+std::vector<uint8_t> SerializeSignature(const crypto::RsaSignature& sig,
+                                        uint64_t epoch) {
   ByteWriter w;
   w.PutU8(kTagSignature);
+  w.PutU64(epoch);
   w.PutU16(uint16_t(sig.size()));
   w.PutBytes(sig.data(), sig.size());
   return w.Release();
 }
 
-Result<crypto::RsaSignature> DeserializeSignature(
+Result<std::pair<crypto::RsaSignature, uint64_t>> DeserializeSignature(
     const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
   if (r.GetU8() != kTagSignature) {
     return Status::Corruption("not a signature message");
   }
+  uint64_t epoch = r.GetU64();
   uint16_t len = r.GetU16();
   crypto::RsaSignature sig(len);
   if (!r.GetBytes(sig.data(), len) || r.failed()) {
     return Status::Corruption("signature message truncated");
   }
-  return sig;
+  return std::make_pair(std::move(sig), epoch);
 }
 
 }  // namespace sae::core

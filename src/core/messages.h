@@ -8,8 +8,10 @@
 #define SAE_CORE_MESSAGES_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "core/epoch.h"
 #include "crypto/digest.h"
 #include "crypto/rsa.h"
 #include "storage/record.h"
@@ -32,9 +34,26 @@ std::vector<uint8_t> SerializeQuery(Key lo, Key hi);
 Result<std::pair<Key, Key>> DeserializeQuery(
     const std::vector<uint8_t>& bytes);
 
-/// Verification token (TE -> client): exactly one digest, 20 bytes + tag.
-std::vector<uint8_t> SerializeVt(const crypto::Digest& vt);
-Result<crypto::Digest> DeserializeVt(const std::vector<uint8_t>& bytes);
+/// Verification token (TE -> client): epoch stamp + one digest —
+/// tag(1) + epoch(8 LE) + digest(20) = 29 bytes, still constant size.
+std::vector<uint8_t> SerializeVt(const VerificationToken& vt);
+Result<VerificationToken> DeserializeVt(const std::vector<uint8_t>& bytes);
+
+/// Result shipment (SP -> client): the SP's claimed epoch ("my answer is as
+/// of epoch e") followed by the result records. An SP serving from a stale
+/// snapshot honestly stamps the snapshot's epoch and is caught by the
+/// freshness check; lying about the stamp degrades it to an ordinary
+/// soundness failure against the fresh VT/VO.
+std::vector<uint8_t> SerializeResults(const std::vector<Record>& records,
+                                      uint64_t epoch,
+                                      const RecordCodec& codec);
+Result<std::pair<std::vector<Record>, uint64_t>> DeserializeResults(
+    const std::vector<uint8_t>& bytes, const RecordCodec& codec);
+
+/// Epoch publication (DO -> SP, DO -> TE in SAE): announces that the update
+/// just shipped advances the database to `epoch`.
+std::vector<uint8_t> SerializeEpochNotice(uint64_t epoch);
+Result<uint64_t> DeserializeEpochNotice(const std::vector<uint8_t>& bytes);
 
 /// Deletion notice (DO -> SP, DO -> TE): which record disappears and under
 /// which key it was indexed.
@@ -42,9 +61,11 @@ std::vector<uint8_t> SerializeDelete(storage::RecordId id, Key key);
 Result<std::pair<storage::RecordId, Key>> DeserializeDelete(
     const std::vector<uint8_t>& bytes);
 
-/// Root signature shipment (DO -> SP in TOM).
-std::vector<uint8_t> SerializeSignature(const crypto::RsaSignature& sig);
-Result<crypto::RsaSignature> DeserializeSignature(
+/// Root signature shipment (DO -> SP in TOM): the signature over the
+/// epoch-stamped root commitment plus the epoch it speaks for.
+std::vector<uint8_t> SerializeSignature(const crypto::RsaSignature& sig,
+                                        uint64_t epoch);
+Result<std::pair<crypto::RsaSignature, uint64_t>> DeserializeSignature(
     const std::vector<uint8_t>& bytes);
 
 }  // namespace sae::core

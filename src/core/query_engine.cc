@@ -6,6 +6,7 @@
 
 #include "core/query_engine.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "sim/cost_model.h"
@@ -101,6 +102,76 @@ BatchT QueryEngine::RunBatch(System* system,
   return batch;
 }
 
+template <typename System>
+MixedStats QueryEngine::RunMixedBatch(System* system,
+                                      const std::vector<BatchOp>& ops) {
+  MixedStats stats;
+
+  // Per-op slots filled by disjoint workers, reduced after the barrier.
+  struct OpResult {
+    bool is_query = false;
+    bool ok = false;        // op-level success
+    bool accepted = false;  // query verification verdict
+    QueryCosts costs;
+    double update_ms = 0.0;
+  };
+  std::vector<OpResult> slots(ops.size());
+  std::function<void(size_t)> task = [&](size_t i) {
+    const BatchOp& op = ops[i];
+    OpResult& slot = slots[i];
+    switch (op.kind) {
+      case BatchOp::Kind::kQuery: {
+        slot.is_query = true;
+        auto outcome =
+            system->ExecuteQuery(op.query.lo, op.query.hi, op.query.attack);
+        if (outcome.ok()) {
+          slot.ok = true;
+          slot.accepted = outcome.value().verification.ok();
+          slot.costs = outcome.value().costs;
+        }
+        break;
+      }
+      case BatchOp::Kind::kInsert: {
+        sim::Stopwatch watch;
+        slot.ok = system->Insert(op.record).ok();
+        slot.update_ms = watch.ElapsedMs();
+        break;
+      }
+      case BatchOp::Kind::kDelete: {
+        sim::Stopwatch watch;
+        slot.ok = system->Delete(op.id).ok();
+        slot.update_ms = watch.ElapsedMs();
+        break;
+      }
+    }
+  };
+
+  sim::Stopwatch watch;
+  Dispatch(ops.size(), task);
+  stats.wall_ms = watch.ElapsedMs();
+
+  for (const OpResult& slot : slots) {
+    if (slot.is_query) {
+      ++stats.queries;
+      if (!slot.ok) {
+        ++stats.failed;
+      } else if (slot.accepted) {
+        ++stats.accepted;
+      } else {
+        ++stats.rejected;
+      }
+      stats.query_total += slot.costs;
+    } else {
+      ++stats.updates;
+      if (!slot.ok) ++stats.update_failures;
+      stats.update_latency_ms += slot.update_ms;
+      stats.max_update_latency_ms =
+          std::max(stats.max_update_latency_ms, slot.update_ms);
+    }
+  }
+  return stats;
+}
+
 QueryEngine::SaeBatch QueryEngine::Run(SaeSystem* system,
                                        const std::vector<BatchQuery>& queries) {
   return RunBatch<SaeBatch>(system, queries);
@@ -109,6 +180,16 @@ QueryEngine::SaeBatch QueryEngine::Run(SaeSystem* system,
 QueryEngine::TomBatch QueryEngine::Run(TomSystem* system,
                                        const std::vector<BatchQuery>& queries) {
   return RunBatch<TomBatch>(system, queries);
+}
+
+MixedStats QueryEngine::RunMixed(SaeSystem* system,
+                                 const std::vector<BatchOp>& ops) {
+  return RunMixedBatch(system, ops);
+}
+
+MixedStats QueryEngine::RunMixed(TomSystem* system,
+                                 const std::vector<BatchOp>& ops) {
+  return RunMixedBatch(system, ops);
 }
 
 }  // namespace sae::core

@@ -35,6 +35,38 @@ struct BatchQuery {
   AttackMode attack = AttackMode::kNone;
 };
 
+/// One operation of a mixed read/write batch: a query, an insert, or a
+/// delete. Updates ride the systems' writer lock, so a mixed batch
+/// exercises genuine reader/writer interleaving on the shared system.
+struct BatchOp {
+  enum class Kind { kQuery, kInsert, kDelete };
+
+  Kind kind = Kind::kQuery;
+  BatchQuery query;     // kQuery
+  Record record;        // kInsert
+  RecordId id = 0;      // kDelete
+
+  static BatchOp MakeQuery(Key lo, Key hi,
+                           AttackMode attack = AttackMode::kNone) {
+    BatchOp op;
+    op.kind = Kind::kQuery;
+    op.query = BatchQuery{lo, hi, attack};
+    return op;
+  }
+  static BatchOp MakeInsert(Record record) {
+    BatchOp op;
+    op.kind = Kind::kInsert;
+    op.record = std::move(record);
+    return op;
+  }
+  static BatchOp MakeDelete(RecordId id) {
+    BatchOp op;
+    op.kind = Kind::kDelete;
+    op.id = id;
+    return op;
+  }
+};
+
 /// Aggregate measurements over one batch run.
 struct BatchStats {
   size_t queries = 0;    ///< batch size
@@ -49,6 +81,27 @@ struct BatchStats {
   }
 };
 
+/// Aggregate measurements over one mixed read/write batch run.
+struct MixedStats {
+  size_t queries = 0;
+  size_t updates = 0;
+  size_t accepted = 0;        ///< queries the client verified successfully
+  size_t rejected = 0;        ///< queries the client rejected
+  size_t failed = 0;          ///< queries that errored before verification
+  size_t update_failures = 0; ///< updates rejected (duplicate id, ...)
+  QueryCosts query_total;     ///< summed costs of the query ops
+  double update_latency_ms = 0.0;      ///< summed per-update wall time
+  double max_update_latency_ms = 0.0;  ///< worst single update
+  double wall_ms = 0.0;
+
+  double QueriesPerSecond() const {
+    return wall_ms > 0.0 ? double(queries) * 1000.0 / wall_ms : 0.0;
+  }
+  double MeanUpdateLatencyMs() const {
+    return updates > 0 ? update_latency_ms / double(updates) : 0.0;
+  }
+};
+
 struct QueryEngineOptions {
   /// Worker threads owned by the engine. 0 = run batches inline on the
   /// calling thread (no threads are spawned) — what the single-query
@@ -58,8 +111,10 @@ struct QueryEngineOptions {
 
 /// Fans batches of range queries out across a worker pool. The engine is
 /// reusable across batches and systems, but Run() itself is not re-entrant:
-/// issue one batch at a time per engine. The target system must not be
-/// mutated (Insert/Delete/Load) while a batch is in flight.
+/// issue one batch at a time per engine. The systems' shared-mutex
+/// discipline makes queries and updates safely interleavable, so a batch
+/// may run while other threads mutate the system — and RunMixed schedules
+/// queries and updates through the same worker pool deliberately.
 class QueryEngine {
  public:
   using Options = QueryEngineOptions;
@@ -84,11 +139,21 @@ class QueryEngine {
   SaeBatch Run(SaeSystem* system, const std::vector<BatchQuery>& queries);
   TomBatch Run(TomSystem* system, const std::vector<BatchQuery>& queries);
 
+  /// Runs a mixed read/write batch: workers claim ops in order, queries
+  /// take the system's reader lock and updates its writer lock, so the
+  /// schedule interleaves genuinely. Returns aggregate stats (q/s and
+  /// per-update latency — what bench_ablation_updates reports).
+  MixedStats RunMixed(SaeSystem* system, const std::vector<BatchOp>& ops);
+  MixedStats RunMixed(TomSystem* system, const std::vector<BatchOp>& ops);
+
   size_t worker_threads() const { return workers_.size(); }
 
  private:
   template <typename BatchT, typename System>
   BatchT RunBatch(System* system, const std::vector<BatchQuery>& queries);
+
+  template <typename System>
+  MixedStats RunMixedBatch(System* system, const std::vector<BatchOp>& ops);
 
   /// Executes task(0) .. task(count - 1) across the pool (inline when the
   /// engine owns no workers) and returns when all have completed.

@@ -8,6 +8,7 @@
 #ifndef SAE_CORE_SERVICE_PROVIDER_H_
 #define SAE_CORE_SERVICE_PROVIDER_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -48,6 +49,15 @@ class ServiceProvider {
 
   const dbms::Table& table() const { return *table_; }
 
+  /// The epoch the SP's data reflects — the DO publishes it with every
+  /// update shipment. A conventional SP has no authentication machinery,
+  /// but it does stamp its answers with this claimed epoch so clients can
+  /// tell "stale snapshot" apart from "corrupt result".
+  void SetEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
   /// Snapshots of the pools' global counters; diff two snapshots to measure
   /// the work in between (replaces the racy reset-then-read pattern).
   storage::BufferPool::Stats index_pool_stats() const {
@@ -78,6 +88,7 @@ class ServiceProvider {
   mutable storage::BufferPool index_pool_;
   mutable storage::BufferPool heap_pool_;
   std::unique_ptr<dbms::Table> table_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace sae::core

@@ -1,11 +1,14 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
 // Implements the end-to-end SaeSystem and TomSystem harnesses
-// (core/system.h) used by the examples and figure benches.
+// (core/system.h): the shared-mutex reader-writer discipline, the
+// epoch-versioned update pipeline, and the freshness adversaries
+// (kReplayStaleRoot / kStaleVt) that answer from pre-update snapshots.
 
 #include "core/system.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/messages.h"
 #include "core/query_engine.h"
@@ -24,6 +27,18 @@ std::vector<Record> SortByKey(std::vector<Record> records) {
   return records;
 }
 
+constexpr Key kMinKey = std::numeric_limits<Key>::min();
+constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+// The epoch a freshness adversary claims: the snapshot's epoch when one
+// exists, and in any case strictly behind the published epoch — a replay
+// staged before any update occurred still announces itself as stale, so
+// "malicious" never silently means "honest".
+uint64_t StaleClaim(bool captured, uint64_t stale_epoch, uint64_t published) {
+  uint64_t behind = published > 0 ? published - 1 : 0;
+  return captured ? std::min(stale_epoch, behind) : behind;
+}
+
 }  // namespace
 
 // --- SaeSystem ---------------------------------------------------------------
@@ -39,8 +54,11 @@ SaeSystem::SaeSystem(const Options& options)
                                  xbtree::XbTreeOptions{}}) {}
 
 Status SaeSystem::Load(const std::vector<Record>& records) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
   SAE_RETURN_NOT_OK(owner_.SetDataset(records));
-  return owner_.Outsource(&sp_, &te_, &do_sp_, &do_te_);
+  SAE_RETURN_NOT_OK(owner_.Outsource(&sp_, &te_, &do_sp_, &do_te_));
+  published_epoch_.store(owner_.epoch(), std::memory_order_release);
+  return Status::OK();
 }
 
 Result<SaeSystem::QueryOutcome> SaeSystem::Query(Key lo, Key hi,
@@ -50,8 +68,40 @@ Result<SaeSystem::QueryOutcome> SaeSystem::Query(Key lo, Key hi,
   return std::move(batch.outcomes[0]);
 }
 
+void SaeSystem::CaptureStaleSnapshotLocked() {
+  if (stale_captured_) return;
+  // Freeze the pre-update database once, right before the first update
+  // ever applied: the replay adversary will answer from this state.
+  auto snapshot = sp_.ExecuteRange(kMinKey, kMaxKey);
+  if (!snapshot.ok()) return;  // leave uncaptured; replay degrades cleanly
+  stale_records_ = std::move(snapshot.value());
+  stale_epoch_ = owner_.epoch();
+  stale_captured_ = true;
+}
+
+const ServiceProvider* SaeSystem::StaleSp() {
+  if (!stale_captured_) return nullptr;
+  std::call_once(stale_build_once_, [this] {
+    auto sp = std::make_unique<ServiceProvider>(ServiceProvider::Options{
+        options_.record_size, options_.sp_index_pool_pages,
+        options_.sp_heap_pool_pages});
+    if (sp->LoadDataset(stale_records_).ok()) {
+      sp->SetEpoch(stale_epoch_);
+      stale_sp_ = std::move(sp);
+    }
+    stale_records_.clear();
+    stale_records_.shrink_to_fit();
+  });
+  return stale_sp_.get();
+}
+
 Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(Key lo, Key hi,
                                                         AttackMode attack) {
+  // Shared (reader) lock for the whole query: the epoch observed by the
+  // SP answer, the TE token, and the client check is one frozen snapshot.
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  uint64_t published = owner_.epoch();
+
   QueryOutcome outcome;
   // Per-thread pool counters and per-query channel sessions keep the cost
   // attribution exact when many queries run concurrently.
@@ -59,12 +109,24 @@ Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(Key lo, Key hi,
   storage::BufferPool::Stats sp_heap0 = sp_.heap_pool_thread_stats();
   storage::BufferPool::Stats te0 = te_.pool_thread_stats();
 
-  // Client -> SP: execute; the SP may be compromised.
-  SAE_ASSIGN_OR_RETURN(std::vector<Record> honest, sp_.ExecuteRange(lo, hi));
+  // Client -> SP: execute; the SP may be compromised. A replaying SP
+  // serves from the pre-update snapshot and (honestly) stamps the
+  // snapshot's epoch — the freshness check, not the XOR, catches it.
+  std::vector<Record> honest;
+  uint64_t claimed_epoch = sp_.epoch();
+  if (attack == AttackMode::kReplayStaleRoot) {
+    const ServiceProvider* stale = StaleSp();
+    claimed_epoch = StaleClaim(stale != nullptr, stale_epoch_, published);
+    SAE_ASSIGN_OR_RETURN(honest,
+                         (stale != nullptr ? *stale : sp_).ExecuteRange(lo, hi));
+  } else {
+    SAE_ASSIGN_OR_RETURN(honest, sp_.ExecuteRange(lo, hi));
+  }
   outcome.results =
       ApplyAttack(honest, attack, codec(),
                   attack_seed_.fetch_add(1, std::memory_order_relaxed));
-  std::vector<uint8_t> result_msg = SerializeRecords(outcome.results, codec());
+  std::vector<uint8_t> result_msg =
+      SerializeResults(outcome.results, claimed_epoch, codec());
   sim::Channel::Session sp_session = sp_client_.OpenSession();
   sp_session.Send(result_msg);
   outcome.costs.result_bytes = sp_session.bytes();
@@ -73,31 +135,76 @@ Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(Key lo, Key hi,
   outcome.costs.sp_heap_accesses =
       (sp_.heap_pool_thread_stats() - sp_heap0).accesses;
 
-  // Client -> TE: verification token (always honest).
-  SAE_ASSIGN_OR_RETURN(crypto::Digest vt, te_.GenerateVt(lo, hi));
+  // Client -> TE: verification token (the TE itself is always honest; a
+  // kStaleVt adversary replays a token captured before the last update).
+  SAE_ASSIGN_OR_RETURN(VerificationToken vt, te_.GenerateVt(lo, hi));
+  if (attack == AttackMode::kStaleVt) {
+    vt.epoch = vt.epoch > 0 ? vt.epoch - 1 : 0;
+  }
   std::vector<uint8_t> vt_msg = SerializeVt(vt);
   sim::Channel::Session te_session = te_client_.OpenSession();
   te_session.Send(vt_msg);
   outcome.costs.auth_bytes = te_session.bytes();
   outcome.costs.te_accesses = (te_.pool_thread_stats() - te0).accesses;
 
-  // Client: decode and verify.
-  SAE_ASSIGN_OR_RETURN(std::vector<Record> received,
-                       DeserializeRecords(result_msg, codec()));
+  // Client: decode and verify (freshness gate first, then the XOR check).
+  std::vector<Record> received;
+  SAE_ASSIGN_OR_RETURN(auto decoded, DeserializeResults(result_msg, codec()));
+  received = std::move(decoded.first);
+  outcome.claimed_epoch = decoded.second;
   SAE_ASSIGN_OR_RETURN(outcome.vt, DeserializeVt(vt_msg));
   sim::Stopwatch watch;
   outcome.verification =
-      Client::VerifyResult(received, outcome.vt, codec(), options_.scheme);
+      Client::VerifyResult(received, outcome.vt, outcome.claimed_epoch,
+                           published, codec(), options_.scheme);
   outcome.costs.client_verify_ms = watch.ElapsedMs();
   return outcome;
 }
 
-Status SaeSystem::Insert(const Record& record) {
-  return owner_.InsertRecord(record, &sp_, &te_, &do_sp_, &do_te_);
+template <typename Fn>
+Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter, Fn&& apply) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  // Adversary staging (a one-time O(n) scan on the first update ever)
+  // happens before the stopwatch so the reported update latency measures
+  // the pipeline, not the test harness's replay snapshot.
+  CaptureStaleSnapshotLocked();
+  sim::Stopwatch watch;
+  uint64_t sp_bytes0 = do_sp_.total_bytes();
+  uint64_t te_bytes0 = do_te_.total_bytes();
+  Status st = apply();
+  // Channels carry shipment + epoch notice; updates are the only senders
+  // on the DO channels and they hold the unique lock, so the delta is
+  // exactly this update's traffic.
+  size_t traffic = (do_sp_.total_bytes() - sp_bytes0) +
+                   (do_te_.total_bytes() - te_bytes0);
+  size_t notice_bytes = st.ok() ? 2 * SerializeEpochNotice(0).size() : 0;
+  update_stats_.shipment_bytes += traffic - notice_bytes;
+  update_stats_.auth_bytes += notice_bytes;
+  update_stats_.latency_ms += watch.ElapsedMs();
+  if (!st.ok()) {
+    ++update_stats_.failed;
+    return st;
+  }
+  ++*op_counter;
+  published_epoch_.store(owner_.epoch(), std::memory_order_release);
+  return owner_.epoch();
 }
 
-Status SaeSystem::Delete(RecordId id) {
-  return owner_.DeleteRecord(id, &sp_, &te_, &do_sp_, &do_te_);
+Result<uint64_t> SaeSystem::InsertVersioned(const Record& record) {
+  return RunUpdate(&update_stats_.inserts, [&] {
+    return owner_.InsertRecord(record, &sp_, &te_, &do_sp_, &do_te_);
+  });
+}
+
+Result<uint64_t> SaeSystem::DeleteVersioned(RecordId id) {
+  return RunUpdate(&update_stats_.deletes, [&] {
+    return owner_.DeleteRecord(id, &sp_, &te_, &do_sp_, &do_te_);
+  });
+}
+
+UpdateStats SaeSystem::update_stats() const {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  return update_stats_;
 }
 
 // --- TomSystem ---------------------------------------------------------------
@@ -115,13 +222,18 @@ TomSystem::TomSystem(const Options& options)
                                       mbtree::MbTreeOptions{}}) {}
 
 Status TomSystem::Load(const std::vector<Record>& records) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
   std::vector<Record> sorted = SortByKey(records);
   SAE_RETURN_NOT_OK(owner_.LoadDataset(sorted));
   std::vector<uint8_t> shipment = SerializeRecords(sorted, codec_);
-  std::vector<uint8_t> sig_msg = SerializeSignature(owner_.signature());
+  std::vector<uint8_t> sig_msg =
+      SerializeSignature(owner_.signature(), owner_.epoch());
   do_sp_.Send(shipment);
   do_sp_.Send(sig_msg);
-  return sp_.LoadDataset(sorted, owner_.signature());
+  SAE_RETURN_NOT_OK(
+      sp_.LoadDataset(sorted, owner_.signature(), owner_.epoch()));
+  published_epoch_.store(owner_.epoch(), std::memory_order_release);
+  return Status::OK();
 }
 
 Result<TomSystem::QueryOutcome> TomSystem::Query(Key lo, Key hi,
@@ -131,14 +243,61 @@ Result<TomSystem::QueryOutcome> TomSystem::Query(Key lo, Key hi,
   return std::move(batch.outcomes[0]);
 }
 
+void TomSystem::CaptureStaleSnapshotLocked() {
+  if (stale_captured_) return;
+  auto snapshot = sp_.ExecuteRange(kMinKey, kMaxKey);
+  if (!snapshot.ok()) return;
+  stale_records_ = std::move(snapshot.value().results);
+  stale_signature_ = owner_.signature();  // pre-update: not yet re-signed
+  stale_epoch_ = owner_.epoch();
+  stale_captured_ = true;
+}
+
+const TomServiceProvider* TomSystem::StaleSp() {
+  if (!stale_captured_) return nullptr;
+  std::call_once(stale_build_once_, [this] {
+    auto sp = std::make_unique<TomServiceProvider>(
+        TomServiceProvider::Options{options_.record_size, options_.scheme,
+                                    options_.sp_index_pool_pages,
+                                    options_.sp_heap_pool_pages,
+                                    mbtree::MbTreeOptions{}});
+    if (sp->LoadDataset(stale_records_, stale_signature_, stale_epoch_)
+            .ok()) {
+      stale_sp_ = std::move(sp);
+    }
+    stale_records_.clear();
+    stale_records_.shrink_to_fit();
+  });
+  return stale_sp_.get();
+}
+
 Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(Key lo, Key hi,
                                                         AttackMode attack) {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  uint64_t published = owner_.epoch();
+
   QueryOutcome outcome;
   storage::BufferPool::Stats sp_index0 = sp_.index_pool_thread_stats();
   storage::BufferPool::Stats sp_heap0 = sp_.heap_pool_thread_stats();
 
-  SAE_ASSIGN_OR_RETURN(TomServiceProvider::QueryResponse response,
-                       sp_.ExecuteRange(lo, hi));
+  TomServiceProvider::QueryResponse response;
+  if (attack == AttackMode::kReplayStaleRoot) {
+    // Full replay: stale results + stale VO + the stale epoch-stamped
+    // signature — internally consistent, cryptographically valid for its
+    // own epoch. Only the freshness gate can reject it.
+    const TomServiceProvider* stale = StaleSp();
+    SAE_ASSIGN_OR_RETURN(response,
+                         (stale != nullptr ? *stale : sp_).ExecuteRange(lo, hi));
+    response.vo.epoch = StaleClaim(stale != nullptr, stale_epoch_, published);
+  } else if (attack == AttackMode::kStaleVt) {
+    // Stale authentication against the current result: the SP presents an
+    // old epoch's signature (TOM's analog of a replayed TE token).
+    SAE_ASSIGN_OR_RETURN(response, sp_.ExecuteRange(lo, hi));
+    response.vo.epoch = StaleClaim(stale_captured_, stale_epoch_, published);
+    if (stale_captured_) response.vo.signature = stale_signature_;
+  } else {
+    SAE_ASSIGN_OR_RETURN(response, sp_.ExecuteRange(lo, hi));
+  }
   outcome.results =
       ApplyAttack(response.results, attack, codec_,
                   attack_seed_.fetch_add(1, std::memory_order_relaxed));
@@ -161,28 +320,63 @@ Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(Key lo, Key hi,
   SAE_ASSIGN_OR_RETURN(mbtree::VerificationObject vo,
                        mbtree::VerificationObject::Deserialize(vo_msg));
   sim::Stopwatch watch;
-  outcome.verification = TomClient::Verify(
-      lo, hi, received, vo, owner_.public_key(), codec_, options_.scheme);
+  outcome.verification =
+      TomClient::Verify(lo, hi, received, vo, owner_.public_key(), codec_,
+                        options_.scheme, published);
   outcome.costs.client_verify_ms = watch.ElapsedMs();
   return outcome;
 }
 
-Status TomSystem::Insert(const Record& record) {
-  SAE_RETURN_NOT_OK(owner_.InsertRecord(record));
-  std::vector<uint8_t> shipment = SerializeRecords({record}, codec_);
-  std::vector<uint8_t> sig_msg = SerializeSignature(owner_.signature());
-  do_sp_.Send(shipment);
-  do_sp_.Send(sig_msg);
-  return sp_.ApplyInsert(record, owner_.signature());
+template <typename Fn>
+Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter, Fn&& apply) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  CaptureStaleSnapshotLocked();  // off the clock, see SaeSystem::RunUpdate
+  sim::Stopwatch watch;
+  uint64_t bytes0 = do_sp_.total_bytes();
+  size_t auth_bytes = 0;
+  Status st = apply(&auth_bytes);
+  size_t traffic = do_sp_.total_bytes() - bytes0;
+  update_stats_.shipment_bytes += traffic - auth_bytes;
+  update_stats_.auth_bytes += auth_bytes;
+  update_stats_.latency_ms += watch.ElapsedMs();
+  if (!st.ok()) {
+    ++update_stats_.failed;
+    return st;
+  }
+  ++*op_counter;
+  published_epoch_.store(owner_.epoch(), std::memory_order_release);
+  return owner_.epoch();
 }
 
-Status TomSystem::Delete(RecordId id) {
-  SAE_RETURN_NOT_OK(owner_.DeleteRecord(id));
-  std::vector<uint8_t> note = SerializeDelete(id, 0);
-  std::vector<uint8_t> sig_msg = SerializeSignature(owner_.signature());
-  do_sp_.Send(note);
-  do_sp_.Send(sig_msg);
-  return sp_.ApplyDelete(id, owner_.signature());
+Result<uint64_t> TomSystem::InsertVersioned(const Record& record) {
+  return RunUpdate(&update_stats_.inserts, [&](size_t* auth_bytes) {
+    SAE_RETURN_NOT_OK(owner_.InsertRecord(record));
+    std::vector<uint8_t> shipment = SerializeRecords({record}, codec_);
+    std::vector<uint8_t> sig_msg =
+        SerializeSignature(owner_.signature(), owner_.epoch());
+    *auth_bytes = sig_msg.size();
+    do_sp_.Send(shipment);
+    do_sp_.Send(sig_msg);
+    return sp_.ApplyInsert(record, owner_.signature(), owner_.epoch());
+  });
+}
+
+Result<uint64_t> TomSystem::DeleteVersioned(RecordId id) {
+  return RunUpdate(&update_stats_.deletes, [&](size_t* auth_bytes) {
+    SAE_RETURN_NOT_OK(owner_.DeleteRecord(id));
+    std::vector<uint8_t> note = SerializeDelete(id, 0);
+    std::vector<uint8_t> sig_msg =
+        SerializeSignature(owner_.signature(), owner_.epoch());
+    *auth_bytes = sig_msg.size();
+    do_sp_.Send(note);
+    do_sp_.Send(sig_msg);
+    return sp_.ApplyDelete(id, owner_.signature(), owner_.epoch());
+  });
+}
+
+UpdateStats TomSystem::update_stats() const {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  return update_stats_;
 }
 
 }  // namespace sae::core

@@ -3,17 +3,30 @@
 // End-to-end harnesses wiring the entities of each outsourcing model with
 // byte-metered channels. These are the top-level public API used by the
 // examples and the figure benches: load a dataset, run authenticated range
-// queries, optionally under an attacking SP, and read back per-party costs.
+// queries AND epoch-versioned updates — concurrently, from any number of
+// threads — optionally under an attacking SP, and read back per-party
+// costs.
+//
+// Concurrency discipline (reader-writer + epoch snapshot): each system owns
+// a std::shared_mutex. ExecuteQuery holds it shared for the whole query
+// (SP execution, TE token / VO, client verification), so a query observes
+// one frozen epoch end to end; Insert/Delete hold it unique, bump the DO's
+// epoch, and re-publish the authentication state. Queries and updates may
+// therefore interleave freely on the same system — no exclusive-access
+// phase is required.
 
 #ifndef SAE_CORE_SYSTEM_H_
 #define SAE_CORE_SYSTEM_H_
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/client.h"
 #include "core/data_owner.h"
+#include "core/epoch.h"
 #include "core/malicious_sp.h"
 #include "core/service_provider.h"
 #include "core/tom.h"
@@ -44,6 +57,19 @@ inline QueryCosts& operator+=(QueryCosts& a, const QueryCosts& b) {
   return a;
 }
 
+/// Aggregate cost of the update pipeline (DO -> parties), accumulated per
+/// system across all Insert/Delete calls. `shipment_bytes` is the record /
+/// deletion-notice traffic; `auth_bytes` is the epoch-notice (SAE) or
+/// root-signature (TOM) traffic riding along with it.
+struct UpdateStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t failed = 0;          ///< rejected updates (duplicate id, ...)
+  size_t shipment_bytes = 0;
+  size_t auth_bytes = 0;
+  double latency_ms = 0.0;      ///< summed wall time in the writer section
+};
+
 struct SaeSystemOptions {
   size_t record_size = storage::kDefaultRecordSize;
   crypto::HashScheme scheme = crypto::HashScheme::kSha1;
@@ -59,12 +85,14 @@ class SaeSystem {
 
   explicit SaeSystem(const Options& options = {});
 
-  /// Installs and outsources the dataset (DO -> SP, DO -> TE).
+  /// Installs and outsources the dataset (DO -> SP, DO -> TE), publishing
+  /// epoch 1.
   Status Load(const std::vector<Record>& records);
 
   struct QueryOutcome {
     std::vector<Record> results;  ///< what the (possibly malicious) SP sent
-    crypto::Digest vt;            ///< the TE's token
+    uint64_t claimed_epoch = 0;   ///< the epoch the SP stamped its answer
+    VerificationToken vt;         ///< the TE's epoch-stamped token
     Status verification;          ///< OK iff the client accepted the result
     QueryCosts costs;
   };
@@ -77,16 +105,33 @@ class SaeSystem {
 
   /// The thread-safe single-query operation QueryEngine workers invoke:
   /// runs SP execution, TE token generation, and client verification
-  /// entirely on the calling thread, attributing costs via per-thread pool
-  /// counters and per-query channel sessions. Many threads may call this
-  /// concurrently; updates (Insert/Delete/Load) require exclusive access.
+  /// entirely on the calling thread under a shared (reader) lock,
+  /// attributing costs via per-thread pool counters and per-query channel
+  /// sessions. Any number of threads may call this concurrently, and
+  /// Insert/Delete may interleave with it — writers simply serialize
+  /// against in-flight queries through the lock.
   Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
                                     AttackMode attack = AttackMode::kNone);
 
-  /// DO-side updates, propagated to SP and TE. Exclusive: do not run
-  /// concurrently with queries.
-  Status Insert(const Record& record);
-  Status Delete(RecordId id);
+  /// DO-side updates, propagated to SP and TE under the writer (unique)
+  /// lock with a fresh epoch. Safe to call concurrently with queries and
+  /// other updates. The Versioned variants return the epoch the update
+  /// published — the serialization point of the update, which the
+  /// interleaved stress suite replays against a serial oracle.
+  Result<uint64_t> InsertVersioned(const Record& record);
+  Result<uint64_t> DeleteVersioned(RecordId id);
+  Status Insert(const Record& record) {
+    return InsertVersioned(record).status();
+  }
+  Status Delete(RecordId id) { return DeleteVersioned(id).status(); }
+
+  /// Latest published epoch (the client's freshness reference).
+  uint64_t epoch() const {
+    return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Accumulated update-pipeline costs (snapshot by value).
+  UpdateStats update_stats() const;
 
   DataOwner& owner() { return owner_; }
   ServiceProvider& sp() { return sp_; }
@@ -98,6 +143,16 @@ class SaeSystem {
   const RecordCodec& codec() const { return owner_.codec(); }
 
  private:
+  /// Snapshots the pre-update SP state the first time a writer runs, so
+  /// kReplayStaleRoot has a genuine stale database to answer from.
+  void CaptureStaleSnapshotLocked();
+  /// Lazily materializes the stale SP from the captured records (readers
+  /// race through std::call_once). nullptr when no snapshot exists yet.
+  const ServiceProvider* StaleSp();
+
+  template <typename Fn>
+  Result<uint64_t> RunUpdate(uint64_t* op_counter, Fn&& apply);
+
   Options options_;
   DataOwner owner_;
   ServiceProvider sp_;
@@ -107,6 +162,21 @@ class SaeSystem {
   sim::Channel sp_client_{"SP->Client"};
   sim::Channel te_client_{"TE->Client"};
   std::atomic<uint64_t> attack_seed_{0xBADC0DE};
+
+  // Reader-writer coordination: queries shared, updates unique.
+  mutable std::shared_mutex rw_mu_;
+  // Mirror of owner_.epoch() readable without any lock (benches, stats).
+  std::atomic<uint64_t> published_epoch_{0};
+
+  // Update accounting, written under the unique lock.
+  UpdateStats update_stats_;
+
+  // Pre-update snapshot for the replay adversary.
+  bool stale_captured_ = false;          // written under unique lock
+  uint64_t stale_epoch_ = 0;
+  std::vector<Record> stale_records_;
+  std::once_flag stale_build_once_;
+  std::unique_ptr<ServiceProvider> stale_sp_;
 };
 
 struct TomSystemOptions {
@@ -130,7 +200,7 @@ class TomSystem {
 
   struct QueryOutcome {
     std::vector<Record> results;
-    mbtree::VerificationObject vo;
+    mbtree::VerificationObject vo;  ///< epoch-stamped, root-signed
     Status verification;
     QueryCosts costs;
   };
@@ -139,14 +209,25 @@ class TomSystem {
   Result<QueryOutcome> Query(Key lo, Key hi,
                              AttackMode attack = AttackMode::kNone);
 
-  /// Thread-safe single-query operation (see SaeSystem::ExecuteQuery).
+  /// Thread-safe single-query operation (see SaeSystem::ExecuteQuery):
+  /// shared lock for the whole query; interleaves with updates.
   Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
                                     AttackMode attack = AttackMode::kNone);
 
-  /// Updates flow DO -> SP together with a fresh root signature.
-  /// Exclusive: do not run concurrently with queries.
-  Status Insert(const Record& record);
-  Status Delete(RecordId id);
+  /// Updates flow DO -> SP together with a fresh epoch-stamped root
+  /// signature, under the writer lock; safe to interleave with queries.
+  Result<uint64_t> InsertVersioned(const Record& record);
+  Result<uint64_t> DeleteVersioned(RecordId id);
+  Status Insert(const Record& record) {
+    return InsertVersioned(record).status();
+  }
+  Status Delete(RecordId id) { return DeleteVersioned(id).status(); }
+
+  uint64_t epoch() const {
+    return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  UpdateStats update_stats() const;
 
   TomDataOwner& owner() { return owner_; }
   TomServiceProvider& sp() { return sp_; }
@@ -155,6 +236,12 @@ class TomSystem {
   const RecordCodec& codec() const { return codec_; }
 
  private:
+  void CaptureStaleSnapshotLocked();
+  const TomServiceProvider* StaleSp();
+
+  template <typename Fn>
+  Result<uint64_t> RunUpdate(uint64_t* op_counter, Fn&& apply);
+
   Options options_;
   RecordCodec codec_;
   TomDataOwner owner_;
@@ -162,6 +249,17 @@ class TomSystem {
   sim::Channel do_sp_{"DO->SP"};
   sim::Channel sp_client_{"SP->Client"};
   std::atomic<uint64_t> attack_seed_{0xBADC0DE};
+
+  mutable std::shared_mutex rw_mu_;
+  std::atomic<uint64_t> published_epoch_{0};
+  UpdateStats update_stats_;
+
+  bool stale_captured_ = false;
+  uint64_t stale_epoch_ = 0;
+  crypto::RsaSignature stale_signature_;
+  std::vector<Record> stale_records_;
+  std::once_flag stale_build_once_;
+  std::unique_ptr<TomServiceProvider> stale_sp_;
 };
 
 }  // namespace sae::core

@@ -26,7 +26,12 @@ TomDataOwner::TomDataOwner(const Options& options)
 }
 
 Status TomDataOwner::Resign() {
-  signature_ = crypto::RsaSignDigest(key_, mb_->root_digest());
+  // Epoch-stamped root signature: binds the signature to the update epoch
+  // so replayed pre-update roots are detectable (freshness).
+  signature_ = crypto::RsaSignDigest(
+      key_,
+      crypto::EpochStampedDigest(mb_->root_digest(), epoch_,
+                                 options_.scheme));
   return Status::OK();
 }
 
@@ -43,6 +48,7 @@ Status TomDataOwner::LoadDataset(const std::vector<Record>& sorted) {
     key_of_id_[record.id] = record.key;
   }
   SAE_RETURN_NOT_OK(mb_->BulkLoad(entries));
+  epoch_ = 1;  // the initial outsourcing is epoch 1
   return Resign();
 }
 
@@ -56,6 +62,7 @@ Status TomDataOwner::InsertRecord(const Record& record) {
       crypto::ComputeDigest(bytes.data(), bytes.size(), options_.scheme)};
   SAE_RETURN_NOT_OK(mb_->Insert(entry));
   key_of_id_[record.id] = record.key;
+  ++epoch_;
   return Resign();
 }
 
@@ -66,6 +73,7 @@ Status TomDataOwner::DeleteRecord(RecordId id) {
   }
   SAE_RETURN_NOT_OK(mb_->Delete(it->second, storage::Rid(id)));
   key_of_id_.erase(it);
+  ++epoch_;
   return Resign();
 }
 
@@ -85,7 +93,8 @@ TomServiceProvider::TomServiceProvider(const Options& options)
 }
 
 Status TomServiceProvider::LoadDataset(const std::vector<Record>& sorted,
-                                       crypto::RsaSignature signature) {
+                                       crypto::RsaSignature signature,
+                                       uint64_t epoch) {
   std::vector<mbtree::MbEntry> entries;
   entries.reserve(sorted.size());
   std::vector<uint8_t> scratch(codec_.record_size());
@@ -103,11 +112,13 @@ Status TomServiceProvider::LoadDataset(const std::vector<Record>& sorted,
   }
   SAE_RETURN_NOT_OK(mb_->BulkLoad(entries));
   signature_ = std::move(signature);
+  epoch_ = epoch;
   return Status::OK();
 }
 
 Status TomServiceProvider::ApplyInsert(const Record& record,
-                                       crypto::RsaSignature new_sig) {
+                                       crypto::RsaSignature new_sig,
+                                       uint64_t new_epoch) {
   if (rid_of_id_.count(record.id) > 0) {
     return Status::AlreadyExists("record id already present");
   }
@@ -123,11 +134,13 @@ Status TomServiceProvider::ApplyInsert(const Record& record,
   }
   rid_of_id_[record.id] = rid;
   signature_ = std::move(new_sig);
+  epoch_ = new_epoch;
   return Status::OK();
 }
 
 Status TomServiceProvider::ApplyDelete(RecordId id,
-                                       crypto::RsaSignature new_sig) {
+                                       crypto::RsaSignature new_sig,
+                                       uint64_t new_epoch) {
   auto it = rid_of_id_.find(id);
   if (it == rid_of_id_.end()) {
     return Status::NotFound("no record with this id");
@@ -140,6 +153,7 @@ Status TomServiceProvider::ApplyDelete(RecordId id,
   SAE_RETURN_NOT_OK(heap_.Delete(rid));
   rid_of_id_.erase(it);
   signature_ = std::move(new_sig);
+  epoch_ = new_epoch;
   return Status::OK();
 }
 
@@ -166,6 +180,7 @@ Result<TomServiceProvider::QueryResponse> TomServiceProvider::ExecuteRange(
     return bytes;
   };
   SAE_ASSIGN_OR_RETURN(response.vo, mb_->BuildVo(lo, hi, fetch));
+  response.vo.epoch = epoch_;
   response.vo.signature = signature_;
   return response;
 }
@@ -176,8 +191,9 @@ Status TomClient::Verify(Key lo, Key hi, const std::vector<Record>& results,
                          const mbtree::VerificationObject& vo,
                          const crypto::RsaPublicKey& owner_key,
                          const RecordCodec& codec,
-                         crypto::HashScheme scheme) {
-  return mbtree::VerifyVO(vo, lo, hi, results, owner_key, codec, scheme);
+                         crypto::HashScheme scheme, uint64_t current_epoch) {
+  return mbtree::VerifyVO(vo, lo, hi, results, owner_key, codec, scheme,
+                          current_epoch);
 }
 
 }  // namespace sae::core

@@ -39,14 +39,16 @@ struct TomDataOwnerOptions {
 };
 
 /// TOM's data owner: maintains a *local* copy of the ADS (the drawback SAE
-/// removes) and signs the root digest after every change.
+/// removes) and, after every change, bumps its epoch and signs the
+/// epoch-stamped root commitment EpochStampedDigest(root, epoch).
 class TomDataOwner {
  public:
   using Options = TomDataOwnerOptions;
 
   explicit TomDataOwner(const Options& options = {});
 
-  /// Builds the local ADS over the (key-sorted) dataset and signs its root.
+  /// Builds the local ADS over the (key-sorted) dataset and signs its root
+  /// at epoch 1.
   Status LoadDataset(const std::vector<Record>& sorted);
 
   Status InsertRecord(const Record& record);
@@ -54,6 +56,11 @@ class TomDataOwner {
 
   crypto::RsaPublicKey public_key() const { return key_.PublicKey(); }
   const crypto::RsaSignature& signature() const { return signature_; }
+
+  /// The latest published epoch (1 at load, +1 per update) — the client's
+  /// freshness reference. Guarded by the owning system's reader-writer
+  /// lock under concurrency.
+  uint64_t epoch() const { return epoch_; }
 
   /// Local ADS footprint — the DO-side burden TOM imposes.
   size_t AdsStorageBytes() const { return mb_->SizeBytes(); }
@@ -70,6 +77,7 @@ class TomDataOwner {
   std::unique_ptr<mbtree::MbTree> mb_;
   std::map<RecordId, Key> key_of_id_;  // master-copy view for deletions
   crypto::RsaSignature signature_;
+  uint64_t epoch_ = 0;
 };
 
 struct TomServiceProviderOptions {
@@ -87,20 +95,29 @@ class TomServiceProvider {
 
   explicit TomServiceProvider(const Options& options = {});
 
-  /// Ingests the dataset plus the DO's root signature.
+  /// Ingests the dataset plus the DO's root signature and its epoch.
   Status LoadDataset(const std::vector<Record>& sorted,
-                     crypto::RsaSignature signature);
+                     crypto::RsaSignature signature, uint64_t epoch = 0);
 
-  Status ApplyInsert(const Record& record, crypto::RsaSignature new_sig);
-  Status ApplyDelete(RecordId id, crypto::RsaSignature new_sig);
+  Status ApplyInsert(const Record& record, crypto::RsaSignature new_sig,
+                     uint64_t new_epoch);
+  Status ApplyDelete(RecordId id, crypto::RsaSignature new_sig,
+                     uint64_t new_epoch);
 
-  /// Installs a fresh root signature from the DO (e.g. after out-of-band
-  /// re-signing); normally signatures arrive with ApplyInsert/ApplyDelete.
-  void SetSignature(crypto::RsaSignature sig) { signature_ = std::move(sig); }
+  /// Installs a fresh root signature + epoch from the DO (e.g. after
+  /// out-of-band re-signing); normally they arrive with ApplyInsert/
+  /// ApplyDelete.
+  void SetSignature(crypto::RsaSignature sig, uint64_t epoch) {
+    signature_ = std::move(sig);
+    epoch_ = epoch;
+  }
+
+  /// The epoch the mirrored ADS reflects.
+  uint64_t epoch() const { return epoch_; }
 
   struct QueryResponse {
     std::vector<Record> results;          // key order
-    mbtree::VerificationObject vo;        // includes the root signature
+    mbtree::VerificationObject vo;        // epoch-stamped, signed root
   };
 
   /// Executes the range query and constructs the VO (paper §I). Safe to
@@ -144,18 +161,22 @@ class TomServiceProvider {
   std::unique_ptr<mbtree::MbTree> mb_;
   std::map<RecordId, storage::Rid> rid_of_id_;
   crypto::RsaSignature signature_;
+  uint64_t epoch_ = 0;
 };
 
 /// TOM's client-side verifier.
 class TomClient {
  public:
-  /// Verifies result+VO against the DO's public key (paper §I): soundness
-  /// via the signed root digest, completeness via the boundary records.
+  /// Verifies result+VO against the DO's public key (paper §I): freshness
+  /// via the epoch gate (kStaleEpoch when the VO lags `current_epoch`),
+  /// soundness via the signed epoch-stamped root digest, completeness via
+  /// the boundary records.
   static Status Verify(Key lo, Key hi, const std::vector<Record>& results,
                        const mbtree::VerificationObject& vo,
                        const crypto::RsaPublicKey& owner_key,
                        const RecordCodec& codec,
-                       crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+                       crypto::HashScheme scheme = crypto::HashScheme::kSha1,
+                       uint64_t current_epoch = 0);
 };
 
 }  // namespace sae::core

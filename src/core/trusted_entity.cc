@@ -43,8 +43,11 @@ Status TrustedEntity::DeleteRecord(Key key, RecordId id) {
   return xb_->Delete(key, id);
 }
 
-Result<crypto::Digest> TrustedEntity::GenerateVt(Key lo, Key hi) const {
-  return xb_->GenerateVT(lo, hi);
+Result<VerificationToken> TrustedEntity::GenerateVt(Key lo, Key hi) const {
+  VerificationToken vt;
+  vt.epoch = epoch();
+  SAE_ASSIGN_OR_RETURN(vt.digest, xb_->GenerateVT(lo, hi));
+  return vt;
 }
 
 }  // namespace sae::core

@@ -8,9 +8,11 @@
 #ifndef SAE_CORE_TRUSTED_ENTITY_H_
 #define SAE_CORE_TRUSTED_ENTITY_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "core/epoch.h"
 #include "crypto/digest.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -51,9 +53,18 @@ class TrustedEntity {
   Status DeleteRecord(Key key, RecordId id);
 
   /// Produces the verification token for [lo, hi] — two O(log n) tree
-  /// traversals, independent of the result size. Safe to call from many
-  /// threads concurrently (no concurrent Insert/Delete/Load).
-  Result<crypto::Digest> GenerateVt(Key lo, Key hi) const;
+  /// traversals, independent of the result size, stamped with the TE's
+  /// current epoch. Safe to call from many threads concurrently (writers
+  /// are fenced out by the owning system's reader-writer lock).
+  Result<VerificationToken> GenerateVt(Key lo, Key hi) const;
+
+  /// Epoch bookkeeping: the DO publishes a new epoch with every update
+  /// shipment (DataOwner bumps, the TE records). Standalone TEs built
+  /// without a DataOwner stay at epoch 0 and their tokens carry that.
+  void SetEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   const xbtree::XbTree& xb_tree() const { return *xb_; }
 
@@ -79,6 +90,7 @@ class TrustedEntity {
   // mutable: const reads fetch pages; the pool locks internally.
   mutable storage::BufferPool pool_;
   std::unique_ptr<xbtree::XbTree> xb_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace sae::core

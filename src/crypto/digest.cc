@@ -62,4 +62,15 @@ Digest CombineDigests(const Digest* digests, size_t count, HashScheme scheme) {
   return d;
 }
 
+Digest EpochStampedDigest(const Digest& base, uint64_t epoch,
+                          HashScheme scheme) {
+  // base (20B) || epoch (8B little-endian) — fixed 28-byte preimage.
+  uint8_t buf[Digest::kSize + 8];
+  std::memcpy(buf, base.bytes.data(), Digest::kSize);
+  for (size_t i = 0; i < 8; ++i) {
+    buf[Digest::kSize + i] = uint8_t(epoch >> (8 * i));
+  }
+  return ComputeDigest(buf, sizeof(buf), scheme);
+}
+
 }  // namespace sae::crypto

@@ -72,6 +72,14 @@ Digest ComputeDigest(const void* data, size_t len,
 Digest CombineDigests(const Digest* digests, size_t count,
                       HashScheme scheme = HashScheme::kSha1);
 
+/// Epoch-stamped commitment: H(base || epoch_le64). Signing this instead of
+/// the bare root digest binds every root signature to the DO's update epoch,
+/// so a replayed signature from an earlier database state carries its stale
+/// epoch with it and cannot speak for the current one. golden_test pins the
+/// byte-exact encoding for both hash schemes.
+Digest EpochStampedDigest(const Digest& base, uint64_t epoch,
+                          HashScheme scheme = HashScheme::kSha1);
+
 }  // namespace sae::crypto
 
 #endif  // SAE_CRYPTO_DIGEST_H_

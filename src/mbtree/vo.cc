@@ -206,6 +206,7 @@ VoItem& VoItem::operator=(const VoItem& other) {
 std::vector<uint8_t> VerificationObject::Serialize() const {
   ByteWriter w;
   SerializeNode(root, &w);
+  w.PutU64(epoch);
   w.PutU16(uint16_t(signature.size()));
   w.PutBytes(signature.data(), signature.size());
   return w.Release();
@@ -216,7 +217,9 @@ Result<VerificationObject> VerificationObject::Deserialize(
   ByteReader r(bytes);
   VerificationObject vo;
   SAE_ASSIGN_OR_RETURN(vo.root, DeserializeNode(&r));
+  vo.epoch = r.GetU64();
   uint16_t sig_len = r.GetU16();
+  if (r.failed()) return Status::Corruption("VO: truncated epoch/signature");
   vo.signature.resize(sig_len);
   if (!r.GetBytes(vo.signature.data(), sig_len) || r.failed()) {
     return Status::Corruption("VO: truncated signature");
@@ -228,7 +231,18 @@ Status VerifyVO(const VerificationObject& vo, storage::Key lo,
                 storage::Key hi, const std::vector<storage::Record>& results,
                 const crypto::RsaPublicKey& owner_key,
                 const storage::RecordCodec& codec,
-                crypto::HashScheme scheme) {
+                crypto::HashScheme scheme, uint64_t current_epoch) {
+  // 0. Freshness gate, before any cryptographic work: a replayed VO from a
+  // pre-update snapshot is internally consistent and would pass every
+  // check below against its own (old) signature — only the epoch exposes
+  // it. Checked first so staleness is reported distinctly.
+  if (vo.epoch < current_epoch) {
+    return Status::StaleEpoch("VO epoch lags the published epoch");
+  }
+  if (vo.epoch > current_epoch) {
+    return Status::VerificationFailure("VO claims a future epoch");
+  }
+
   // 1. Results must be sorted by key and inside [lo, hi].
   for (size_t i = 0; i < results.size(); ++i) {
     if (results[i].key < lo || results[i].key > hi) {
@@ -335,7 +349,11 @@ Status VerifyVO(const VerificationObject& vo, storage::Key lo,
   if (next_result != result_digests.size()) {
     return Status::VerificationFailure("VO: unconsumed result records");
   }
-  return crypto::RsaVerifyDigest(owner_key, root_digest, vo.signature);
+  // The DO signs the epoch-stamped commitment, never the bare root: the
+  // signature authenticates the epoch field checked above.
+  return crypto::RsaVerifyDigest(
+      owner_key, crypto::EpochStampedDigest(root_digest, vo.epoch, scheme),
+      vo.signature);
 }
 
 }  // namespace sae::mbtree

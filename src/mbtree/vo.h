@@ -53,9 +53,14 @@ struct VoNode {
   std::vector<VoItem> items;
 };
 
-/// Complete verification object as shipped SP -> client.
+/// Complete verification object as shipped SP -> client. The signature is
+/// the DO's RSA signature over the *epoch-stamped* root commitment
+/// crypto::EpochStampedDigest(root_digest, epoch), so the epoch field is
+/// authenticated: forging a fresher epoch breaks the signature, and a
+/// replayed old VO carries its old epoch.
 struct VerificationObject {
   VoNode root;
+  uint64_t epoch = 0;
   crypto::RsaSignature signature;
 
   /// Wire encoding; its size is the Fig. 5 "SP-Client (TOM)" series.
@@ -67,19 +72,25 @@ struct VerificationObject {
   size_t SerializedSize() const { return Serialize().size(); }
 };
 
-/// Client-side verification (paper §I): reconstructs the MB-tree root digest
-/// from `results` + the VO, checks the signature, and enforces the
-/// soundness/completeness structure (boundary keys enclose [lo, hi]; no
-/// hidden digests inside the result span; results sorted and in range).
+/// Client-side verification (paper §I): first the freshness gate — the
+/// VO's epoch must equal `current_epoch`, the latest one the DO published
+/// (a lagging epoch is a replayed pre-update snapshot -> kStaleEpoch; a
+/// future one is a forgery -> kVerificationFailure) — then reconstructs the
+/// MB-tree root digest from `results` + the VO, checks the signature over
+/// the epoch-stamped root commitment, and enforces the soundness/
+/// completeness structure (boundary keys enclose [lo, hi]; no hidden
+/// digests inside the result span; results sorted and in range).
 ///
 /// \param results records the SP returned, in key order
-/// \returns OK when the result is proven correct, VerificationFailure
-///          otherwise.
+/// \param current_epoch the latest published epoch (0 for static set-ups
+///        that never advance it)
+/// \returns OK when the result is proven correct and fresh.
 Status VerifyVO(const VerificationObject& vo, storage::Key lo,
                 storage::Key hi, const std::vector<storage::Record>& results,
                 const crypto::RsaPublicKey& owner_key,
                 const storage::RecordCodec& codec,
-                crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+                crypto::HashScheme scheme = crypto::HashScheme::kSha1,
+                uint64_t current_epoch = 0);
 
 }  // namespace sae::mbtree
 

@@ -107,6 +107,9 @@ std::vector<uint8_t> SigChainVo::Serialize() const {
   w.PutBytes(outer_right.bytes.data(), crypto::Digest::kSize);
   w.PutU16(uint16_t(condensed.size()));
   w.PutBytes(condensed.data(), condensed.size());
+  w.PutU64(epoch);
+  w.PutU16(uint16_t(epoch_sig.size()));
+  w.PutBytes(epoch_sig.data(), epoch_sig.size());
   return w.Release();
 }
 
@@ -133,8 +136,22 @@ Result<SigChainVo> SigChainVo::Deserialize(const std::vector<uint8_t>& bytes) {
   uint16_t sig_len = r.GetU16();
   vo.condensed.resize(sig_len);
   r.GetBytes(vo.condensed.data(), sig_len);
+  vo.epoch = r.GetU64();
+  uint16_t epoch_sig_len = r.GetU16();
+  if (r.failed()) return Status::Corruption("sig-chain VO truncated");
+  vo.epoch_sig.resize(epoch_sig_len);
+  r.GetBytes(vo.epoch_sig.data(), epoch_sig_len);
   if (r.failed()) return Status::Corruption("sig-chain VO truncated");
   return vo;
+}
+
+crypto::Digest EpochTokenDigest(uint64_t epoch, crypto::HashScheme scheme) {
+  // Domain separation: stamp the epoch onto H("sigchain-epoch") so the
+  // token can never collide with a chain digest.
+  static constexpr char kDomain[] = "sigchain-epoch";
+  crypto::Digest base =
+      crypto::ComputeDigest(kDomain, sizeof(kDomain) - 1, scheme);
+  return crypto::EpochStampedDigest(base, epoch, scheme);
 }
 
 // --- owner ---------------------------------------------------------------------
@@ -170,7 +187,17 @@ Result<std::vector<crypto::RsaSignature>> SigChainOwner::SignDataset(
     sigs.push_back(crypto::RsaSignDigest(
         key_, ChainDigest(prev, digests[i], next, options_.scheme)));
   }
+  epoch_ = 1;  // the initial signing publishes epoch 1
+  epoch_sig_ =
+      crypto::RsaSignDigest(key_, EpochTokenDigest(epoch_, options_.scheme));
   return sigs;
+}
+
+uint64_t SigChainOwner::AdvanceEpoch() {
+  ++epoch_;
+  epoch_sig_ =
+      crypto::RsaSignDigest(key_, EpochTokenDigest(epoch_, options_.scheme));
+  return epoch_;
 }
 
 // --- SP ------------------------------------------------------------------------
@@ -289,6 +316,8 @@ Result<SigChainSp::QueryResponse> SigChainSp::ExecuteRange(Key lo, Key hi) {
     sigs.push_back(std::move(sig));
   }
   response.vo.condensed = CondenseSignatures(sigs, owner_key_);
+  response.vo.epoch = epoch_;
+  response.vo.epoch_sig = epoch_sig_;
   return response;
 }
 
@@ -299,7 +328,26 @@ Status SigChainClient::Verify(Key lo, Key hi,
                               const SigChainVo& vo,
                               const crypto::RsaPublicKey& owner_key,
                               const RecordCodec& codec,
-                              crypto::HashScheme scheme) {
+                              crypto::HashScheme scheme,
+                              uint64_t current_epoch) {
+  // 0. Freshness gate: the epoch token must speak for the latest published
+  // epoch and carry the DO's signature over it. Checked before everything
+  // else so a replayed pre-update VO reports as staleness.
+  if (vo.epoch < current_epoch) {
+    return Status::StaleEpoch("sig-chain VO epoch lags the published epoch");
+  }
+  if (vo.epoch > current_epoch) {
+    return Status::VerificationFailure("sig-chain VO claims a future epoch");
+  }
+  if (current_epoch > 0) {
+    Status token_ok = crypto::RsaVerifyDigest(
+        owner_key, EpochTokenDigest(vo.epoch, scheme), vo.epoch_sig);
+    if (!token_ok.ok()) {
+      return Status::VerificationFailure(
+          "sig-chain VO epoch token signature invalid");
+    }
+  }
+
   // 1. Results sorted and in range.
   for (size_t i = 0; i < results.size(); ++i) {
     if (results[i].key < lo || results[i].key > hi) {

@@ -64,6 +64,24 @@ Status VerifyCondensed(const crypto::RsaPublicKey& key,
                        const std::vector<crypto::Digest>& chain_digests,
                        const crypto::RsaSignature& condensed);
 
+/// The commitment the DO signs to publish epoch e for the chained dataset:
+/// EpochStampedDigest over a fixed domain-separation digest. Per-record
+/// chain signatures never change on an epoch bump (re-signing the whole
+/// chain per update would be absurd); instead ONE signed epoch token rides
+/// in every VO.
+///
+/// KNOWN LIMITATION (inherent to the scheme, not this implementation):
+/// the token authenticates the epoch *number*, not the dataset state —
+/// sigchain has no root digest to stamp. It therefore defeats token
+/// replay (an old epoch token is rejected as stale), but an SP that
+/// attaches the CURRENT token to stale results with their still-valid old
+/// chain signatures passes; full freshness would require revoking or
+/// re-binding the per-record signatures (the DSAC line's known update
+/// weakness, quantified in bench_ablation_schemes). TOM avoids this by
+/// signing H(root || epoch); SAE by the trusted TE stamping live state.
+crypto::Digest EpochTokenDigest(
+    uint64_t epoch, crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+
 /// The verification object of the signature-chaining scheme.
 struct SigChainVo {
   /// Boundary records enclosing the result (empty vector = result touches
@@ -77,6 +95,10 @@ struct SigChainVo {
   /// Condensed signature over every chain hash from the left boundary to
   /// the right boundary inclusive.
   crypto::RsaSignature condensed;
+  /// Freshness: the epoch this answer speaks for plus the DO's signature
+  /// over EpochTokenDigest(epoch).
+  uint64_t epoch = 0;
+  crypto::RsaSignature epoch_sig;
 
   std::vector<uint8_t> Serialize() const;
   static Result<SigChainVo> Deserialize(const std::vector<uint8_t>& bytes);
@@ -95,20 +117,30 @@ class SigChainOwner {
   explicit SigChainOwner(const Options& options);
 
   /// Signs the (key-sorted) dataset; returns per-record signatures in the
-  /// same order.
+  /// same order. Publishes epoch 1 (see epoch()/epoch_signature()).
   Result<std::vector<crypto::RsaSignature>> SignDataset(
       const std::vector<Record>& sorted);
 
   crypto::RsaPublicKey public_key() const { return key_.PublicKey(); }
 
+  /// Freshness publication: the current epoch and the DO's signature over
+  /// its token. AdvanceEpoch models an update's re-publication (one extra
+  /// RSA signature per update on top of the three chain re-signs).
+  uint64_t epoch() const { return epoch_; }
+  const crypto::RsaSignature& epoch_signature() const { return epoch_sig_; }
+  uint64_t AdvanceEpoch();
+
   /// Per-update cost marker: chain re-signing touches the record and both
-  /// neighbors, i.e. three signatures per insert/delete.
+  /// neighbors, i.e. three signatures per insert/delete (plus the epoch
+  /// token).
   static constexpr int kSignaturesPerUpdate = 3;
 
  private:
   Options options_;
   RecordCodec codec_;
   crypto::RsaPrivateKey key_;
+  uint64_t epoch_ = 0;
+  crypto::RsaSignature epoch_sig_;
 };
 
 /// SP side: conventional table plus a per-record signature store.
@@ -136,6 +168,15 @@ class SigChainSp {
   };
 
   Result<QueryResponse> ExecuteRange(Key lo, Key hi);
+
+  /// Installs the DO's published epoch + token signature; ExecuteRange
+  /// stamps them into every VO. Static set-ups that never call this stay
+  /// at epoch 0 with an empty token.
+  void SetEpoch(uint64_t epoch, crypto::RsaSignature epoch_sig) {
+    epoch_ = epoch;
+    epoch_sig_ = std::move(epoch_sig);
+  }
+  uint64_t epoch() const { return epoch_; }
 
   size_t StorageBytes() const {
     return table_heap_.SizeBytes() + sig_heap_.SizeBytes() +
@@ -175,17 +216,23 @@ class SigChainSp {
   std::vector<storage::Rid> sig_rids_;
   std::vector<Key> keys_;  // sorted keys for ordinal binary search
   crypto::RsaPublicKey owner_key_;
+  uint64_t epoch_ = 0;
+  crypto::RsaSignature epoch_sig_;
 };
 
 /// Client side verification.
 class SigChainClient {
  public:
   /// Verifies `results` for [lo, hi] against the VO and the DO's key.
+  /// Freshness first: the VO's epoch must equal `current_epoch` (lagging ->
+  /// kStaleEpoch) and its token signature must verify; then the chain and
+  /// condensed-signature checks.
   static Status Verify(Key lo, Key hi, const std::vector<Record>& results,
                        const SigChainVo& vo,
                        const crypto::RsaPublicKey& owner_key,
                        const RecordCodec& codec,
-                       crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+                       crypto::HashScheme scheme = crypto::HashScheme::kSha1,
+                       uint64_t current_epoch = 0);
 };
 
 }  // namespace sae::sigchain

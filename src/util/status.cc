@@ -27,6 +27,8 @@ const char* CodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kVerificationFailure:
       return "VerificationFailure";
+    case StatusCode::kStaleEpoch:
+      return "StaleEpoch";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
   }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kCorruption,
   kOutOfRange,
   kVerificationFailure,
+  kStaleEpoch,
   kUnimplemented,
 };
 
@@ -53,6 +54,11 @@ class Status {
   }
   static Status VerificationFailure(std::string msg) {
     return Status(StatusCode::kVerificationFailure, std::move(msg));
+  }
+  /// Freshness violation: the proof is cryptographically sound but speaks
+  /// for an epoch older than the latest one the DO published.
+  static Status StaleEpoch(std::string msg) {
+    return Status(StatusCode::kStaleEpoch, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

@@ -57,12 +57,35 @@ TEST(MessagesTest, QueryRoundTrip) {
 }
 
 TEST(MessagesTest, VtRoundTripAndSize) {
-  crypto::Digest d = crypto::ComputeDigest("x", 1);
-  auto bytes = SerializeVt(d);
-  EXPECT_EQ(bytes.size(), 21u);  // 1 tag + 20 digest — "a few bytes" (paper)
+  VerificationToken vt;
+  vt.epoch = 42;
+  vt.digest = crypto::ComputeDigest("x", 1);
+  auto bytes = SerializeVt(vt);
+  // 1 tag + 8 epoch + 20 digest — still constant, still "a few bytes".
+  EXPECT_EQ(bytes.size(), 29u);
   auto back = DeserializeVt(bytes);
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back.value(), d);
+  EXPECT_EQ(back.value(), vt);
+}
+
+TEST(MessagesTest, ResultsRoundTripCarriesEpoch) {
+  RecordCodec codec(kRecSize);
+  std::vector<Record> records = SmallDataset(7);
+  auto bytes = SerializeResults(records, 99, codec);
+  auto back = DeserializeResults(bytes, codec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().first, records);
+  EXPECT_EQ(back.value().second, 99u);
+  // Epoch stamp costs exactly 8 bytes over the plain records message.
+  EXPECT_EQ(bytes.size(), SerializeRecords(records, codec).size() + 8);
+}
+
+TEST(MessagesTest, EpochNoticeRoundTrip) {
+  auto bytes = SerializeEpochNotice(0xDEADBEEFu);
+  EXPECT_EQ(bytes.size(), 9u);  // tag + u64
+  auto back = DeserializeEpochNotice(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), 0xDEADBEEFu);
 }
 
 TEST(MessagesTest, DeleteRoundTrip) {
@@ -75,17 +98,20 @@ TEST(MessagesTest, DeleteRoundTrip) {
 
 TEST(MessagesTest, SignatureRoundTrip) {
   crypto::RsaSignature sig{1, 2, 3, 4, 5};
-  auto back = DeserializeSignature(SerializeSignature(sig));
+  auto back = DeserializeSignature(SerializeSignature(sig, 17));
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back.value(), sig);
+  EXPECT_EQ(back.value().first, sig);
+  EXPECT_EQ(back.value().second, 17u);
 }
 
 TEST(MessagesTest, MistaggedMessagesRejected) {
-  auto vt_bytes = SerializeVt(crypto::Digest::Zero());
+  auto vt_bytes = SerializeVt(VerificationToken{});
   EXPECT_FALSE(DeserializeQuery(vt_bytes).ok());
   EXPECT_FALSE(DeserializeSignature(vt_bytes).ok());
+  EXPECT_FALSE(DeserializeEpochNotice(vt_bytes).ok());
   RecordCodec codec(kRecSize);
   EXPECT_FALSE(DeserializeRecords(vt_bytes, codec).ok());
+  EXPECT_FALSE(DeserializeResults(vt_bytes, codec).ok());
 }
 
 // --- SAE client ----------------------------------------------------------------
@@ -205,6 +231,49 @@ TEST_F(SaeEntitiesTest, UpdatesPropagate) {
       Client::VerifyResult(results.value(), vt.value(), owner_.codec()).ok());
 }
 
+TEST_F(SaeEntitiesTest, EpochPublishedToBothParties) {
+  Outsource(30);
+  // Outsourcing publishes epoch 1 to SP and TE; every update bumps it.
+  EXPECT_EQ(owner_.epoch(), 1u);
+  EXPECT_EQ(sp_.epoch(), 1u);
+  EXPECT_EQ(te_.epoch(), 1u);
+
+  RecordCodec codec(kRecSize);
+  ASSERT_TRUE(owner_
+                  .InsertRecord(codec.MakeRecord(1000, 105), &sp_, &te_,
+                                &do_sp_, &do_te_)
+                  .ok());
+  EXPECT_EQ(owner_.epoch(), 2u);
+  EXPECT_EQ(sp_.epoch(), 2u);
+  EXPECT_EQ(te_.epoch(), 2u);
+  // The TE stamps its epoch into every token.
+  EXPECT_EQ(te_.GenerateVt(0, 1000).value().epoch, 2u);
+
+  // A failed update must not advance the epoch.
+  EXPECT_EQ(owner_.DeleteRecord(9999, &sp_, &te_, &do_sp_, &do_te_).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(owner_.epoch(), 2u);
+
+  // The full client check accepts only the published epoch.
+  auto results = sp_.ExecuteRange(0, 10000).ValueOrDie();
+  auto vt = te_.GenerateVt(0, 10000).ValueOrDie();
+  EXPECT_TRUE(Client::VerifyResult(results, vt, sp_.epoch(), owner_.epoch(),
+                                   owner_.codec())
+                  .ok());
+  // Stale token (older epoch) -> distinct freshness failure.
+  VerificationToken stale = vt;
+  stale.epoch = 1;
+  EXPECT_EQ(Client::VerifyResult(results, stale, sp_.epoch(),
+                                 owner_.epoch(), owner_.codec())
+                .code(),
+            StatusCode::kStaleEpoch);
+  // Stale SP claim -> distinct freshness failure.
+  EXPECT_EQ(Client::VerifyResult(results, vt, /*claimed=*/1,
+                                 owner_.epoch(), owner_.codec())
+                .code(),
+            StatusCode::kStaleEpoch);
+}
+
 TEST(TeStorageTest, SmallFractionOfSpAtPaperRecordSize) {
   // With the paper's 500-byte records the TE keeps ~68 bytes per record
   // (36-byte tuple chunk + amortized XB-tree entry) versus the SP's 500-byte
@@ -259,7 +328,15 @@ class TomEntitiesTest : public ::testing::Test {
   void Load(size_t n) {
     auto records = SmallDataset(n);
     ASSERT_TRUE(owner_.LoadDataset(records).ok());
-    ASSERT_TRUE(sp_.LoadDataset(records, owner_.signature()).ok());
+    ASSERT_TRUE(
+        sp_.LoadDataset(records, owner_.signature(), owner_.epoch()).ok());
+  }
+
+  Status Verify(Key lo, Key hi, const std::vector<Record>& results,
+                const mbtree::VerificationObject& vo) {
+    return TomClient::Verify(lo, hi, results, vo, owner_.public_key(),
+                             codec_, crypto::HashScheme::kSha1,
+                             owner_.epoch());
   }
 
   TomDataOwner owner_;
@@ -272,23 +349,27 @@ TEST_F(TomEntitiesTest, HonestQueryVerifies) {
   auto response = sp_.ExecuteRange(500, 1500);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.value().results.size(), 101u);
-  EXPECT_TRUE(TomClient::Verify(500, 1500, response.value().results,
-                                response.value().vo, owner_.public_key(),
-                                codec_)
-                  .ok());
+  EXPECT_EQ(response.value().vo.epoch, 1u);
+  EXPECT_TRUE(
+      Verify(500, 1500, response.value().results, response.value().vo).ok());
 }
 
 TEST_F(TomEntitiesTest, DoAndSpAdsStayInSync) {
   Load(100);
   EXPECT_EQ(owner_.ads().root_digest(), sp_.ads().root_digest());
+  EXPECT_EQ(owner_.epoch(), 1u);
   RecordCodec codec(kRecSize);
   Record fresh = codec.MakeRecord(500, 333);
   ASSERT_TRUE(owner_.InsertRecord(fresh).ok());
-  ASSERT_TRUE(sp_.ApplyInsert(fresh, owner_.signature()).ok());
+  ASSERT_TRUE(
+      sp_.ApplyInsert(fresh, owner_.signature(), owner_.epoch()).ok());
   EXPECT_EQ(owner_.ads().root_digest(), sp_.ads().root_digest());
+  EXPECT_EQ(owner_.epoch(), 2u);
+  EXPECT_EQ(sp_.epoch(), 2u);
   ASSERT_TRUE(owner_.DeleteRecord(7).ok());
-  ASSERT_TRUE(sp_.ApplyDelete(7, owner_.signature()).ok());
+  ASSERT_TRUE(sp_.ApplyDelete(7, owner_.signature(), owner_.epoch()).ok());
   EXPECT_EQ(owner_.ads().root_digest(), sp_.ads().root_digest());
+  EXPECT_EQ(owner_.epoch(), 3u);
 }
 
 TEST_F(TomEntitiesTest, QueryAfterUpdatesVerifies) {
@@ -297,18 +378,17 @@ TEST_F(TomEntitiesTest, QueryAfterUpdatesVerifies) {
   for (uint64_t id = 500; id < 520; ++id) {
     Record fresh = codec.MakeRecord(id, uint32_t(id * 3));
     ASSERT_TRUE(owner_.InsertRecord(fresh).ok());
-    ASSERT_TRUE(sp_.ApplyInsert(fresh, owner_.signature()).ok());
+    ASSERT_TRUE(
+        sp_.ApplyInsert(fresh, owner_.signature(), owner_.epoch()).ok());
   }
   for (uint64_t id = 10; id < 20; ++id) {
     ASSERT_TRUE(owner_.DeleteRecord(id).ok());
-    ASSERT_TRUE(sp_.ApplyDelete(id, owner_.signature()).ok());
+    ASSERT_TRUE(sp_.ApplyDelete(id, owner_.signature(), owner_.epoch()).ok());
   }
   auto response = sp_.ExecuteRange(0, 5000);
   ASSERT_TRUE(response.ok());
-  EXPECT_TRUE(TomClient::Verify(0, 5000, response.value().results,
-                                response.value().vo, owner_.public_key(),
-                                codec_)
-                  .ok());
+  EXPECT_TRUE(
+      Verify(0, 5000, response.value().results, response.value().vo).ok());
 }
 
 TEST_F(TomEntitiesTest, TamperedResultsRejected) {
@@ -320,9 +400,8 @@ TEST_F(TomEntitiesTest, TamperedResultsRejected) {
         AttackMode::kTamperPayload, AttackMode::kDropAll}) {
     std::vector<Record> tampered =
         ApplyAttack(response.value().results, mode, codec_, 13);
-    EXPECT_FALSE(TomClient::Verify(100, 900, tampered, response.value().vo,
-                                   owner_.public_key(), codec_)
-                     .ok())
+    EXPECT_FALSE(
+        Verify(100, 900, tampered, response.value().vo).ok())
         << "mode " << int(mode);
   }
 }

@@ -88,12 +88,91 @@ TEST(GoldenTest, QueryMessageWireFormat) {
 }
 
 TEST(GoldenTest, VtMessageWireFormat) {
-  crypto::Digest d;
-  for (size_t i = 0; i < d.bytes.size(); ++i) d.bytes[i] = uint8_t(i);
-  std::vector<uint8_t> bytes = core::SerializeVt(d);
+  core::VerificationToken vt;
+  vt.epoch = 0x0807060504030201ull;
+  for (size_t i = 0; i < vt.digest.bytes.size(); ++i) {
+    vt.digest.bytes[i] = uint8_t(i);
+  }
+  std::vector<uint8_t> bytes = core::SerializeVt(vt);
+  // tag || epoch (8B LE) || digest (20B).
   EXPECT_EQ(HexEncode(bytes.data(), bytes.size()),
-            "03000102030405060708090a0b0c0d0e0f10111213");
-  EXPECT_EQ(bytes.size(), 21u);
+            "030102030405060708000102030405060708090a0b0c0d0e0f10111213");
+  EXPECT_EQ(bytes.size(), 29u);
+}
+
+TEST(GoldenTest, ResultsMessageWireFormat) {
+  RecordCodec codec(20);
+  Record r;
+  r.id = 0x0102030405060708ull;
+  r.key = 0x0A0B0C0Du;
+  r.payload = {0xAA, 0xBB};
+  std::vector<uint8_t> bytes =
+      core::SerializeResults({r}, 0x0807060504030201ull, codec);
+  // tag || epoch (8B LE) || record_size (4B LE) || count (8B LE) || records.
+  EXPECT_EQ(HexEncode(bytes.data(), bytes.size()),
+            "07010203040506070814000000010000000000000008070605040302010d0c0b"
+            "0aaabb000000000000");
+}
+
+TEST(GoldenTest, EpochNoticeWireFormat) {
+  std::vector<uint8_t> bytes =
+      core::SerializeEpochNotice(0x0807060504030201ull);
+  EXPECT_EQ(HexEncode(bytes.data(), bytes.size()), "060102030405060708");
+}
+
+TEST(GoldenTest, SignatureMessageWireFormat) {
+  crypto::RsaSignature sig{0xDE, 0xAD, 0xBE, 0xEF};
+  std::vector<uint8_t> bytes =
+      core::SerializeSignature(sig, 0x0807060504030201ull);
+  // tag || epoch (8B LE) || sig_len (2B LE) || sig bytes.
+  EXPECT_EQ(HexEncode(bytes.data(), bytes.size()),
+            "0401020304050607080400deadbeef");
+}
+
+// The commitment every root signature covers: H(root || epoch_le64). This
+// is the wire-level security contract of the freshness scheme — pinned
+// byte-exactly for BOTH hash schemes so it cannot drift silently.
+TEST(GoldenTest, EpochStampedRootSignatureEncodingSha1) {
+  crypto::Digest root;
+  for (size_t i = 0; i < root.bytes.size(); ++i) root.bytes[i] = uint8_t(i);
+  crypto::Digest stamped =
+      crypto::EpochStampedDigest(root, 0x0807060504030201ull,
+                                 crypto::HashScheme::kSha1);
+  // SHA-1 of the 28-byte preimage 000102..13 || 0102030405060708.
+  EXPECT_EQ(stamped.ToHex(), "f1068c9b5447945723e55ef23acb7b7ada8a4b80");
+  // Must agree with hashing the hand-assembled preimage.
+  auto preimage =
+      HexDecode("000102030405060708090a0b0c0d0e0f101112130102030405060708");
+  EXPECT_EQ(stamped,
+            crypto::ComputeDigest(preimage.data(), preimage.size(),
+                                  crypto::HashScheme::kSha1));
+}
+
+TEST(GoldenTest, EpochStampedRootSignatureEncodingSha256) {
+  crypto::Digest root;
+  for (size_t i = 0; i < root.bytes.size(); ++i) root.bytes[i] = uint8_t(i);
+  crypto::Digest stamped =
+      crypto::EpochStampedDigest(root, 0x0807060504030201ull,
+                                 crypto::HashScheme::kSha256Trunc);
+  // SHA-256 (truncated to 20 bytes) of the same 28-byte preimage.
+  EXPECT_EQ(stamped.ToHex(), "a20337f594a9847c521934656e8590570fc323a9");
+  auto preimage =
+      HexDecode("000102030405060708090a0b0c0d0e0f101112130102030405060708");
+  EXPECT_EQ(stamped,
+            crypto::ComputeDigest(preimage.data(), preimage.size(),
+                                  crypto::HashScheme::kSha256Trunc));
+}
+
+// Epoch zero must reproduce the same stamping rule (no special casing) —
+// static set-ups sign EpochStampedDigest(root, 0), never the bare root.
+TEST(GoldenTest, EpochStampZeroDiffersFromBareRoot) {
+  crypto::Digest root = crypto::ComputeDigest("root", 4);
+  for (auto scheme :
+       {crypto::HashScheme::kSha1, crypto::HashScheme::kSha256Trunc}) {
+    crypto::Digest stamped = crypto::EpochStampedDigest(root, 0, scheme);
+    EXPECT_NE(stamped, root);
+    EXPECT_NE(stamped, crypto::EpochStampedDigest(root, 1, scheme));
+  }
 }
 
 TEST(GoldenTest, DeleteMessageWireFormat) {
@@ -127,6 +206,7 @@ TEST(GoldenTest, VoWireFormatStability) {
     return codec.Serialize(records.at(rid));
   };
   auto vo = tree->BuildVo(20, 40, fetch).ValueOrDie();
+  vo.epoch = 7;
   vo.signature = {0xDE, 0xAD};
   std::vector<uint8_t> bytes = vo.Serialize();
 

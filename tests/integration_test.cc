@@ -109,7 +109,8 @@ TEST_F(SystemsTest, VtIsConstantSizeVoGrows) {
   auto wide_sae = sae_->Query(10000, 40000).value();
   EXPECT_EQ(narrow_sae.costs.auth_bytes, wide_sae.costs.auth_bytes)
       << "VT must not grow with the result";
-  EXPECT_EQ(wide_sae.costs.auth_bytes, 21u);  // tag + 20-byte digest
+  // tag + 8-byte epoch stamp + 20-byte digest.
+  EXPECT_EQ(wide_sae.costs.auth_bytes, 29u);
 
   auto narrow_tom = tom_->Query(10000, 10300).value();
   EXPECT_GT(narrow_tom.costs.auth_bytes, 50 * narrow_sae.costs.auth_bytes)
@@ -202,7 +203,7 @@ TEST_F(SystemsTest, ChannelMeteringTracksTraffic) {
   LoadBoth(1000);
   uint64_t before = sae_->te_client_channel().total_bytes();
   ASSERT_TRUE(sae_->Query(0, 1000).ok());
-  EXPECT_EQ(sae_->te_client_channel().total_bytes(), before + 21);
+  EXPECT_EQ(sae_->te_client_channel().total_bytes(), before + 29);
   EXPECT_GT(sae_->do_sp_channel().total_bytes(), 1000 * kRecSize);
 }
 

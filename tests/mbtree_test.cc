@@ -95,7 +95,8 @@ class MbFixture : public ::testing::Test {
     auto vo = tree_->BuildVo(lo, hi, Fetcher());
     if (!vo.ok()) return vo.status();
     vo.value().signature =
-        crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+        crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
     // Exercise the wire format every time.
     auto reparsed =
         VerificationObject::Deserialize(vo.value().Serialize());
@@ -216,7 +217,8 @@ TEST_F(MbFixture, DetectsDroppedRecord) {
   std::vector<Record> results = Expected(100, 500);
   ASSERT_GE(results.size(), 3u);
   auto vo = tree_->BuildVo(100, 500, Fetcher()).ValueOrDie();
-  vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  vo.signature = crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
 
   std::vector<Record> tampered = results;
   tampered.erase(tampered.begin() + 1);
@@ -230,7 +232,8 @@ TEST_F(MbFixture, DetectsInjectedRecord) {
   for (uint64_t i = 0; i < 100; ++i) InsertRecord(i + 1, uint32_t(i * 11));
   std::vector<Record> results = Expected(100, 500);
   auto vo = tree_->BuildVo(100, 500, Fetcher()).ValueOrDie();
-  vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  vo.signature = crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
 
   std::vector<Record> tampered = results;
   tampered.insert(tampered.begin() + 1, codec_.MakeRecord(9999, 150));
@@ -245,7 +248,8 @@ TEST_F(MbFixture, DetectsModifiedRecord) {
   std::vector<Record> results = Expected(100, 500);
   ASSERT_FALSE(results.empty());
   auto vo = tree_->BuildVo(100, 500, Fetcher()).ValueOrDie();
-  vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  vo.signature = crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
 
   std::vector<Record> tampered = results;
   tampered[0].payload[0] ^= 0xFF;
@@ -258,7 +262,8 @@ TEST_F(MbFixture, DetectsStaleSignature) {
   MakeTree();
   for (uint64_t i = 0; i < 50; ++i) InsertRecord(i + 1, uint32_t(i * 13));
   crypto::RsaSignature stale =
-      crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+      crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
   InsertRecord(1000, 333);  // root digest moves on
 
   std::vector<Record> results = Expected(0, 10000);
@@ -274,7 +279,8 @@ TEST_F(MbFixture, DetectsWrongQueryRangeClaim) {
   // VO constructed for [100, 500] cannot verify for [100, 600].
   std::vector<Record> results = Expected(100, 500);
   auto vo = tree_->BuildVo(100, 500, Fetcher()).ValueOrDie();
-  vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  vo.signature = crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
   EXPECT_FALSE(
       VerifyVO(vo, 100, 600, results, SharedKey()->PublicKey(), codec_).ok());
 }
@@ -283,7 +289,8 @@ TEST_F(MbFixture, VoSerializationRoundTrip) {
   MakeTree();
   for (uint64_t i = 0; i < 150; ++i) InsertRecord(i + 1, uint32_t(i * 4));
   auto vo = tree_->BuildVo(40, 360, Fetcher()).ValueOrDie();
-  vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  vo.signature = crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
   std::vector<uint8_t> bytes = vo.Serialize();
   auto back = VerificationObject::Deserialize(bytes);
   ASSERT_TRUE(back.ok());
@@ -301,7 +308,8 @@ TEST_F(MbFixture, VoDeserializeRejectsTruncation) {
   MakeTree();
   for (uint64_t i = 0; i < 60; ++i) InsertRecord(i + 1, uint32_t(i * 4));
   auto vo = tree_->BuildVo(40, 120, Fetcher()).ValueOrDie();
-  vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  vo.signature = crypto::RsaSignDigest(
+        *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 0));
   std::vector<uint8_t> bytes = vo.Serialize();
   for (size_t cut : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
     std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
@@ -370,7 +378,8 @@ TEST_P(MbRandomizedTest, UpdatesAndQueriesStayVerifiable) {
       auto vo = tree->BuildVo(lo, hi, fetch);
       ASSERT_TRUE(vo.ok());
       vo.value().signature =
-          crypto::RsaSignDigest(*SharedKey(), tree->root_digest());
+          crypto::RsaSignDigest(
+          *SharedKey(), crypto::EpochStampedDigest(tree->root_digest(), 0));
       ASSERT_TRUE(VerifyVO(vo.value(), lo, hi, results,
                            SharedKey()->PublicKey(), codec)
                       .ok())

@@ -248,8 +248,9 @@ TEST(MbExhaustiveTest, AllRangesVerify) {
   };
   Rng key_rng(7);
   crypto::RsaPrivateKey key = crypto::RsaGenerateKey(&key_rng, 512);
-  crypto::RsaSignature sig =
-      crypto::RsaSignDigest(key, tree->root_digest());
+  // Static set-up at epoch 0: sign the epoch-stamped root commitment.
+  crypto::RsaSignature sig = crypto::RsaSignDigest(
+      key, crypto::EpochStampedDigest(tree->root_digest(), 0));
 
   for (uint32_t lo = 0; lo <= kDomain; ++lo) {
     for (uint32_t hi = lo; hi <= kDomain; ++hi) {
@@ -328,12 +329,17 @@ TEST(FuzzTest, CorruptedMessagesNeverCrash) {
   for (uint64_t id = 1; id <= 10; ++id) {
     records.push_back(codec.MakeRecord(id, uint32_t(id)));
   }
+  core::VerificationToken vt;
+  vt.epoch = 3;
+  vt.digest = crypto::ComputeDigest("x", 1);
   std::vector<std::vector<uint8_t>> messages = {
       core::SerializeRecords(records, codec),
+      core::SerializeResults(records, 5, codec),
       core::SerializeQuery(5, 10),
-      core::SerializeVt(crypto::ComputeDigest("x", 1)),
+      core::SerializeVt(vt),
       core::SerializeDelete(42, 7),
-      core::SerializeSignature(crypto::RsaSignature(64, 0x5A)),
+      core::SerializeSignature(crypto::RsaSignature(64, 0x5A), 9),
+      core::SerializeEpochNotice(11),
   };
 
   Rng rng(777);
@@ -348,10 +354,12 @@ TEST(FuzzTest, CorruptedMessagesNeverCrash) {
       bytes[rng.NextBounded(bytes.size())] ^= uint8_t(rng.Next());
     }
     (void)core::DeserializeRecords(bytes, codec);
+    (void)core::DeserializeResults(bytes, codec);
     (void)core::DeserializeQuery(bytes);
     (void)core::DeserializeVt(bytes);
     (void)core::DeserializeDelete(bytes);
     (void)core::DeserializeSignature(bytes);
+    (void)core::DeserializeEpochNotice(bytes);
   }
 }
 

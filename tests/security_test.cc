@@ -14,6 +14,7 @@
 #include "crypto/rsa.h"
 #include "mbtree/mb_tree.h"
 #include "mbtree/vo.h"
+#include "sigchain/sig_chain.h"
 #include "storage/page_store.h"
 #include "util/random.h"
 #include "workload/dataset.h"
@@ -70,9 +71,15 @@ class VoCraftTest : public ::testing::Test {
     return out;
   }
 
-  mbtree::VerificationObject SignedVo(uint32_t lo, uint32_t hi) {
+  // Signs the current root for the given epoch — the stamped commitment,
+  // exactly as TomDataOwner::Resign does.
+  mbtree::VerificationObject SignedVo(uint32_t lo, uint32_t hi,
+                                      uint64_t epoch = 0) {
     auto vo = tree_->BuildVo(lo, hi, Fetcher()).ValueOrDie();
-    vo.signature = crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+    vo.epoch = epoch;
+    vo.signature = crypto::RsaSignDigest(
+        *SharedKey(),
+        crypto::EpochStampedDigest(tree_->root_digest(), epoch));
     return vo;
   }
 
@@ -240,7 +247,7 @@ TEST_F(VoCraftTest, SignatureFromForeignKeyIsRejected) {
 }
 
 TEST_F(VoCraftTest, ReplayedVoForOldStateIsRejected) {
-  auto old_vo = SignedVo(200, 600);
+  auto old_vo = SignedVo(200, 600, /*epoch=*/1);
   auto old_results = Results(200, 600);
   // The dataset changes (a record inside the range is deleted).
   Record victim = old_results[1];
@@ -248,11 +255,49 @@ TEST_F(VoCraftTest, ReplayedVoForOldStateIsRejected) {
   records_.erase(victim.id);
 
   // The SP replays the old VO + old results against the *new* signature.
-  auto fresh_sig =
-      crypto::RsaSignDigest(*SharedKey(), tree_->root_digest());
+  auto fresh_sig = crypto::RsaSignDigest(
+      *SharedKey(), crypto::EpochStampedDigest(tree_->root_digest(), 2));
   old_vo.signature = fresh_sig;
+  old_vo.epoch = 2;
   Status st = mbtree::VerifyVO(old_vo, 200, 600, old_results,
-                               SharedKey()->PublicKey(), codec_);
+                               SharedKey()->PublicKey(), codec_,
+                               crypto::HashScheme::kSha1, /*current=*/2);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
+}
+
+// The textbook replay: the WHOLE pre-update answer — old results, old VO,
+// old epoch-stamped signature — is internally consistent and passes every
+// cryptographic check for its own epoch. Only the freshness gate, with its
+// distinct error code, can reject it.
+TEST_F(VoCraftTest, FullReplayOfConsistentOldStateIsStaleNotCorrupt) {
+  auto old_vo = SignedVo(200, 600, /*epoch=*/1);
+  auto old_results = Results(200, 600);
+
+  // Sanity: the replay verifies cleanly against its own epoch.
+  EXPECT_TRUE(mbtree::VerifyVO(old_vo, 200, 600, old_results,
+                               SharedKey()->PublicKey(), codec_,
+                               crypto::HashScheme::kSha1, /*current=*/1)
+                  .ok());
+
+  // An update advances the published epoch to 2.
+  Record victim = old_results[1];
+  SAE_CHECK_OK(tree_->Delete(victim.key, storage::Rid(victim.id)));
+  records_.erase(victim.id);
+
+  Status st = mbtree::VerifyVO(old_vo, 200, 600, old_results,
+                               SharedKey()->PublicKey(), codec_,
+                               crypto::HashScheme::kSha1, /*current=*/2);
+  EXPECT_EQ(st.code(), StatusCode::kStaleEpoch);
+}
+
+TEST_F(VoCraftTest, ForgedFresherEpochBreaksTheSignature) {
+  // An adversary who rewrites the stale VO's epoch to the current one
+  // converts staleness into a signature failure — never into acceptance.
+  auto vo = SignedVo(200, 600, /*epoch=*/1);
+  vo.epoch = 2;
+  Status st = mbtree::VerifyVO(vo, 200, 600, Results(200, 600),
+                               SharedKey()->PublicKey(), codec_,
+                               crypto::HashScheme::kSha1, /*current=*/2);
   EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
 }
 
@@ -336,6 +381,162 @@ TEST_F(MalformedVoTest, FewerResultSlotsThanRecordsRejected) {
   Record a = codec_.MakeRecord(1, 15);
   Record b = codec_.MakeRecord(2, 16);
   EXPECT_FALSE(Verify(std::move(vo), {a, b}).ok());
+}
+
+// --- freshness attack matrix ----------------------------------------------------
+//
+// Both freshness attacks, across both models (SAE over the XB-tree, TOM
+// over the MB-tree) and both hash schemes, must be rejected with the
+// *distinct* freshness code kStaleEpoch — never silently accepted, and
+// never misreported as generic corruption.
+
+std::vector<core::Record> MatrixDataset(size_t n) {
+  storage::RecordCodec codec(kRecSize);
+  std::vector<core::Record> out;
+  for (uint64_t id = 1; id <= n; ++id) {
+    out.push_back(codec.MakeRecord(id, uint32_t(id * 10)));
+  }
+  return out;
+}
+
+class FreshnessMatrixTest
+    : public ::testing::TestWithParam<crypto::HashScheme> {};
+
+TEST_P(FreshnessMatrixTest, SaeRejectsBothFreshnessAttacks) {
+  core::SaeSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  core::SaeSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+
+  // Advance the epoch so a genuine pre-update snapshot exists.
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(9000, 1234)).ok());
+  ASSERT_TRUE(system.Delete(5).ok());
+  EXPECT_EQ(system.epoch(), 3u);
+
+  for (core::AttackMode mode :
+       {core::AttackMode::kReplayStaleRoot, core::AttackMode::kStaleVt}) {
+    auto outcome = system.Query(100, 2500, mode);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().verification.code(), StatusCode::kStaleEpoch)
+        << "mode " << int(mode) << ": " << outcome.value().verification.ToString();
+  }
+  // Honest queries still verify at the new epoch.
+  auto honest = system.Query(100, 2500);
+  ASSERT_TRUE(honest.ok());
+  EXPECT_TRUE(honest.value().verification.ok());
+  EXPECT_EQ(honest.value().vt.epoch, 3u);
+}
+
+TEST_P(FreshnessMatrixTest, TomRejectsBothFreshnessAttacks) {
+  core::TomSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  options.rsa_modulus_bits = 512;  // fast for tests
+  core::TomSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(9000, 1234)).ok());
+  ASSERT_TRUE(system.Delete(5).ok());
+  EXPECT_EQ(system.epoch(), 3u);
+
+  for (core::AttackMode mode :
+       {core::AttackMode::kReplayStaleRoot, core::AttackMode::kStaleVt}) {
+    auto outcome = system.Query(100, 2500, mode);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().verification.code(), StatusCode::kStaleEpoch)
+        << "mode " << int(mode) << ": " << outcome.value().verification.ToString();
+  }
+  auto honest = system.Query(100, 2500);
+  ASSERT_TRUE(honest.ok());
+  EXPECT_TRUE(honest.value().verification.ok());
+  EXPECT_EQ(honest.value().vo.epoch, 3u);
+}
+
+// A replay staged before ANY update exists must still be rejected (the
+// adversary claims a rewound epoch — "malicious" never means "honest").
+TEST_P(FreshnessMatrixTest, FreshnessAttacksRejectedEvenWithoutUpdates) {
+  core::SaeSystem::Options sae_options;
+  sae_options.record_size = kRecSize;
+  sae_options.scheme = GetParam();
+  core::SaeSystem sae(sae_options);
+  SAE_CHECK_OK(sae.Load(MatrixDataset(100)));
+
+  core::TomSystem::Options tom_options;
+  tom_options.record_size = kRecSize;
+  tom_options.scheme = GetParam();
+  tom_options.rsa_modulus_bits = 512;
+  core::TomSystem tom(tom_options);
+  SAE_CHECK_OK(tom.Load(MatrixDataset(100)));
+
+  for (core::AttackMode mode :
+       {core::AttackMode::kReplayStaleRoot, core::AttackMode::kStaleVt}) {
+    auto sae_outcome = sae.Query(0, 500, mode);
+    ASSERT_TRUE(sae_outcome.ok());
+    EXPECT_EQ(sae_outcome.value().verification.code(),
+              StatusCode::kStaleEpoch)
+        << "SAE mode " << int(mode);
+    auto tom_outcome = tom.Query(0, 500, mode);
+    ASSERT_TRUE(tom_outcome.ok());
+    EXPECT_EQ(tom_outcome.value().verification.code(),
+              StatusCode::kStaleEpoch)
+        << "TOM mode " << int(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothHashSchemes, FreshnessMatrixTest,
+                         ::testing::Values(crypto::HashScheme::kSha1,
+                                           crypto::HashScheme::kSha256Trunc));
+
+// The third scheme: signature chaining. Its per-record signatures never
+// change, so freshness rides on the signed epoch token in every VO. Note
+// the token binds only the epoch number (sigchain has no root digest to
+// stamp — see EpochTokenDigest's documented limitation): it defeats token
+// replay, which is what this test pins, not stale-data-under-fresh-token.
+TEST(SigChainFreshnessTest, StaleEpochTokenRejected) {
+  sigchain::SigChainOwner::Options owner_options;
+  owner_options.record_size = kRecSize;
+  owner_options.rsa_modulus_bits = 512;
+  sigchain::SigChainOwner owner(owner_options);
+  sigchain::SigChainSp::Options sp_options;
+  sp_options.record_size = kRecSize;
+  sp_options.signature_bytes = 64;
+  sigchain::SigChainSp sp(sp_options);
+
+  auto records = MatrixDataset(120);
+  auto sigs = owner.SignDataset(records);
+  ASSERT_TRUE(sigs.ok());
+  ASSERT_TRUE(sp.LoadDataset(records, sigs.value(), owner.public_key()).ok());
+  sp.SetEpoch(owner.epoch(), owner.epoch_signature());
+  ASSERT_EQ(owner.epoch(), 1u);
+
+  storage::RecordCodec codec(kRecSize);
+  auto response = sp.ExecuteRange(200, 800).ValueOrDie();
+  // Fresh at epoch 1.
+  EXPECT_TRUE(sigchain::SigChainClient::Verify(
+                  200, 800, response.results, response.vo,
+                  owner.public_key(), codec, crypto::HashScheme::kSha1,
+                  owner.epoch())
+                  .ok());
+
+  // The DO publishes epoch 2 (an update happened); the replayed epoch-1 VO
+  // must now be rejected as stale — distinctly.
+  owner.AdvanceEpoch();
+  Status st = sigchain::SigChainClient::Verify(
+      200, 800, response.results, response.vo, owner.public_key(), codec,
+      crypto::HashScheme::kSha1, owner.epoch());
+  EXPECT_EQ(st.code(), StatusCode::kStaleEpoch);
+
+  // Forging the fresher epoch onto the old token breaks its signature.
+  sigchain::SigChainVo forged = response.vo;
+  forged.epoch = owner.epoch();
+  st = sigchain::SigChainClient::Verify(200, 800, response.results, forged,
+                                        owner.public_key(), codec,
+                                        crypto::HashScheme::kSha1,
+                                        owner.epoch());
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
 }
 
 // --- SAE token properties -------------------------------------------------------

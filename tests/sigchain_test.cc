@@ -44,6 +44,10 @@ class SigChainTest : public ::testing::Test {
     ASSERT_TRUE(sigs.ok());
     ASSERT_TRUE(
         sp_.LoadDataset(records, sigs.value(), owner_.public_key()).ok());
+    // The DO publishes epoch 1 with the signed dataset; the SP stamps it
+    // into every VO.
+    sp_.SetEpoch(owner_.epoch(), owner_.epoch_signature());
+    ASSERT_EQ(owner_.epoch(), 1u);
   }
 
   Status QueryAndVerify(uint32_t lo, uint32_t hi,
@@ -55,7 +59,8 @@ class SigChainTest : public ::testing::Test {
     auto vo = SigChainVo::Deserialize(response.value().vo.Serialize());
     if (!vo.ok()) return vo.status();
     return SigChainClient::Verify(lo, hi, response.value().results,
-                                  vo.value(), owner_.public_key(), codec_);
+                                  vo.value(), owner_.public_key(), codec_,
+                                  crypto::HashScheme::kSha1, owner_.epoch());
   }
 
   SigChainOwner owner_;
@@ -96,13 +101,17 @@ TEST_F(SigChainTest, EveryAttackModeDetected) {
     std::vector<Record> tampered =
         core::ApplyAttack(response.results, mode, codec_, 5);
     Status st = SigChainClient::Verify(300, 1000, tampered, response.vo,
-                                       owner_.public_key(), codec_);
+                                       owner_.public_key(), codec_,
+                                       crypto::HashScheme::kSha1,
+                                       owner_.epoch());
     EXPECT_EQ(st.code(), StatusCode::kVerificationFailure)
         << "mode " << int(mode);
   }
   // The honest result still verifies.
   EXPECT_TRUE(SigChainClient::Verify(300, 1000, response.results, response.vo,
-                                     owner_.public_key(), codec_)
+                                     owner_.public_key(), codec_,
+                                     crypto::HashScheme::kSha1,
+                                     owner_.epoch())
                   .ok());
 }
 
@@ -115,7 +124,9 @@ TEST_F(SigChainTest, BoundaryTruncationDetected) {
   forged.left_boundary.clear();
   forged.outer_left = LowSentinel();
   EXPECT_FALSE(SigChainClient::Verify(200, 700, response.results, forged,
-                                      owner_.public_key(), codec_)
+                                      owner_.public_key(), codec_,
+                                      crypto::HashScheme::kSha1,
+                                      owner_.epoch())
                    .ok());
 }
 
@@ -125,7 +136,8 @@ TEST_F(SigChainTest, WrongRangeClaimDetected) {
   // The same VO cannot prove a wider query.
   EXPECT_FALSE(SigChainClient::Verify(200, 900, response.results,
                                       response.vo, owner_.public_key(),
-                                      codec_)
+                                      codec_, crypto::HashScheme::kSha1,
+                                      owner_.epoch())
                    .ok());
 }
 
