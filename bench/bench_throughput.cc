@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "core/query_engine.h"
+#include "core/sharded_system.h"
 #include "fig_common.h"
 
 using namespace sae;
@@ -58,6 +59,37 @@ void RunSweep(const char* model, System* system,
   }
 }
 
+// Shard-count axis: the same batch against a sharded SAE deployment as the
+// shard count sweeps (engine workers fixed at 4). Shards multiply
+// independent buffer pools and locks, so cross-shard batches spread over
+// them; single-shard queries pay no sharding tax, and multi-shard queries
+// pay one slice per crossed fence (visible as slightly higher node-access
+// totals, printed for reference).
+void RunShardSweep(const std::vector<storage::Record>& dataset,
+                   const std::vector<core::BatchQuery>& batch) {
+  std::printf("\n# Sharded SAE: q/s vs shard count (engine workers = 4)\n");
+  std::printf("# shards        q/s   mean-resp(ms)   node-accesses\n");
+  for (size_t shards : ShardCounts()) {
+    core::ShardedSaeSystem::Options options;
+    options.base.record_size = kRecordSize;
+    core::ShardedSaeSystem system(
+        core::ShardRouter::Balanced(dataset, shards), options);
+    SAE_CHECK_OK(system.Load(dataset));
+    core::QueryEngine engine(core::QueryEngineOptions{4});
+    auto warm = engine.RunBatch(&system, batch);
+    SAE_CHECK(warm.stats.accepted == batch.size());
+    auto run = engine.RunBatch(&system, batch);
+    SAE_CHECK(run.stats.accepted == batch.size());
+    std::printf("%8zu %10.0f %15.3f %15llu\n", system.num_shards(),
+                run.stats.QueriesPerSecond(),
+                run.stats.wall_ms / double(run.stats.queries),
+                (unsigned long long)(run.stats.total.sp_index_accesses +
+                                     run.stats.total.sp_heap_accesses +
+                                     run.stats.total.te_accesses));
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -92,5 +124,7 @@ int main() {
   std::printf("# speedup is relative to the 1-thread run of the same "
               "model; batch = %zu queries\n",
               batch.size());
+
+  RunShardSweep(dataset, batch);
   return 0;
 }

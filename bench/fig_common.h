@@ -65,6 +65,23 @@ inline std::vector<storage::Record> MakeDataset(workload::Distribution dist,
   return workload::GenerateDataset(spec);
 }
 
+/// Shard counts swept by the sharded sections of bench_throughput and
+/// bench_ablation_updates. Override with SAE_BENCH_SHARDS, a
+/// comma-separated list, e.g. SAE_BENCH_SHARDS=1,4,16.
+inline std::vector<size_t> ShardCounts() {
+  const char* env = std::getenv("SAE_BENCH_SHARDS");
+  if (env == nullptr) return {1, 2, 4, 8};
+  std::vector<size_t> counts;
+  for (const char* p = env; *p != '\0';) {
+    char* end = nullptr;
+    long value = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (value > 0) counts.push_back(size_t(value));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return counts.empty() ? std::vector<size_t>{1, 2, 4, 8} : counts;
+}
+
 inline std::vector<workload::RangeQuery> MakeQueries() {
   workload::QueryWorkloadSpec spec;
   spec.count = kQueriesPerPoint;

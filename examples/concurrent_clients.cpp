@@ -1,18 +1,29 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
-// Concurrent multi-client demo: several simulated clients hammer one SAE
-// deployment through the batched QueryEngine. Client #2's traffic passes
-// through a compromised SP that tampers with every result — the other
-// clients' queries are untouched, and verification must sort the two
-// groups apart even though all queries execute interleaved on the same
-// worker pool against the same shared SP and TE.
+// Concurrent multi-client demo, in two acts.
+//
+// Act 1: several simulated clients hammer one SAE deployment through the
+// batched QueryEngine. Client #2's traffic passes through a compromised SP
+// that tampers with every result — the other clients' queries are
+// untouched, and verification must sort the two groups apart even though
+// all queries execute interleaved on the same worker pool against the
+// same shared SP and TE.
+//
+// Act 2: the same load against a four-shard deployment
+// (core::ShardedSaeSystem) with ONE compromised shard. Queries whose range
+// never touches the bad shard keep verifying; queries that do touch it are
+// rejected with a verdict that names the guilty shard — the honest shards'
+// slices verify individually, so a single bad machine cannot poison the
+// rest of the fleet.
 //
 //   $ ./examples/example_concurrent_clients
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/query_engine.h"
+#include "core/sharded_system.h"
 #include "workload/dataset.h"
 #include "workload/queries.h"
 
@@ -21,6 +32,81 @@ using core::AttackMode;
 using core::BatchQuery;
 using core::QueryEngine;
 using core::SaeSystem;
+using core::ShardAttack;
+using core::ShardedSaeSystem;
+using core::ShardRouter;
+
+namespace {
+
+// Act 2: a four-shard deployment with one malicious shard. Returns true
+// when every verdict matches the attack placement.
+bool RunShardedAct(const std::vector<storage::Record>& dataset,
+                   const std::vector<workload::RangeQuery>& ranges,
+                   size_t record_size) {
+  constexpr size_t kShards = 4;
+  constexpr size_t kBadShard = 2;
+
+  ShardedSaeSystem::Options options;
+  options.base.record_size = record_size;
+  ShardRouter router = ShardRouter::Balanced(dataset, kShards);
+  ShardedSaeSystem system(router, options);
+  if (!system.Load(dataset).ok()) {
+    std::fprintf(stderr, "sharded load failed\n");
+    return false;
+  }
+  std::printf("\n--- Act 2: %zu-shard deployment, shard %zu compromised "
+              "---\n",
+              system.num_shards(), kBadShard);
+  std::printf("fences:");
+  for (auto fence : router.fences()) std::printf(" %u", fence);
+  std::printf("  (shard %zu owns [%u, %u])\n\n", kBadShard,
+              router.shard_lo(kBadShard), router.shard_hi(kBadShard));
+
+  size_t touched = 0, spared = 0, misverdicts = 0;
+  for (const auto& range : ranges) {
+    auto outcome = system.Query(
+        range.lo, range.hi,
+        ShardAttack::At(kBadShard, AttackMode::kTamperPayload));
+    if (!outcome.ok()) {
+      ++misverdicts;
+      continue;
+    }
+    bool touches_bad_shard = false;
+    for (const auto& slice : outcome.value().slices) {
+      if (slice.shard == kBadShard) touches_bad_shard = true;
+    }
+    const Status& verdict = outcome.value().verification;
+    if (touches_bad_shard) {
+      ++touched;
+      // The composite verdict must fail AND name the guilty shard; the
+      // honest slices must have verified individually.
+      bool attributed =
+          !verdict.ok() && verdict.message().find(std::to_string(
+                               kBadShard)) != std::string::npos;
+      for (const auto& slice : outcome.value().slices) {
+        if (slice.shard != kBadShard &&
+            !slice.outcome.verification.ok()) {
+          attributed = false;  // an honest shard was poisoned
+        }
+      }
+      if (!attributed) ++misverdicts;
+    } else {
+      ++spared;
+      if (!verdict.ok()) ++misverdicts;
+    }
+  }
+  std::printf("%zu queries touched shard %zu: rejected, verdict names the "
+              "shard, honest slices stayed verified\n",
+              touched, kBadShard);
+  std::printf("%zu queries never touched it: all accepted\n", spared);
+  std::printf("%s\n", misverdicts == 0
+                          ? "OK: one bad shard cannot poison the fleet."
+                          : "ERROR: sharded verdicts do not match the "
+                            "attack placement!");
+  return misverdicts == 0 && touched > 0 && spared > 0;
+}
+
+}  // namespace
 
 int main() {
   constexpr size_t kClients = 4;
@@ -102,5 +188,7 @@ int main() {
                             "were rejected."
                           : "ERROR: verdicts do not match the attack "
                             "placement!");
-  return sorted_correctly ? 0 : 1;
+
+  bool sharded_ok = RunShardedAct(dataset, ranges, spec.record_size);
+  return sorted_correctly && sharded_ok ? 0 : 1;
 }

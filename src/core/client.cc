@@ -30,6 +30,27 @@ Status Client::VerifyResult(const std::vector<Record>& results,
   return Status::OK();
 }
 
+Status Client::VerifyShardedResult(
+    storage::Key lo, storage::Key hi, const std::vector<ShardSlice>& slices,
+    const std::vector<storage::Key>& fences,
+    const std::vector<uint64_t>& published_epochs, const RecordCodec& codec,
+    crypto::HashScheme scheme,
+    std::vector<std::pair<size_t, Status>>* per_shard) {
+  std::vector<storage::KeySlice> cover;
+  cover.reserve(slices.size());
+  for (const ShardSlice& slice : slices) {
+    cover.push_back(storage::KeySlice{slice.shard, slice.lo, slice.hi});
+  }
+  return storage::VerifyCompositeSlices(
+      fences, lo, hi, cover, published_epochs,
+      [&](size_t i, const storage::KeySlice&, uint64_t published) {
+        return VerifyResult(slices[i].results, slices[i].vt,
+                            slices[i].claimed_epoch, published, codec,
+                            scheme);
+      },
+      per_shard);
+}
+
 Status Client::VerifyResult(const std::vector<Record>& results,
                             const VerificationToken& vt,
                             uint64_t claimed_epoch, uint64_t published_epoch,

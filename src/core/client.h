@@ -8,10 +8,12 @@
 #ifndef SAE_CORE_CLIENT_H_
 #define SAE_CORE_CLIENT_H_
 
+#include <utility>
 #include <vector>
 
 #include "core/epoch.h"
 #include "crypto/digest.h"
+#include "storage/key_range.h"
 #include "storage/record.h"
 #include "util/status.h"
 
@@ -58,6 +60,36 @@ class Client {
       uint64_t claimed_epoch, uint64_t published_epoch,
       const RecordCodec& codec,
       crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+
+  /// One shard's slice of a stitched sharded-SAE answer as a thin client
+  /// receives it: the clipped sub-range, the records, that shard's TE
+  /// token, and the epoch the shard's SP claimed.
+  struct ShardSlice {
+    size_t shard = 0;
+    storage::Key lo = 0;
+    storage::Key hi = 0;
+    std::vector<Record> results;
+    VerificationToken vt;
+    uint64_t claimed_epoch = 0;
+  };
+
+  /// Composite verification for a sharded SAE deployment — the SAE analog
+  /// of mbtree::VerifyComposite, needing only the DO-published trusted
+  /// state (fence keys + per-shard epoch vector): (1) the slices must tile
+  /// [lo, hi] exactly along the fences (fence-key completeness), (2) each
+  /// slice must pass the full epoch-aware check against its own shard's
+  /// published epoch, (3) the per-shard verdicts fold via
+  /// CombineShardStatuses (uniformly stale -> kStaleEpoch, mixed
+  /// fresh/stale -> kShardEpochSkew, corruption -> kVerificationFailure
+  /// naming the shard). `per_shard` (optional) receives one verdict per
+  /// slice so honest sub-results survive a rejection.
+  static Status VerifyShardedResult(
+      storage::Key lo, storage::Key hi,
+      const std::vector<ShardSlice>& slices,
+      const std::vector<storage::Key>& fences,
+      const std::vector<uint64_t>& published_epochs, const RecordCodec& codec,
+      crypto::HashScheme scheme = crypto::HashScheme::kSha1,
+      std::vector<std::pair<size_t, Status>>* per_shard = nullptr);
 };
 
 }  // namespace sae::core

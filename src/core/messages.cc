@@ -17,7 +17,33 @@ constexpr uint8_t kTagSignature = 0x04;
 constexpr uint8_t kTagDelete = 0x05;
 constexpr uint8_t kTagEpochNotice = 0x06;
 constexpr uint8_t kTagResults = 0x07;
+constexpr uint8_t kTagShardEpochs = 0x08;
 }  // namespace
+
+std::vector<uint8_t> SerializeShardEpochs(
+    const std::vector<uint64_t>& epochs) {
+  ByteWriter w;
+  w.PutU8(kTagShardEpochs);
+  w.PutU32(uint32_t(epochs.size()));
+  for (uint64_t epoch : epochs) w.PutU64(epoch);
+  return w.Release();
+}
+
+Result<std::vector<uint64_t>> DeserializeShardEpochs(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagShardEpochs) {
+    return Status::Corruption("not a shard epoch vector message");
+  }
+  uint32_t count = r.GetU32();
+  if (r.failed() || r.remaining() != size_t(count) * 8) {
+    return Status::Corruption("shard epoch vector truncated");
+  }
+  std::vector<uint64_t> epochs;
+  epochs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) epochs.push_back(r.GetU64());
+  return epochs;
+}
 
 std::vector<uint8_t> SerializeRecords(const std::vector<Record>& records,
                                       const RecordCodec& codec) {

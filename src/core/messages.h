@@ -61,6 +61,15 @@ std::vector<uint8_t> SerializeDelete(storage::RecordId id, Key key);
 Result<std::pair<storage::RecordId, Key>> DeserializeDelete(
     const std::vector<uint8_t>& bytes);
 
+/// Shard epoch vector (DO -> client in a sharded deployment): the latest
+/// published epoch of every shard, indexed by shard id — the client's
+/// freshness reference for composite verification. A fresh answer matches
+/// this vector shard-for-shard; a slice lagging its entry is stale, and a
+/// mix of fresh and lagging slices in one answer is shard epoch skew.
+std::vector<uint8_t> SerializeShardEpochs(const std::vector<uint64_t>& epochs);
+Result<std::vector<uint64_t>> DeserializeShardEpochs(
+    const std::vector<uint8_t>& bytes);
+
 /// Root signature shipment (DO -> SP in TOM): the signature over the
 /// epoch-stamped root commitment plus the epoch it speaks for.
 std::vector<uint8_t> SerializeSignature(const crypto::RsaSignature& sig,

@@ -6,11 +6,6 @@
 
 #include "core/query_engine.h"
 
-#include <algorithm>
-#include <optional>
-
-#include "sim/cost_model.h"
-
 namespace sae::core {
 
 QueryEngine::QueryEngine(const Options& options) {
@@ -64,122 +59,14 @@ void QueryEngine::Dispatch(size_t count,
   job_ = nullptr;
 }
 
-template <typename BatchT, typename System>
-BatchT QueryEngine::RunBatch(System* system,
-                             const std::vector<BatchQuery>& queries) {
-  using Outcome = typename System::QueryOutcome;
-  BatchT batch;
-  batch.stats.queries = queries.size();
-
-  // Workers fill disjoint slots; Result<> has no default constructor, so
-  // the slots are optionals that are move-unwrapped after the barrier.
-  std::vector<std::optional<Result<Outcome>>> slots(queries.size());
-  std::function<void(size_t)> task = [&](size_t i) {
-    const BatchQuery& q = queries[i];
-    slots[i].emplace(system->ExecuteQuery(q.lo, q.hi, q.attack));
-  };
-
-  sim::Stopwatch watch;
-  Dispatch(queries.size(), task);
-  batch.stats.wall_ms = watch.ElapsedMs();
-
-  batch.outcomes.reserve(slots.size());
-  for (std::optional<Result<Outcome>>& slot : slots) {
-    Result<Outcome>& result = *slot;
-    if (result.ok()) {
-      const Outcome& outcome = result.value();
-      if (outcome.verification.ok()) {
-        ++batch.stats.accepted;
-      } else {
-        ++batch.stats.rejected;
-      }
-      batch.stats.total += outcome.costs;
-    } else {
-      ++batch.stats.failed;
-    }
-    batch.outcomes.push_back(std::move(result));
-  }
-  return batch;
-}
-
-template <typename System>
-MixedStats QueryEngine::RunMixedBatch(System* system,
-                                      const std::vector<BatchOp>& ops) {
-  MixedStats stats;
-
-  // Per-op slots filled by disjoint workers, reduced after the barrier.
-  struct OpResult {
-    bool is_query = false;
-    bool ok = false;        // op-level success
-    bool accepted = false;  // query verification verdict
-    QueryCosts costs;
-    double update_ms = 0.0;
-  };
-  std::vector<OpResult> slots(ops.size());
-  std::function<void(size_t)> task = [&](size_t i) {
-    const BatchOp& op = ops[i];
-    OpResult& slot = slots[i];
-    switch (op.kind) {
-      case BatchOp::Kind::kQuery: {
-        slot.is_query = true;
-        auto outcome =
-            system->ExecuteQuery(op.query.lo, op.query.hi, op.query.attack);
-        if (outcome.ok()) {
-          slot.ok = true;
-          slot.accepted = outcome.value().verification.ok();
-          slot.costs = outcome.value().costs;
-        }
-        break;
-      }
-      case BatchOp::Kind::kInsert: {
-        sim::Stopwatch watch;
-        slot.ok = system->Insert(op.record).ok();
-        slot.update_ms = watch.ElapsedMs();
-        break;
-      }
-      case BatchOp::Kind::kDelete: {
-        sim::Stopwatch watch;
-        slot.ok = system->Delete(op.id).ok();
-        slot.update_ms = watch.ElapsedMs();
-        break;
-      }
-    }
-  };
-
-  sim::Stopwatch watch;
-  Dispatch(ops.size(), task);
-  stats.wall_ms = watch.ElapsedMs();
-
-  for (const OpResult& slot : slots) {
-    if (slot.is_query) {
-      ++stats.queries;
-      if (!slot.ok) {
-        ++stats.failed;
-      } else if (slot.accepted) {
-        ++stats.accepted;
-      } else {
-        ++stats.rejected;
-      }
-      stats.query_total += slot.costs;
-    } else {
-      ++stats.updates;
-      if (!slot.ok) ++stats.update_failures;
-      stats.update_latency_ms += slot.update_ms;
-      stats.max_update_latency_ms =
-          std::max(stats.max_update_latency_ms, slot.update_ms);
-    }
-  }
-  return stats;
-}
-
 QueryEngine::SaeBatch QueryEngine::Run(SaeSystem* system,
                                        const std::vector<BatchQuery>& queries) {
-  return RunBatch<SaeBatch>(system, queries);
+  return RunBatch(system, queries);
 }
 
 QueryEngine::TomBatch QueryEngine::Run(TomSystem* system,
                                        const std::vector<BatchQuery>& queries) {
-  return RunBatch<TomBatch>(system, queries);
+  return RunBatch(system, queries);
 }
 
 MixedStats QueryEngine::RunMixed(SaeSystem* system,

@@ -17,14 +17,17 @@
 #ifndef SAE_CORE_QUERY_ENGINE_H_
 #define SAE_CORE_QUERY_ENGINE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/system.h"
+#include "sim/cost_model.h"
 
 namespace sae::core {
 
@@ -125,36 +128,51 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  struct SaeBatch {
+  /// Batch result over any system type exposing
+  /// ExecuteQuery(lo, hi, attack) -> Result<QueryOutcome> with the
+  /// QueryOutcome carrying `verification` and `costs` members — the
+  /// unsharded SaeSystem/TomSystem and their sharded counterparts alike.
+  template <typename System>
+  struct Batch {
     /// One outcome per input query, in input order.
-    std::vector<Result<SaeSystem::QueryOutcome>> outcomes;
+    std::vector<Result<typename System::QueryOutcome>> outcomes;
     BatchStats stats;
   };
-  struct TomBatch {
-    std::vector<Result<TomSystem::QueryOutcome>> outcomes;
-    BatchStats stats;
-  };
+  using SaeBatch = Batch<SaeSystem>;
+  using TomBatch = Batch<TomSystem>;
 
-  /// Runs the batch to completion against the shared system.
+  /// Runs the batch to completion against the shared system. The generic
+  /// template serves any conforming system (the sharded systems route
+  /// their batches through it); the named overloads keep call sites terse.
+  template <typename System>
+  Batch<System> RunBatch(System* system,
+                         const std::vector<BatchQuery>& queries);
   SaeBatch Run(SaeSystem* system, const std::vector<BatchQuery>& queries);
   TomBatch Run(TomSystem* system, const std::vector<BatchQuery>& queries);
+
+  /// Bare fan-out primitive: executes task(0) .. task(count - 1) across the
+  /// worker pool (inline when the engine owns no workers) and returns when
+  /// all have completed. Not re-entrant — a task must never call back into
+  /// the engine that is running it (nested fan-out needs a second engine,
+  /// which is exactly what the sharded systems own for per-query
+  /// multi-shard dispatch).
+  void RunTasks(size_t count, const std::function<void(size_t)>& task) {
+    Dispatch(count, task);
+  }
 
   /// Runs a mixed read/write batch: workers claim ops in order, queries
   /// take the system's reader lock and updates its writer lock, so the
   /// schedule interleaves genuinely. Returns aggregate stats (q/s and
-  /// per-update latency — what bench_ablation_updates reports).
+  /// per-update latency — what bench_ablation_updates reports). Generic
+  /// for the same reason as RunBatch: sharded systems qualify.
+  template <typename System>
+  MixedStats RunMixedBatch(System* system, const std::vector<BatchOp>& ops);
   MixedStats RunMixed(SaeSystem* system, const std::vector<BatchOp>& ops);
   MixedStats RunMixed(TomSystem* system, const std::vector<BatchOp>& ops);
 
   size_t worker_threads() const { return workers_.size(); }
 
  private:
-  template <typename BatchT, typename System>
-  BatchT RunBatch(System* system, const std::vector<BatchQuery>& queries);
-
-  template <typename System>
-  MixedStats RunMixedBatch(System* system, const std::vector<BatchOp>& ops);
-
   /// Executes task(0) .. task(count - 1) across the pool (inline when the
   /// engine owns no workers) and returns when all have completed.
   void Dispatch(size_t count, const std::function<void(size_t)>& task);
@@ -174,6 +192,116 @@ class QueryEngine {
   uint64_t generation_ = 0;
   bool stop_ = false;
 };
+
+// --- template definitions ---------------------------------------------------
+
+template <typename System>
+QueryEngine::Batch<System> QueryEngine::RunBatch(
+    System* system, const std::vector<BatchQuery>& queries) {
+  using Outcome = typename System::QueryOutcome;
+  Batch<System> batch;
+  batch.stats.queries = queries.size();
+
+  // Workers fill disjoint slots; Result<> has no default constructor, so
+  // the slots are optionals that are move-unwrapped after the barrier.
+  std::vector<std::optional<Result<Outcome>>> slots(queries.size());
+  std::function<void(size_t)> task = [&](size_t i) {
+    const BatchQuery& q = queries[i];
+    slots[i].emplace(system->ExecuteQuery(q.lo, q.hi, q.attack));
+  };
+
+  sim::Stopwatch watch;
+  Dispatch(queries.size(), task);
+  batch.stats.wall_ms = watch.ElapsedMs();
+
+  batch.outcomes.reserve(slots.size());
+  for (std::optional<Result<Outcome>>& slot : slots) {
+    Result<Outcome>& result = *slot;
+    if (result.ok()) {
+      const Outcome& outcome = result.value();
+      if (outcome.verification.ok()) {
+        ++batch.stats.accepted;
+      } else {
+        ++batch.stats.rejected;
+      }
+      batch.stats.total += outcome.costs;
+    } else {
+      ++batch.stats.failed;
+    }
+    batch.outcomes.push_back(std::move(result));
+  }
+  return batch;
+}
+
+template <typename System>
+MixedStats QueryEngine::RunMixedBatch(System* system,
+                                      const std::vector<BatchOp>& ops) {
+  MixedStats stats;
+
+  // Per-op slots filled by disjoint workers, reduced after the barrier.
+  struct OpResult {
+    bool is_query = false;
+    bool ok = false;        // op-level success
+    bool accepted = false;  // query verification verdict
+    QueryCosts costs;
+    double update_ms = 0.0;
+  };
+  std::vector<OpResult> slots(ops.size());
+  std::function<void(size_t)> task = [&](size_t i) {
+    const BatchOp& op = ops[i];
+    OpResult& slot = slots[i];
+    switch (op.kind) {
+      case BatchOp::Kind::kQuery: {
+        slot.is_query = true;
+        auto outcome =
+            system->ExecuteQuery(op.query.lo, op.query.hi, op.query.attack);
+        if (outcome.ok()) {
+          slot.ok = true;
+          slot.accepted = outcome.value().verification.ok();
+          slot.costs = outcome.value().costs;
+        }
+        break;
+      }
+      case BatchOp::Kind::kInsert: {
+        sim::Stopwatch watch;
+        slot.ok = system->Insert(op.record).ok();
+        slot.update_ms = watch.ElapsedMs();
+        break;
+      }
+      case BatchOp::Kind::kDelete: {
+        sim::Stopwatch watch;
+        slot.ok = system->Delete(op.id).ok();
+        slot.update_ms = watch.ElapsedMs();
+        break;
+      }
+    }
+  };
+
+  sim::Stopwatch watch;
+  Dispatch(ops.size(), task);
+  stats.wall_ms = watch.ElapsedMs();
+
+  for (const OpResult& slot : slots) {
+    if (slot.is_query) {
+      ++stats.queries;
+      if (!slot.ok) {
+        ++stats.failed;
+      } else if (slot.accepted) {
+        ++stats.accepted;
+      } else {
+        ++stats.rejected;
+      }
+      stats.query_total += slot.costs;
+    } else {
+      ++stats.updates;
+      if (!slot.ok) ++stats.update_failures;
+      stats.update_latency_ms += slot.update_ms;
+      stats.max_update_latency_ms =
+          std::max(stats.max_update_latency_ms, slot.update_ms);
+    }
+  }
+  return stats;
+}
 
 }  // namespace sae::core
 

@@ -1,0 +1,195 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the sharded execution tier (core/sharded_system.h): dataset
+// partitioning, parallel multi-shard query fan-out with composite
+// verification, and shard-routed updates that bump only the owning
+// shard's epoch. Explicitly instantiated for SaeSystem and TomSystem.
+
+#include "core/sharded_system.h"
+
+#include <optional>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace sae::core {
+
+template <typename Base>
+ShardedSystem<Base>::ShardedSystem(ShardRouter router, const Options& options)
+    : router_(std::move(router)),
+      options_(options),
+      fanout_(QueryEngineOptions{options.fanout_workers}) {
+  shards_.reserve(router_.num_shards());
+  for (size_t s = 0; s < router_.num_shards(); ++s) {
+    shards_.push_back(std::make_unique<Base>(options_.base));
+  }
+}
+
+template <typename Base>
+Status ShardedSystem<Base>::Load(const std::vector<Record>& records) {
+  std::vector<std::vector<Record>> partitions(shards_.size());
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    directory_.clear();
+    for (const Record& record : records) {
+      if (!directory_.emplace(record.id, record.key).second) {
+        return Status::InvalidArgument("duplicate record id");
+      }
+      partitions[router_.ShardOf(record.key)].push_back(record);
+    }
+  }
+  // Every shard loads — an empty partition still publishes epoch 1, so a
+  // shard whose key range holds no data is queryable and fresh from the
+  // start (the empty-shard edge case in tests/sharding_test.cc).
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SAE_RETURN_NOT_OK(shards_[s]->Load(partitions[s]));
+  }
+  return Status::OK();
+}
+
+template <typename Base>
+Result<typename ShardedSystem<Base>::QueryOutcome>
+ShardedSystem<Base>::ExecuteQuery(Key lo, Key hi, ShardAttack attack) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  std::vector<ShardRouter::Slice> plan = router_.Partition(lo, hi);
+
+  // Fan the per-shard sub-queries out. Each shard's ExecuteQuery takes
+  // that shard's own reader lock and verifies its slice against that
+  // shard's published epoch on the thread that ran it; a compromised
+  // shard corrupts only its own slice.
+  using BaseOutcome = typename Base::QueryOutcome;
+  std::vector<std::optional<Result<BaseOutcome>>> slots(plan.size());
+  std::function<void(size_t)> sub_query = [&](size_t i) {
+    AttackMode mode = attack.AppliesTo(plan[i].shard) ? attack.mode
+                                                      : AttackMode::kNone;
+    slots[i].emplace(
+        shards_[plan[i].shard]->ExecuteQuery(plan[i].lo, plan[i].hi, mode));
+  };
+  // The worker pool runs one job at a time (QueryEngine::Dispatch is
+  // single-caller), so the first concurrent query in takes it via the
+  // try-lock and the rest fan out inline on their own threads — never
+  // blocking on, or racing over, the shared job state.
+  std::unique_lock<std::mutex> fan_lock(fanout_mu_, std::try_to_lock);
+  if (fan_lock.owns_lock() && fanout_.worker_threads() > 0) {
+    fanout_.RunTasks(plan.size(), sub_query);
+  } else {
+    for (size_t i = 0; i < plan.size(); ++i) sub_query(i);
+  }
+
+  // Stitch. An execution error (as opposed to a verification verdict) on
+  // any shard fails the whole query, mirroring the unsharded systems.
+  QueryOutcome outcome;
+  outcome.slices.reserve(plan.size());
+  std::vector<std::pair<size_t, Status>> verdicts;
+  verdicts.reserve(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    Result<BaseOutcome>& slot = *slots[i];
+    if (!slot.ok()) return slot.status();
+    Slice slice;
+    slice.shard = plan[i].shard;
+    slice.lo = plan[i].lo;
+    slice.hi = plan[i].hi;
+    slice.outcome = std::move(slot.value());
+    outcome.results.insert(outcome.results.end(),
+                           slice.outcome.results.begin(),
+                           slice.outcome.results.end());
+    outcome.costs += slice.outcome.costs;
+    verdicts.emplace_back(slice.shard, slice.outcome.verification);
+    outcome.slices.push_back(std::move(slice));
+  }
+
+  // Composite verification: fence-key tiling first (defense in depth — the
+  // slices come from our own router here, but a deserialized answer goes
+  // through the same check), then the cross-shard epoch fold.
+  Status cover = router_.VerifyCover(lo, hi, plan);
+  outcome.verification =
+      cover.ok() ? CombineShardStatuses(verdicts) : std::move(cover);
+  return outcome;
+}
+
+template <typename Base>
+Result<ShardUpdate> ShardedSystem<Base>::InsertVersioned(
+    const Record& record) {
+  {
+    // The directory is the cross-shard id-uniqueness authority; the
+    // critical section is one map op so writers to different shards stay
+    // parallel.
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    if (!directory_.emplace(record.id, record.key).second) {
+      return Status::AlreadyExists("record id already present");
+    }
+  }
+  size_t shard = router_.ShardOf(record.key);
+  Result<uint64_t> epoch = shards_[shard]->InsertVersioned(record);
+  if (!epoch.ok()) {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    directory_.erase(record.id);
+    return epoch.status();
+  }
+  return ShardUpdate{shard, epoch.value()};
+}
+
+template <typename Base>
+Result<ShardUpdate> ShardedSystem<Base>::DeleteVersioned(RecordId id) {
+  Key key;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    auto it = directory_.find(id);
+    if (it == directory_.end()) {
+      return Status::NotFound("no record with this id");
+    }
+    key = it->second;
+    directory_.erase(it);
+  }
+  size_t shard = router_.ShardOf(key);
+  Result<uint64_t> epoch = shards_[shard]->DeleteVersioned(id);
+  if (!epoch.ok()) {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    directory_.emplace(id, key);
+    return epoch.status();
+  }
+  return ShardUpdate{shard, epoch.value()};
+}
+
+template <typename Base>
+std::vector<uint64_t> ShardedSystem<Base>::ShardEpochs() const {
+  std::vector<uint64_t> epochs;
+  epochs.reserve(shards_.size());
+  for (const auto& shard : shards_) epochs.push_back(shard->epoch());
+  return epochs;
+}
+
+template <typename Base>
+UpdateStats ShardedSystem<Base>::update_stats() const {
+  UpdateStats total;
+  for (const auto& shard : shards_) {
+    UpdateStats stats = shard->update_stats();
+    total.inserts += stats.inserts;
+    total.deletes += stats.deletes;
+    total.failed += stats.failed;
+    total.shipment_bytes += stats.shipment_bytes;
+    total.auth_bytes += stats.auth_bytes;
+    total.latency_ms += stats.latency_ms;
+  }
+  return total;
+}
+
+template class ShardedSystem<SaeSystem>;
+template class ShardedSystem<TomSystem>;
+
+mbtree::CompositeVo BuildCompositeVo(
+    const ShardedTomSystem::QueryOutcome& outcome) {
+  mbtree::CompositeVo cvo;
+  cvo.parts.reserve(outcome.slices.size());
+  for (const ShardedTomSystem::Slice& slice : outcome.slices) {
+    mbtree::CompositeVoPart part;
+    part.shard = uint32_t(slice.shard);
+    part.lo = slice.lo;
+    part.hi = slice.hi;
+    part.vo = slice.outcome.vo;
+    cvo.parts.push_back(std::move(part));
+  }
+  return cvo;
+}
+
+}  // namespace sae::core

@@ -1,0 +1,181 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The sharded execution tier: N independent SP shards behind one
+// range-partitioning ShardRouter, each shard a complete single-shard
+// system (its own auth state — XB-tree at the TE under SAE, MB-tree +
+// epoch-stamped root signature under TOM — its own reader-writer lock,
+// its own epoch counter). Point and range queries route to the owning
+// shard(s); a range spanning several shards fans out in parallel over a
+// QueryEngine worker pool and the per-shard answers are stitched into a
+// composite result whose verification checks, in order:
+//
+//   1. structural fence-key completeness — the returned slices must tile
+//      the query range exactly along the trusted fences
+//      (ShardRouter::VerifyCover);
+//   2. per-shard cryptographic verification — each slice carries its
+//      shard's own VT / VO, checked against that shard's published epoch;
+//   3. cross-shard epoch agreement — fresh and stale shards mixed in one
+//      answer is a torn snapshot (StatusCode::kShardEpochSkew); uniformly
+//      stale is a replay (kStaleEpoch); any record-level corruption is a
+//      kVerificationFailure naming the shard.
+//
+// Updates route to the single owning shard and bump only that shard's
+// epoch, so writers on different shards never serialize against each
+// other — the write path scales with the shard count
+// (bench_ablation_updates' shard axis).
+
+#ifndef SAE_CORE_SHARDED_SYSTEM_H_
+#define SAE_CORE_SHARDED_SYSTEM_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "core/shard_router.h"
+#include "core/system.h"
+#include "mbtree/composite_vo.h"
+
+namespace sae::core {
+
+/// Attack placement for a sharded deployment: which shard is compromised
+/// and what it does. Implicitly constructible from a bare AttackMode so the
+/// generic QueryEngine batch templates (whose BatchQuery carries an
+/// AttackMode) apply the attack to every shard — the unsharded semantics.
+struct ShardAttack {
+  static constexpr size_t kAllShards = ~size_t{0};
+
+  AttackMode mode = AttackMode::kNone;
+  size_t shard = kAllShards;  ///< the compromised shard; kAllShards = all
+
+  ShardAttack() = default;
+  ShardAttack(AttackMode mode) : mode(mode) {}  // NOLINT: implicit
+  /// A single compromised shard among honest ones.
+  static ShardAttack At(size_t shard, AttackMode mode) {
+    ShardAttack attack;
+    attack.mode = mode;
+    attack.shard = shard;
+    return attack;
+  }
+
+  bool AppliesTo(size_t s) const {
+    return mode != AttackMode::kNone &&
+           (shard == kAllShards || shard == s);
+  }
+};
+
+/// Which shard an update landed on and the epoch it published there.
+struct ShardUpdate {
+  size_t shard = 0;
+  uint64_t epoch = 0;
+};
+
+/// N-shard wrapper over any single-shard system (SaeSystem, TomSystem).
+/// Each shard is a full Base instance; the wrapper owns the router, the
+/// fan-out engine for multi-shard queries, and the id -> key directory that
+/// routes deletes. Thread-safe to the same degree as Base: queries and
+/// updates may run concurrently from any number of threads, and updates to
+/// different shards proceed in parallel (no global writer lock exists).
+template <typename Base>
+class ShardedSystem {
+ public:
+  struct Options {
+    typename Base::Options base;  ///< applied to every shard (under TOM the
+                                  ///< shared rsa_seed keeps one DO key)
+    /// Worker threads of the internal fan-out engine used by multi-shard
+    /// queries. 0 = fan out inline on the calling thread; batch-level
+    /// parallelism then comes from an outer QueryEngine, which is the
+    /// right default (nesting two pools oversubscribes small hosts).
+    /// The pool serves one query's fan-out at a time (QueryEngine jobs
+    /// are single-caller); a query arriving while the pool is busy fans
+    /// out inline instead of waiting, so concurrent callers never block
+    /// on — or race over — the shared pool.
+    size_t fanout_workers = 0;
+  };
+
+  explicit ShardedSystem(ShardRouter router, const Options& options = {});
+
+  /// Partitions the dataset along the fences and loads every shard (empty
+  /// shards load an empty dataset and still publish epoch 1).
+  Status Load(const std::vector<Record>& records);
+
+  /// One shard's contribution to a composite answer.
+  struct Slice {
+    size_t shard = 0;
+    Key lo = 0;  ///< clipped sub-range this shard answered
+    Key hi = 0;
+    typename Base::QueryOutcome outcome;  ///< per-shard records + VT/VO +
+                                          ///< per-shard verification status
+  };
+
+  struct QueryOutcome {
+    /// Stitched result, key-ascending across slices — byte-identical to
+    /// what the unsharded system returns for the same query.
+    std::vector<Record> results;
+    std::vector<Slice> slices;  ///< ascending by shard; per-shard verdicts
+    Status verification;        ///< composite verdict (see header comment)
+    QueryCosts costs;           ///< summed across slices
+  };
+
+  /// Routes, fans out, stitches, verifies. An execution error on any shard
+  /// fails the whole query (errored Result); verification failures are
+  /// reported per shard in `slices` and folded into `verification`.
+  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi, ShardAttack attack = {});
+
+  /// Alias kept for symmetry with the unsharded systems' Query().
+  Result<QueryOutcome> Query(Key lo, Key hi, ShardAttack attack = {}) {
+    return ExecuteQuery(lo, hi, attack);
+  }
+
+  /// Updates route to the owning shard and bump only its epoch; concurrent
+  /// updates to different shards do not serialize against each other.
+  Result<ShardUpdate> InsertVersioned(const Record& record);
+  Result<ShardUpdate> DeleteVersioned(RecordId id);
+  Status Insert(const Record& record) {
+    return InsertVersioned(record).status();
+  }
+  Status Delete(RecordId id) { return DeleteVersioned(id).status(); }
+
+  /// The published per-shard epoch vector — the sharded client's freshness
+  /// reference (shipped DO -> client as a SerializeShardEpochs message).
+  std::vector<uint64_t> ShardEpochs() const;
+
+  /// Update-pipeline stats summed across shards.
+  UpdateStats update_stats() const;
+
+  const ShardRouter& router() const { return router_; }
+  size_t num_shards() const { return shards_.size(); }
+  Base& shard(size_t s) { return *shards_[s]; }
+  const Base& shard(size_t s) const { return *shards_[s]; }
+
+ private:
+  ShardRouter router_;
+  Options options_;
+  std::vector<std::unique_ptr<Base>> shards_;
+  // The fan-out pool plus the try-lock that hands it to one multi-shard
+  // query at a time (QueryEngine::Dispatch is single-job-only; see
+  // ExecuteQuery).
+  QueryEngine fanout_;
+  std::mutex fanout_mu_;
+
+  // Routes deletes (and cross-shard duplicate-id checks) without asking
+  // every shard. Guarded by its own mutex; the critical section is a map
+  // op, so per-shard update parallelism is preserved.
+  mutable std::mutex directory_mu_;
+  std::unordered_map<RecordId, Key> directory_;
+};
+
+using ShardedSaeSystem = ShardedSystem<SaeSystem>;
+using ShardedTomSystem = ShardedSystem<TomSystem>;
+
+/// Assembles the wire-level composite proof from a sharded TOM outcome
+/// whose slices all executed (mbtree::CompositeVo: per-slice sub-range +
+/// VO). What an SP tier ships to a thin client that verifies with
+/// mbtree::VerifyComposite instead of trusting per-shard verdicts.
+mbtree::CompositeVo BuildCompositeVo(
+    const ShardedTomSystem::QueryOutcome& outcome);
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_SHARDED_SYSTEM_H_

@@ -1,0 +1,128 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the composite VO (mbtree/composite_vo.h): wire encoding of
+// the per-shard parts and the stitched client-side verification.
+
+#include "mbtree/composite_vo.h"
+
+#include <string>
+
+#include "util/codec.h"
+
+namespace sae::mbtree {
+
+namespace {
+constexpr uint8_t kTagCompositeVo = 0x21;
+}  // namespace
+
+std::vector<uint8_t> CompositeVo::Serialize() const {
+  ByteWriter w;
+  w.PutU8(kTagCompositeVo);
+  w.PutU32(uint32_t(parts.size()));
+  for (const CompositeVoPart& part : parts) {
+    w.PutU32(part.shard);
+    w.PutU32(part.lo);
+    w.PutU32(part.hi);
+    std::vector<uint8_t> vo_bytes = part.vo.Serialize();
+    w.PutU32(uint32_t(vo_bytes.size()));
+    w.PutBytes(vo_bytes.data(), vo_bytes.size());
+  }
+  return w.Release();
+}
+
+Result<CompositeVo> CompositeVo::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagCompositeVo) {
+    return Status::Corruption("not a composite VO message");
+  }
+  uint32_t count = r.GetU32();
+  if (r.failed()) return Status::Corruption("composite VO truncated");
+  CompositeVo cvo;
+  cvo.parts.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CompositeVoPart part;
+    part.shard = r.GetU32();
+    part.lo = r.GetU32();
+    part.hi = r.GetU32();
+    uint32_t vo_size = r.GetU32();
+    if (r.failed() || vo_size > r.remaining()) {
+      return Status::Corruption("composite VO truncated");
+    }
+    std::vector<uint8_t> vo_bytes(vo_size);
+    if (!r.GetBytes(vo_bytes.data(), vo_bytes.size())) {
+      return Status::Corruption("composite VO truncated");
+    }
+    SAE_ASSIGN_OR_RETURN(part.vo, VerificationObject::Deserialize(vo_bytes));
+    cvo.parts.push_back(std::move(part));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after composite VO");
+  }
+  return cvo;
+}
+
+Status VerifyComposite(const CompositeVo& cvo, storage::Key lo,
+                       storage::Key hi,
+                       const std::vector<storage::Record>& results,
+                       const std::vector<storage::Key>& fences,
+                       const crypto::RsaPublicKey& owner_key,
+                       const storage::RecordCodec& codec,
+                       crypto::HashScheme scheme,
+                       const std::vector<uint64_t>& published_epochs,
+                       std::vector<ShardVoVerdict>* per_shard) {
+  if (per_shard != nullptr) per_shard->clear();
+
+  std::vector<storage::KeySlice> slices;
+  slices.reserve(cvo.parts.size());
+  for (const CompositeVoPart& part : cvo.parts) {
+    slices.push_back(storage::KeySlice{part.shard, part.lo, part.hi});
+  }
+
+  // The shared scaffold (storage::VerifyCompositeSlices) runs the
+  // fence-key tiling check first, then the per-part callback, then the
+  // cross-shard epoch fold (stale vs skew vs corruption). The callback
+  // splits the stitched results along the part boundaries as it goes:
+  // keys must be non-decreasing — the stitched order of key-sorted
+  // slices — and every record must fall inside some part (the cover
+  // check guarantees the parts tile [lo, hi], so an out-of-part key is
+  // out of query range).
+  size_t next = 0;
+  bool tiling_ok = false;  // the callback only runs once the cover passed
+  Status folded = storage::VerifyCompositeSlices(
+      fences, lo, hi, slices, published_epochs,
+      [&](size_t i, const storage::KeySlice& slice, uint64_t published) {
+        tiling_ok = true;
+        const CompositeVoPart& part = cvo.parts[i];
+        std::vector<storage::Record> slice_results;
+        while (next < results.size() && results[next].key >= slice.lo &&
+               results[next].key <= slice.hi) {
+          if (!slice_results.empty() &&
+              results[next].key < slice_results.back().key) {
+            return Status::VerificationFailure(
+                "stitched results are not key-sorted");
+          }
+          slice_results.push_back(results[next]);
+          ++next;
+        }
+        // Per-shard soundness + freshness against the shard's own epoch.
+        Status status = VerifyVO(part.vo, slice.lo, slice.hi, slice_results,
+                                 owner_key, codec, scheme, published);
+        if (per_shard != nullptr) {
+          per_shard->push_back(
+              ShardVoVerdict{part.shard, part.vo.epoch, status});
+        }
+        return status;
+      },
+      nullptr);
+  // Leftover records fit no part: corruption, which outranks a stale/skew
+  // fold — but never masks a tiling failure (when the cover check failed,
+  // no part consumed anything and `folded` already says why).
+  if (tiling_ok && next != results.size()) {
+    return Status::VerificationFailure(
+        "result records outside every shard slice");
+  }
+  return folded;
+}
+
+}  // namespace sae::mbtree

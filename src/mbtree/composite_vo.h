@@ -1,0 +1,85 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Composite verification object for a sharded TOM deployment: a range
+// query spanning several MB-tree shards is answered by stitching the
+// per-shard results, and the proof is the matching stitch of per-shard
+// VOs — one part per shard slice, each carrying the slice's clipped
+// sub-range and that shard's epoch-stamped, root-signed VO.
+//
+// Client-side verification (VerifyComposite) establishes end-to-end
+// correctness of the stitched answer from the trusted fence keys alone:
+//
+//   1. fence-key completeness — the parts must tile [lo, hi] exactly along
+//      the fences (storage::VerifyKeyCover). Each part's VO then proves
+//      completeness of its own sub-range via MB-tree boundary records, and
+//      because adjacent parts meet on a fence (part.hi + 1 == next.lo), no
+//      record anywhere in [lo, hi] can be dropped without some part's
+//      proof breaking — including a record "hidden between shards";
+//   2. per-shard soundness and freshness — each part's VO is replayed
+//      against its slice of the results and checked against that shard's
+//      DO signature and published epoch (mbtree::VerifyVO);
+//   3. cross-shard epoch agreement — per-shard verdicts fold via
+//      sae::CombineShardStatuses: a uniformly stale answer is kStaleEpoch,
+//      fresh and stale shards mixed in one answer is kShardEpochSkew, and
+//      any record-level corruption is kVerificationFailure naming the
+//      shard.
+
+#ifndef SAE_MBTREE_COMPOSITE_VO_H_
+#define SAE_MBTREE_COMPOSITE_VO_H_
+
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "mbtree/vo.h"
+#include "storage/key_range.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace sae::mbtree {
+
+/// One shard's contribution to a composite proof.
+struct CompositeVoPart {
+  uint32_t shard = 0;
+  storage::Key lo = 0;  ///< clipped sub-range this shard answers, inclusive
+  storage::Key hi = 0;
+  VerificationObject vo;
+};
+
+/// The stitched proof shipped SP -> client for a multi-shard range query.
+struct CompositeVo {
+  std::vector<CompositeVoPart> parts;  ///< ascending by shard
+
+  /// Wire encoding: part count, then per part the shard id, sub-range and
+  /// the embedded VO bytes. Its size is the sharded analog of the Fig. 5
+  /// "SP-Client (TOM)" series.
+  std::vector<uint8_t> Serialize() const;
+  static Result<CompositeVo> Deserialize(const std::vector<uint8_t>& bytes);
+  size_t SerializedSize() const { return Serialize().size(); }
+};
+
+/// Per-shard verdict reported back by VerifyComposite.
+struct ShardVoVerdict {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;  ///< epoch the shard's VO claims
+  Status status;       ///< that shard's VerifyVO outcome
+};
+
+/// Verifies the stitched `results` for [lo, hi] against the composite
+/// proof. `fences` are the trusted interior fence keys from the DO;
+/// `published_epochs[s]` is the latest epoch the DO published for shard s
+/// (the freshness reference). When `per_shard` is non-null it receives one
+/// verdict per part, so a caller can attribute a rejection to the
+/// compromised shard while keeping the honest shards' sub-results.
+Status VerifyComposite(const CompositeVo& cvo, storage::Key lo,
+                       storage::Key hi,
+                       const std::vector<storage::Record>& results,
+                       const std::vector<storage::Key>& fences,
+                       const crypto::RsaPublicKey& owner_key,
+                       const storage::RecordCodec& codec,
+                       crypto::HashScheme scheme,
+                       const std::vector<uint64_t>& published_epochs,
+                       std::vector<ShardVoVerdict>* per_shard = nullptr);
+
+}  // namespace sae::mbtree
+
+#endif  // SAE_MBTREE_COMPOSITE_VO_H_

@@ -179,7 +179,13 @@ Status ComputeNodeDigest(const VoNode& node,
     }
   }
   if (digests.empty()) {
-    return Status::VerificationFailure("VO: empty node");
+    // Empty tree (e.g. an empty shard of a partitioned deployment): the
+    // digest of zero digests, mirroring MbTree::NodeDigest, so the VO of
+    // an honestly empty result reconstructs the signed empty-root digest.
+    // Not a forgery vector: a non-empty signed tree has no node with this
+    // digest, so a fabricated empty node still fails the signature check.
+    *out = crypto::CombineDigests(nullptr, 0, scheme);
+    return Status::OK();
   }
   *out = crypto::CombineDigests(digests.data(), digests.size(), scheme);
   return Status::OK();

@@ -29,6 +29,8 @@ const char* CodeName(StatusCode code) {
       return "VerificationFailure";
     case StatusCode::kStaleEpoch:
       return "StaleEpoch";
+    case StatusCode::kShardEpochSkew:
+      return "ShardEpochSkew";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
   }
@@ -36,6 +38,33 @@ const char* CodeName(StatusCode code) {
 }
 
 }  // namespace
+
+Status CombineShardStatuses(
+    const std::vector<std::pair<size_t, Status>>& per_shard) {
+  std::vector<size_t> stale;
+  for (const auto& [shard, status] : per_shard) {
+    if (status.ok()) continue;
+    if (status.code() == StatusCode::kStaleEpoch) {
+      stale.push_back(shard);
+      continue;
+    }
+    return Status::VerificationFailure("shard " + std::to_string(shard) +
+                                       ": " + status.ToString());
+  }
+  if (stale.empty()) return Status::OK();
+  if (stale.size() == per_shard.size()) {
+    return Status::StaleEpoch(
+        "every queried shard answered from a stale epoch");
+  }
+  std::string laggards;
+  for (size_t shard : stale) {
+    if (!laggards.empty()) laggards += ", ";
+    laggards += std::to_string(shard);
+  }
+  return Status::ShardEpochSkew("shard(s) " + laggards +
+                                " lag their published epoch while other "
+                                "shards in the same answer are fresh");
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "util/macros.h"
 
@@ -25,6 +26,7 @@ enum class StatusCode {
   kOutOfRange,
   kVerificationFailure,
   kStaleEpoch,
+  kShardEpochSkew,
   kUnimplemented,
 };
 
@@ -59,6 +61,14 @@ class Status {
   /// for an epoch older than the latest one the DO published.
   static Status StaleEpoch(std::string msg) {
     return Status(StatusCode::kStaleEpoch, std::move(msg));
+  }
+  /// Cross-shard freshness violation: the per-shard proofs of one stitched
+  /// answer speak for epochs that cannot have coexisted — some shards are
+  /// fresh while others lag their published epoch, so the composite was
+  /// assembled from different points in time (a torn snapshot). A uniformly
+  /// lagging answer is kStaleEpoch instead.
+  static Status ShardEpochSkew(std::string msg) {
+    return Status(StatusCode::kShardEpochSkew, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
@@ -113,6 +123,21 @@ class Result {
  private:
   std::variant<T, Status> var_;
 };
+
+/// Folds the per-shard verification verdicts of one stitched multi-shard
+/// answer into a composite verdict (shard id, per-shard status):
+///   - any non-freshness failure  -> kVerificationFailure naming the shard
+///     (the per-shard statuses keep the finer-grained code);
+///   - every queried shard stale  -> kStaleEpoch (a uniform replay);
+///   - fresh and stale shards mix -> kShardEpochSkew naming the laggards
+///     (the answer was stitched from different points in time);
+///   - all OK                     -> OK.
+/// Freshness classification runs after the failure scan so a shard that is
+/// both corrupt and stale is reported as corruption, mirroring the
+/// single-shard client's gate ordering in reverse: corruption is the
+/// stronger, shard-attributable verdict here.
+Status CombineShardStatuses(
+    const std::vector<std::pair<size_t, Status>>& per_shard);
 
 }  // namespace sae
 

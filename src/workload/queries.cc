@@ -26,4 +26,26 @@ std::vector<RangeQuery> GenerateQueries(const QueryWorkloadSpec& spec) {
   return queries;
 }
 
+std::vector<RangeQuery> GenerateCrossShardQueries(
+    const QueryWorkloadSpec& spec, const std::vector<storage::Key>& fences) {
+  if (fences.empty()) return GenerateQueries(spec);
+  SAE_CHECK(spec.extent_fraction > 0.0 && spec.extent_fraction <= 1.0);
+  uint64_t domain = uint64_t(spec.domain_max) + 1;
+  uint32_t extent = uint32_t(double(domain) * spec.extent_fraction);
+  if (extent < 2) extent = 2;  // a 1-key range cannot straddle a fence
+
+  Rng rng(spec.seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(spec.count);
+  for (size_t i = 0; i < spec.count; ++i) {
+    storage::Key fence = fences[i % fences.size()];
+    // Place the range so the fence falls strictly inside it: the low end
+    // sits 1..extent-1 keys below the fence (clamped at the domain edge).
+    uint32_t below = 1 + uint32_t(rng.NextBounded(extent - 1));
+    uint32_t lo = fence > below ? fence - below : 0;
+    queries.push_back(RangeQuery{lo, lo + extent});
+  }
+  return queries;
+}
+
 }  // namespace sae::workload

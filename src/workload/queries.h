@@ -29,6 +29,15 @@ struct QueryWorkloadSpec {
 /// Uniformly placed fixed-extent range queries over the domain.
 std::vector<RangeQuery> GenerateQueries(const QueryWorkloadSpec& spec);
 
+/// Fence-straddling variant for sharded deployments: every query is
+/// centred (with jitter) on one of the interior fence keys, so each one
+/// spans at least two shards and the multi-shard fan-out, boundary
+/// clipping, and composite verification paths are always exercised. With
+/// no fences it degrades to GenerateQueries. Drives the shard-boundary
+/// tests and the shard-axis benches.
+std::vector<RangeQuery> GenerateCrossShardQueries(
+    const QueryWorkloadSpec& spec, const std::vector<storage::Key>& fences);
+
 }  // namespace sae::workload
 
 #endif  // SAE_WORKLOAD_QUERIES_H_

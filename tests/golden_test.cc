@@ -120,6 +120,18 @@ TEST(GoldenTest, EpochNoticeWireFormat) {
   EXPECT_EQ(HexEncode(bytes.data(), bytes.size()), "060102030405060708");
 }
 
+TEST(GoldenTest, ShardEpochVectorWireFormat) {
+  // tag(0x08) + count(2, u32 LE) + two u64 LE epochs.
+  std::vector<uint8_t> bytes =
+      core::SerializeShardEpochs({0x01, 0x0807060504030201ull});
+  EXPECT_EQ(HexEncode(bytes.data(), bytes.size()),
+            "080200000001000000000000000102030405060708");
+  auto decoded = core::DeserializeShardEpochs(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(),
+            (std::vector<uint64_t>{0x01, 0x0807060504030201ull}));
+}
+
 TEST(GoldenTest, SignatureMessageWireFormat) {
   crypto::RsaSignature sig{0xDE, 0xAD, 0xBE, 0xEF};
   std::vector<uint8_t> bytes =
