@@ -17,6 +17,7 @@
 #include "core/query_engine.h"
 #include "core/sharded_system.h"
 #include "fig_common.h"
+#include "workload/queries.h"
 
 using namespace sae;
 using namespace sae::bench;
@@ -90,6 +91,39 @@ void RunShardSweep(const std::vector<storage::Record>& dataset,
   }
 }
 
+// Operator-class axis: q/s per verified-plan operator over SAE and TOM
+// (engine workers fixed at 4). Every operator executes the same underlying
+// range scan and ships the same witness; the per-class deltas are the
+// derived-answer work (top-k ranking, aggregate recomputation at the
+// client) and, for point queries, the tiny witness. All answers verify.
+template <typename System>
+void RunOperatorSweep(const char* model, System* system) {
+  using sae::dbms::QueryOp;
+  for (QueryOp op :
+       {QueryOp::kScan, QueryOp::kPoint, QueryOp::kCount, QueryOp::kSum,
+        QueryOp::kMin, QueryOp::kMax, QueryOp::kTopK}) {
+    workload::OperatorMixSpec spec;
+    spec.count = kQueriesPerPoint * kBatchReps;
+    spec.domain_max = kDomainMax;
+    spec.mix = {{op, 1.0}};
+    spec.topk_limit = 10;
+    std::vector<core::BatchQuery> batch;
+    for (const auto& request : workload::GenerateOperatorMix(spec)) {
+      batch.push_back(core::BatchQuery{request});
+    }
+    core::QueryEngine engine(core::QueryEngineOptions{4});
+    auto warm = engine.RunBatch(system, batch);
+    SAE_CHECK(warm.stats.accepted == batch.size());
+    auto run = engine.RunBatch(system, batch);
+    SAE_CHECK(run.stats.accepted == batch.size());
+    std::printf("%6s %8s %10.0f %15.3f %15zu\n", model,
+                sae::dbms::QueryOpName(op), run.stats.QueriesPerSecond(),
+                run.stats.wall_ms / double(run.stats.queries),
+                run.stats.total.result_bytes / run.stats.queries);
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -112,6 +146,10 @@ int main() {
     core::SaeSystem sae(options);
     SAE_CHECK_OK(sae.Load(dataset));
     RunSweep("SAE", &sae, batch);
+
+    std::printf("\n# Operator-class throughput (engine workers = 4)\n");
+    std::printf("# model       op        q/s   mean-resp(ms)   result-B/qry\n");
+    RunOperatorSweep("SAE", &sae);
   }
   {
     core::TomSystem::Options options;
@@ -119,6 +157,7 @@ int main() {
     core::TomSystem tom(options);
     SAE_CHECK_OK(tom.Load(dataset));
     RunSweep("TOM", &tom, batch);
+    RunOperatorSweep("TOM", &tom);
   }
 
   std::printf("# speedup is relative to the 1-thread run of the same "

@@ -36,6 +36,12 @@ const char* ModeName(AttackMode mode) {
       return "replay stale snapshot (freshness)";
     case AttackMode::kStaleVt:
       return "stale token/signature (freshness)";
+    case AttackMode::kWrongCount:
+      return "lie about COUNT      (aggregate)";
+    case AttackMode::kWrongSum:
+      return "lie about SUM        (aggregate)";
+    case AttackMode::kTruncatedTopK:
+      return "truncate top-k       (aggregate)";
   }
   return "?";
 }
@@ -76,9 +82,21 @@ int main() {
        {AttackMode::kNone, AttackMode::kDropOne, AttackMode::kDropAll,
         AttackMode::kInjectFake, AttackMode::kTamperPayload,
         AttackMode::kTamperKey, AttackMode::kDuplicateOne,
-        AttackMode::kReplayStaleRoot, AttackMode::kStaleVt}) {
-    auto sae = sae_system.Query(20000, 40000, mode);
-    auto tom = tom_system.Query(20000, 40000, mode);
+        AttackMode::kReplayStaleRoot, AttackMode::kStaleVt,
+        AttackMode::kWrongCount, AttackMode::kWrongSum,
+        AttackMode::kTruncatedTopK}) {
+    // Aggregate attacks target the derived answer, so run them against
+    // the operator they lie about; everything else attacks a range scan.
+    dbms::QueryRequest request = dbms::QueryRequest::Scan(20000, 40000);
+    if (mode == AttackMode::kWrongCount) {
+      request = dbms::QueryRequest::Count(20000, 40000);
+    } else if (mode == AttackMode::kWrongSum) {
+      request = dbms::QueryRequest::Sum(20000, 40000);
+    } else if (mode == AttackMode::kTruncatedTopK) {
+      request = dbms::QueryRequest::TopK(20000, 40000, 10);
+    }
+    auto sae = sae_system.Query(request, mode);
+    auto tom = tom_system.Query(request, mode);
     if (!sae.ok() || !tom.ok()) return 1;
 
     bool sae_accepts = sae.value().verification.ok();

@@ -4,7 +4,9 @@
 // outsources its digital-camera catalog (id, manufacturer, model, price),
 // clients run price-range queries, and the catalog changes over time.
 // The query attribute is `price`; the remaining columns ride in the record
-// payload. Demonstrates outsourcing, queries, verification, and updates.
+// payload. Demonstrates outsourcing, queries, verification, and updates —
+// and, in the final act, the shop's dashboard running verified COUNT/SUM
+// aggregate queries with a tampering SP caught red-handed.
 //
 //   $ ./examples/camera_shop
 
@@ -13,6 +15,7 @@
 #include <string>
 
 #include "core/system.h"
+#include "dbms/query.h"
 
 using sae::core::SaeSystem;
 using sae::storage::Record;
@@ -95,5 +98,34 @@ int main() {
 
   run_query(20000, 30000);
   run_query(0, 100000000);  // the whole catalog, still verifiable
-  return 0;
+
+  // Act 2 — the shop's dashboard: verified aggregates. "How many cameras
+  // do we list under 500 euro, and what do they add up to?" The SP ships
+  // the authenticated witness along with its claimed COUNT/SUM; the client
+  // recomputes both from the witness, so the dashboard numbers carry the
+  // same guarantee as the records themselves.
+  std::printf("--- dashboard: verified aggregates ---\n\n");
+  auto count_req = sae::dbms::QueryRequest::Count(0, 50000);
+  auto sum_req = sae::dbms::QueryRequest::Sum(0, 50000);
+  auto count = shop.Query(count_req);
+  auto sum = shop.Query(sum_req);
+  if (!count.ok() || !sum.ok()) return 1;
+  std::printf("cameras under 500 euro: COUNT = %llu (verified: %s)\n",
+              (unsigned long long)count.value().answer.count,
+              count.value().verification.ok() ? "yes" : "NO");
+  std::printf("inventory value:        SUM   = %.2f euro (verified: %s)\n\n",
+              sum.value().answer.sum / 100.0,
+              sum.value().verification.ok() ? "yes" : "NO");
+
+  // A compromised SP now reports a deflated SUM — every witness record it
+  // ships is genuine, only the aggregate lies. The client recomputes the
+  // SUM from the authenticated witness and rejects the answer.
+  auto tampered = shop.Query(sum_req, sae::core::AttackMode::kWrongSum);
+  if (!tampered.ok()) return 1;
+  std::printf("tampering SP claims SUM = %.2f euro -> client verdict: %s\n",
+              tampered.value().answer.sum / 100.0,
+              tampered.value().verification.ok() ? "ACCEPTED (BUG!)"
+                                                 : "REJECTED");
+  std::printf("  (%s)\n", tampered.value().verification.ToString().c_str());
+  return tampered.value().verification.ok() ? 1 : 0;
 }

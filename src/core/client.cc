@@ -5,6 +5,8 @@
 
 #include "core/client.h"
 
+#include "util/macros.h"
+
 namespace sae::core {
 
 crypto::Digest Client::ResultXor(const std::vector<Record>& results,
@@ -49,6 +51,53 @@ Status Client::VerifyShardedResult(
                             scheme);
       },
       per_shard);
+}
+
+Status Client::VerifyAnswer(const dbms::QueryRequest& request,
+                            const dbms::QueryAnswer& claimed,
+                            const std::vector<Record>& witness,
+                            const VerificationToken& vt,
+                            uint64_t claimed_epoch, uint64_t published_epoch,
+                            const RecordCodec& codec,
+                            crypto::HashScheme scheme) {
+  SAE_RETURN_NOT_OK(VerifyResult(witness, vt, claimed_epoch, published_epoch,
+                                 codec, scheme));
+  return dbms::CheckAnswer(request, witness, claimed);
+}
+
+Status Client::VerifyShardedAnswer(
+    const dbms::QueryRequest& request, const dbms::QueryAnswer& composite,
+    const std::vector<ShardSlice>& slices,
+    const std::vector<storage::Key>& fences,
+    const std::vector<uint64_t>& published_epochs, const RecordCodec& codec,
+    crypto::HashScheme scheme,
+    std::vector<std::pair<size_t, Status>>* per_shard) {
+  std::vector<storage::KeySlice> cover;
+  cover.reserve(slices.size());
+  for (const ShardSlice& slice : slices) {
+    cover.push_back(storage::KeySlice{slice.shard, slice.lo, slice.hi});
+  }
+  SAE_RETURN_NOT_OK(storage::VerifyCompositeSlices(
+      fences, request.lo, request.hi, cover, published_epochs,
+      [&](size_t i, const storage::KeySlice&, uint64_t published) {
+        dbms::QueryRequest sub = request;
+        sub.lo = slices[i].lo;
+        sub.hi = slices[i].hi;
+        return VerifyAnswer(sub, slices[i].answer, slices[i].results,
+                            slices[i].vt, slices[i].claimed_epoch, published,
+                            codec, scheme);
+      },
+      per_shard));
+  // Every slice answer is now individually authenticated; the composite
+  // must be exactly their fold.
+  std::vector<dbms::QueryAnswer> parts;
+  parts.reserve(slices.size());
+  for (const ShardSlice& slice : slices) parts.push_back(slice.answer);
+  if (composite != dbms::MergeAnswers(request, parts)) {
+    return Status::VerificationFailure(
+        "composite answer does not fold from the verified shard answers");
+  }
+  return Status::OK();
 }
 
 Status Client::VerifyResult(const std::vector<Record>& results,

@@ -13,6 +13,7 @@
 
 #include "core/epoch.h"
 #include "crypto/digest.h"
+#include "dbms/query.h"
 #include "storage/key_range.h"
 #include "storage/record.h"
 #include "util/status.h"
@@ -61,14 +62,30 @@ class Client {
       const RecordCodec& codec,
       crypto::HashScheme scheme = crypto::HashScheme::kSha1);
 
+  /// The operator-typed client check: the epoch-aware gates and the XOR
+  /// match run over the *witness* (the range record set the TE's token
+  /// speaks for), and once the witness is authenticated the derived answer
+  /// is recomputed from it and compared field-for-field with the SP's
+  /// claim (dbms::CheckAnswer). A tampered COUNT/SUM/MIN/MAX or truncated
+  /// top-k is a kVerificationFailure even though the witness verifies.
+  static Status VerifyAnswer(
+      const dbms::QueryRequest& request, const dbms::QueryAnswer& claimed,
+      const std::vector<Record>& witness, const VerificationToken& vt,
+      uint64_t claimed_epoch, uint64_t published_epoch,
+      const RecordCodec& codec,
+      crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+
   /// One shard's slice of a stitched sharded-SAE answer as a thin client
-  /// receives it: the clipped sub-range, the records, that shard's TE
-  /// token, and the epoch the shard's SP claimed.
+  /// receives it: the clipped sub-range, the witness records, the shard's
+  /// claimed partial answer, that shard's TE token, and the epoch the
+  /// shard's SP claimed. (`answer` is ignored by the record-shaped
+  /// VerifyShardedResult; VerifyShardedAnswer checks it.)
   struct ShardSlice {
     size_t shard = 0;
     storage::Key lo = 0;
     storage::Key hi = 0;
     std::vector<Record> results;
+    dbms::QueryAnswer answer;
     VerificationToken vt;
     uint64_t claimed_epoch = 0;
   };
@@ -85,6 +102,21 @@ class Client {
   /// slice so honest sub-results survive a rejection.
   static Status VerifyShardedResult(
       storage::Key lo, storage::Key hi,
+      const std::vector<ShardSlice>& slices,
+      const std::vector<storage::Key>& fences,
+      const std::vector<uint64_t>& published_epochs, const RecordCodec& codec,
+      crypto::HashScheme scheme = crypto::HashScheme::kSha1,
+      std::vector<std::pair<size_t, Status>>* per_shard = nullptr);
+
+  /// Operator-typed composite verification: the same fence-cover + epoch
+  /// machinery as VerifyShardedResult, but each slice runs the full
+  /// VerifyAnswer check (witness proof + partial-answer recomputation) for
+  /// its clipped sub-request, and the claimed composite answer must equal
+  /// the fold of the now-verified per-shard answers
+  /// (dbms::MergeAnswers) — so a router tier that mis-folds, or one shard
+  /// that lies about its partial aggregate, is rejected with attribution.
+  static Status VerifyShardedAnswer(
+      const dbms::QueryRequest& request, const dbms::QueryAnswer& composite,
       const std::vector<ShardSlice>& slices,
       const std::vector<storage::Key>& fences,
       const std::vector<uint64_t>& published_epochs, const RecordCodec& codec,

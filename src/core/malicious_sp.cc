@@ -25,8 +25,10 @@ std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
     out.insert(out.begin() + pos, fake);
   };
 
-  if (mode == AttackMode::kNone || IsFreshnessAttack(mode)) {
-    // Freshness attacks corrupt the epoch claim, not the record bytes.
+  if (mode == AttackMode::kNone || IsFreshnessAttack(mode) ||
+      IsAnswerAttack(mode)) {
+    // Freshness attacks corrupt the epoch claim and answer attacks the
+    // derived aggregate (ApplyAnswerAttack) — never the record bytes.
     return out;
   }
 
@@ -40,6 +42,9 @@ std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
     case AttackMode::kNone:
     case AttackMode::kReplayStaleRoot:
     case AttackMode::kStaleVt:
+    case AttackMode::kWrongCount:
+    case AttackMode::kWrongSum:
+    case AttackMode::kTruncatedTopK:
       break;  // handled above
     case AttackMode::kDropOne:
       out.erase(out.begin() + rng.NextBounded(out.size()));
@@ -69,6 +74,32 @@ std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
     }
   }
   return out;
+}
+
+void ApplyAnswerAttack(dbms::QueryAnswer* answer, AttackMode mode,
+                       uint64_t seed) {
+  Rng rng(seed);
+  switch (mode) {
+    case AttackMode::kWrongCount:
+      ++answer->count;
+      break;
+    case AttackMode::kWrongSum:
+      answer->sum += 1 + rng.NextBounded(1u << 16);
+      break;
+    case AttackMode::kTruncatedTopK:
+      if (answer->op == dbms::QueryOp::kTopK && !answer->records.empty()) {
+        answer->records.pop_back();
+      } else {
+        // Nothing to truncate: only top-k ships answer rows of its own
+        // (scan/point rows are the witness, which this attack leaves
+        // honest), or the range was empty. Lie about the count instead,
+        // so "malicious" never silently means "honest".
+        ++answer->count;
+      }
+      break;
+    default:
+      break;  // record and freshness modes never touch the answer
+  }
 }
 
 }  // namespace sae::core

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "dbms/query.h"
 #include "storage/record.h"
 
 namespace sae::core {
@@ -36,11 +37,31 @@ enum class AttackMode {
                     ///< snapshot (stale results + matching stale auth state)
   kStaleVt,         ///< freshness attack: token/signature from an old epoch
                     ///< presented against the current result
+  kWrongCount,      ///< aggregate attack: the claimed COUNT is off by one
+                    ///< while every witness record ships honestly
+  kWrongSum,        ///< aggregate attack: the claimed SUM is perturbed
+                    ///< while every witness record ships honestly
+  kTruncatedTopK,   ///< aggregate attack: the top-k answer silently loses
+                    ///< its last winner (witness untouched)
 };
 
 /// True for the freshness modes ApplyAttack leaves untouched.
 inline bool IsFreshnessAttack(AttackMode mode) {
   return mode == AttackMode::kReplayStaleRoot || mode == AttackMode::kStaleVt;
+}
+
+/// True for the modes that tamper the *derived answer* rather than the
+/// witness records — the attacks CheckAnswer (not the range proof) catches.
+inline bool IsAnswerAttack(AttackMode mode) {
+  return mode == AttackMode::kWrongCount || mode == AttackMode::kWrongSum ||
+         mode == AttackMode::kTruncatedTopK;
+}
+
+/// True for the modes that mutate the witness record set itself (the
+/// classic drop/inject/tamper family the VT / VO proof catches).
+inline bool IsRecordAttack(AttackMode mode) {
+  return mode != AttackMode::kNone && !IsFreshnessAttack(mode) &&
+         !IsAnswerAttack(mode);
 }
 
 /// Applies the attack to a copy of the honest result. Attacks needing a
@@ -52,6 +73,17 @@ inline bool IsFreshnessAttack(AttackMode mode) {
 std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
                                 AttackMode mode, const RecordCodec& codec,
                                 uint64_t seed);
+
+/// Applies an answer-level attack to the SP's claimed QueryAnswer, leaving
+/// the witness alone: kWrongCount/kWrongSum perturb the derived dimension
+/// (checked for every operator, so the lie is never silently honest) and
+/// kTruncatedTopK drops the last top-k answer row — or, when the answer
+/// carries no rows of its own (non-top-k operators, whose rows are the
+/// witness itself, or an empty range), falls back to a count lie so the
+/// attack is never a silent no-op. Every other mode leaves the answer
+/// untouched.
+void ApplyAnswerAttack(dbms::QueryAnswer* answer, AttackMode mode,
+                       uint64_t seed);
 
 }  // namespace sae::core
 

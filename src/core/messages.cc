@@ -18,7 +18,130 @@ constexpr uint8_t kTagDelete = 0x05;
 constexpr uint8_t kTagEpochNotice = 0x06;
 constexpr uint8_t kTagResults = 0x07;
 constexpr uint8_t kTagShardEpochs = 0x08;
+constexpr uint8_t kTagQueryRequest = 0x09;
+constexpr uint8_t kTagQueryAnswer = 0x0A;
+
+void PutRecords(ByteWriter* w, const std::vector<Record>& records,
+                const RecordCodec& codec) {
+  w->PutU64(records.size());
+  std::vector<uint8_t> scratch(codec.record_size());
+  for (const Record& record : records) {
+    codec.Serialize(record, scratch.data());
+    w->PutBytes(scratch.data(), scratch.size());
+  }
+}
+
+// Reads `count` fixed-size records; false on truncation.
+bool GetRecords(ByteReader* r, uint64_t count, const RecordCodec& codec,
+                std::vector<Record>* out) {
+  if (count > r->remaining() / codec.record_size()) return false;
+  out->reserve(size_t(count));
+  std::vector<uint8_t> scratch(codec.record_size());
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!r->GetBytes(scratch.data(), scratch.size())) return false;
+    out->push_back(codec.Deserialize(scratch.data()));
+  }
+  return true;
+}
 }  // namespace
+
+std::vector<uint8_t> SerializeQueryRequest(
+    const dbms::QueryRequest& request) {
+  ByteWriter w;
+  w.PutU8(kTagQueryRequest);
+  w.PutU8(uint8_t(request.op));
+  w.PutU32(request.lo);
+  w.PutU32(request.hi);
+  w.PutU32(request.limit);
+  return w.Release();
+}
+
+Result<dbms::QueryRequest> DeserializeQueryRequest(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagQueryRequest) {
+    return Status::Corruption("not a query request message");
+  }
+  uint8_t op = r.GetU8();
+  if (op > uint8_t(dbms::QueryOp::kTopK)) {
+    return Status::Corruption("unknown query operator");
+  }
+  dbms::QueryRequest request;
+  request.op = dbms::QueryOp(op);
+  request.lo = r.GetU32();
+  request.hi = r.GetU32();
+  request.limit = r.GetU32();
+  if (r.failed() || r.remaining() != 0) {
+    return Status::Corruption("query request message truncated");
+  }
+  return request;
+}
+
+std::vector<uint8_t> SerializeQueryAnswer(const dbms::QueryAnswer& answer,
+                                          const std::vector<Record>& witness,
+                                          uint64_t epoch,
+                                          const RecordCodec& codec) {
+  ByteWriter w;
+  w.PutU8(kTagQueryAnswer);
+  w.PutU8(uint8_t(answer.op));
+  w.PutU64(epoch);
+  w.PutU64(answer.count);
+  w.PutU64(answer.sum);
+  w.PutU8(answer.has_extrema ? 1 : 0);
+  w.PutU32(answer.min_key);
+  w.PutU32(answer.max_key);
+  w.PutU32(uint32_t(codec.record_size()));
+  // Scan/point answer rows are the witness itself; ship them once. Only
+  // top-k carries a distinct (ranked, truncated) row set of its own.
+  if (answer.op == dbms::QueryOp::kTopK) {
+    PutRecords(&w, answer.records, codec);
+  } else {
+    w.PutU64(0);
+  }
+  PutRecords(&w, witness, codec);
+  return w.Release();
+}
+
+Result<QueryAnswerMessage> DeserializeQueryAnswer(
+    const std::vector<uint8_t>& bytes, const RecordCodec& codec) {
+  ByteReader r(bytes);
+  if (r.GetU8() != kTagQueryAnswer) {
+    return Status::Corruption("not a query answer message");
+  }
+  uint8_t op = r.GetU8();
+  if (op > uint8_t(dbms::QueryOp::kTopK)) {
+    return Status::Corruption("unknown query operator");
+  }
+  QueryAnswerMessage msg;
+  msg.answer.op = dbms::QueryOp(op);
+  msg.epoch = r.GetU64();
+  msg.answer.count = r.GetU64();
+  msg.answer.sum = r.GetU64();
+  msg.answer.has_extrema = r.GetU8() != 0;
+  msg.answer.min_key = r.GetU32();
+  msg.answer.max_key = r.GetU32();
+  if (r.failed() || r.GetU32() != codec.record_size()) {
+    return Status::Corruption("record size mismatch");
+  }
+  uint64_t n_answer = r.GetU64();
+  if (r.failed() || !GetRecords(&r, n_answer, codec, &msg.answer.records)) {
+    return Status::Corruption("query answer rows truncated");
+  }
+  uint64_t n_witness = r.GetU64();
+  // Overflow-safe cardinality check, as in DeserializeRecords: the witness
+  // must consume the remainder of the message exactly.
+  if (r.failed() || r.remaining() % codec.record_size() != 0 ||
+      n_witness != r.remaining() / codec.record_size() ||
+      !GetRecords(&r, n_witness, codec, &msg.witness)) {
+    return Status::Corruption("query answer witness truncated");
+  }
+  if (msg.answer.op != dbms::QueryOp::kTopK && n_answer != 0) {
+    // Only top-k ships answer rows of its own; scan/point rows are the
+    // witness (held once in `witness`, see dbms::OpReturnsRecords).
+    return Status::Corruption("non-top-k answer carries its own rows");
+  }
+  return msg;
+}
 
 std::vector<uint8_t> SerializeShardEpochs(
     const std::vector<uint64_t>& epochs) {

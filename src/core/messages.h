@@ -14,6 +14,7 @@
 #include "core/epoch.h"
 #include "crypto/digest.h"
 #include "crypto/rsa.h"
+#include "dbms/query.h"
 #include "storage/record.h"
 #include "util/status.h"
 
@@ -33,6 +34,32 @@ Result<std::vector<Record>> DeserializeRecords(
 std::vector<uint8_t> SerializeQuery(Key lo, Key hi);
 Result<std::pair<Key, Key>> DeserializeQuery(
     const std::vector<uint8_t>& bytes);
+
+/// Verified query plan (client -> SP and client -> TE): operator + range +
+/// top-k limit — the operator-aware successor of SerializeQuery.
+/// tag(1) + op(1) + lo(4 LE) + hi(4 LE) + limit(4 LE) = 14 bytes.
+std::vector<uint8_t> SerializeQueryRequest(const dbms::QueryRequest& request);
+Result<dbms::QueryRequest> DeserializeQueryRequest(
+    const std::vector<uint8_t>& bytes);
+
+/// A decoded operator answer shipment (see SerializeQueryAnswer).
+struct QueryAnswerMessage {
+  dbms::QueryAnswer answer;       ///< the SP's claimed derived answer
+  std::vector<Record> witness;    ///< the range record set the proof covers
+  uint64_t epoch = 0;             ///< the epoch the SP claims to answer from
+};
+
+/// Operator answer shipment (SP -> client), the operator-aware successor of
+/// SerializeResults: the claimed epoch, the derived answer fields, the
+/// answer rows (top-k only — scan/point rows ARE the witness and ship/live
+/// exactly once, as the witness), and the witness records the range proof
+/// authenticates.
+std::vector<uint8_t> SerializeQueryAnswer(const dbms::QueryAnswer& answer,
+                                          const std::vector<Record>& witness,
+                                          uint64_t epoch,
+                                          const RecordCodec& codec);
+Result<QueryAnswerMessage> DeserializeQueryAnswer(
+    const std::vector<uint8_t>& bytes, const RecordCodec& codec);
 
 /// Verification token (TE -> client): epoch stamp + one digest —
 /// tag(1) + epoch(8 LE) + digest(20) = 29 bytes, still constant size.

@@ -31,11 +31,19 @@
 
 namespace sae::core {
 
-/// One range query in a batch, optionally executed behind a malicious SP.
+/// One query of a batch — any verified-plan operator, optionally executed
+/// behind a malicious SP. The (lo, hi) constructor keeps the historical
+/// range-scan call sites compiling unchanged.
 struct BatchQuery {
-  Key lo = 0;
-  Key hi = 0;
+  dbms::QueryRequest request;
   AttackMode attack = AttackMode::kNone;
+
+  BatchQuery() = default;
+  BatchQuery(Key lo, Key hi, AttackMode attack = AttackMode::kNone)
+      : request(dbms::QueryRequest::Scan(lo, hi)), attack(attack) {}
+  BatchQuery(const dbms::QueryRequest& request,
+             AttackMode attack = AttackMode::kNone)
+      : request(request), attack(attack) {}
 };
 
 /// One operation of a mixed read/write batch: a query, an insert, or a
@@ -54,6 +62,13 @@ struct BatchOp {
     BatchOp op;
     op.kind = Kind::kQuery;
     op.query = BatchQuery{lo, hi, attack};
+    return op;
+  }
+  static BatchOp MakeQuery(const dbms::QueryRequest& request,
+                           AttackMode attack = AttackMode::kNone) {
+    BatchOp op;
+    op.kind = Kind::kQuery;
+    op.query = BatchQuery{request, attack};
     return op;
   }
   static BatchOp MakeInsert(Record record) {
@@ -207,7 +222,7 @@ QueryEngine::Batch<System> QueryEngine::RunBatch(
   std::vector<std::optional<Result<Outcome>>> slots(queries.size());
   std::function<void(size_t)> task = [&](size_t i) {
     const BatchQuery& q = queries[i];
-    slots[i].emplace(system->ExecuteQuery(q.lo, q.hi, q.attack));
+    slots[i].emplace(system->ExecuteQuery(q.request, q.attack));
   };
 
   sim::Stopwatch watch;
@@ -254,7 +269,7 @@ MixedStats QueryEngine::RunMixedBatch(System* system,
       case BatchOp::Kind::kQuery: {
         slot.is_query = true;
         auto outcome =
-            system->ExecuteQuery(op.query.lo, op.query.hi, op.query.attack);
+            system->ExecuteQuery(op.query.request, op.query.attack);
         if (outcome.ok()) {
           slot.ok = true;
           slot.accepted = outcome.value().verification.ok();

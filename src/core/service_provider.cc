@@ -37,4 +37,12 @@ Result<std::vector<Record>> ServiceProvider::ExecuteRange(Key lo,
   return out;
 }
 
+Result<ServiceProvider::PlanResult> ServiceProvider::ExecutePlan(
+    const dbms::QueryRequest& request) const {
+  PlanResult plan;
+  SAE_ASSIGN_OR_RETURN(plan.witness, ExecuteRange(request.lo, request.hi));
+  plan.answer = dbms::EvaluateAnswer(request, plan.witness);
+  return plan;
+}
+
 }  // namespace sae::core

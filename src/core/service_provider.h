@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "dbms/query.h"
 #include "dbms/table.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -46,6 +47,19 @@ class ServiceProvider {
   /// Executes the range query and returns the result records in key order.
   /// Safe to call from many threads concurrently (no concurrent updates).
   Result<std::vector<Record>> ExecuteRange(Key lo, Key hi) const;
+
+  /// An executed query plan: the derived answer plus the witness — the
+  /// range record set the client's proof (VT) authenticates and from which
+  /// it recomputes the answer.
+  struct PlanResult {
+    dbms::QueryAnswer answer;
+    std::vector<Record> witness;
+  };
+
+  /// Executes any verified-plan operator: runs the underlying range scan
+  /// and derives the answer with the shared rule (dbms::EvaluateAnswer).
+  /// Thread-safety matches ExecuteRange.
+  Result<PlanResult> ExecutePlan(const dbms::QueryRequest& request) const;
 
   const dbms::Table& table() const { return *table_; }
 

@@ -49,21 +49,26 @@ Status ShardedSystem<Base>::Load(const std::vector<Record>& records) {
 
 template <typename Base>
 Result<typename ShardedSystem<Base>::QueryOutcome>
-ShardedSystem<Base>::ExecuteQuery(Key lo, Key hi, ShardAttack attack) {
-  if (lo > hi) return Status::InvalidArgument("lo > hi");
-  std::vector<ShardRouter::Slice> plan = router_.Partition(lo, hi);
+ShardedSystem<Base>::ExecuteQuery(const dbms::QueryRequest& request,
+                                  ShardAttack attack) {
+  if (request.lo > request.hi) return Status::InvalidArgument("lo > hi");
+  std::vector<ShardRouter::Slice> plan =
+      router_.Partition(request.lo, request.hi);
 
-  // Fan the per-shard sub-queries out. Each shard's ExecuteQuery takes
-  // that shard's own reader lock and verifies its slice against that
-  // shard's published epoch on the thread that ran it; a compromised
-  // shard corrupts only its own slice.
+  // Fan the per-shard sub-queries out — the same operator, range-clipped
+  // to each shard's slice. Each shard's ExecuteQuery takes that shard's
+  // own reader lock and verifies its slice (witness proof + partial-answer
+  // recomputation) against that shard's published epoch on the thread that
+  // ran it; a compromised shard corrupts only its own slice.
   using BaseOutcome = typename Base::QueryOutcome;
   std::vector<std::optional<Result<BaseOutcome>>> slots(plan.size());
   std::function<void(size_t)> sub_query = [&](size_t i) {
     AttackMode mode = attack.AppliesTo(plan[i].shard) ? attack.mode
                                                       : AttackMode::kNone;
-    slots[i].emplace(
-        shards_[plan[i].shard]->ExecuteQuery(plan[i].lo, plan[i].hi, mode));
+    dbms::QueryRequest sub = request;
+    sub.lo = plan[i].lo;
+    sub.hi = plan[i].hi;
+    slots[i].emplace(shards_[plan[i].shard]->ExecuteQuery(sub, mode));
   };
   // The worker pool runs one job at a time (QueryEngine::Dispatch is
   // single-caller), so the first concurrent query in takes it via the
@@ -76,12 +81,16 @@ ShardedSystem<Base>::ExecuteQuery(Key lo, Key hi, ShardAttack attack) {
     for (size_t i = 0; i < plan.size(); ++i) sub_query(i);
   }
 
-  // Stitch. An execution error (as opposed to a verification verdict) on
-  // any shard fails the whole query, mirroring the unsharded systems.
+  // Stitch witness slices and fold the partial answers. An execution error
+  // (as opposed to a verification verdict) on any shard fails the whole
+  // query, mirroring the unsharded systems.
   QueryOutcome outcome;
+  outcome.request = request;
   outcome.slices.reserve(plan.size());
   std::vector<std::pair<size_t, Status>> verdicts;
   verdicts.reserve(plan.size());
+  std::vector<dbms::QueryAnswer> parts;
+  parts.reserve(plan.size());
   for (size_t i = 0; i < plan.size(); ++i) {
     Result<BaseOutcome>& slot = *slots[i];
     if (!slot.ok()) return slot.status();
@@ -95,13 +104,17 @@ ShardedSystem<Base>::ExecuteQuery(Key lo, Key hi, ShardAttack attack) {
                            slice.outcome.results.end());
     outcome.costs += slice.outcome.costs;
     verdicts.emplace_back(slice.shard, slice.outcome.verification);
+    parts.push_back(slice.outcome.answer);
     outcome.slices.push_back(std::move(slice));
   }
+  outcome.answer = dbms::MergeAnswers(request, parts);
 
   // Composite verification: fence-key tiling first (defense in depth — the
   // slices come from our own router here, but a deserialized answer goes
-  // through the same check), then the cross-shard epoch fold.
-  Status cover = router_.VerifyCover(lo, hi, plan);
+  // through the same check), then the cross-shard epoch fold over the
+  // per-slice verdicts (each already covers its witness AND its partial
+  // answer, so one aggregate-lying shard surfaces here with attribution).
+  Status cover = router_.VerifyCover(request.lo, request.hi, plan);
   outcome.verification =
       cover.ok() ? CombineShardStatuses(verdicts) : std::move(cover);
   return outcome;

@@ -110,7 +110,12 @@ class ShardedSystem {
   };
 
   struct QueryOutcome {
-    /// Stitched result, key-ascending across slices — byte-identical to
+    dbms::QueryRequest request;  ///< the executed plan
+    /// Composite answer folded from the per-shard partial answers
+    /// (dbms::MergeAnswers): counts/sums add, extrema fold, scan rows
+    /// stitch, top-k winners re-rank across shards.
+    dbms::QueryAnswer answer;
+    /// Stitched witness, key-ascending across slices — byte-identical to
     /// what the unsharded system returns for the same query.
     std::vector<Record> results;
     std::vector<Slice> slices;  ///< ascending by shard; per-shard verdicts
@@ -118,12 +123,24 @@ class ShardedSystem {
     QueryCosts costs;           ///< summed across slices
   };
 
-  /// Routes, fans out, stitches, verifies. An execution error on any shard
-  /// fails the whole query (errored Result); verification failures are
-  /// reported per shard in `slices` and folded into `verification`.
-  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi, ShardAttack attack = {});
+  /// Routes, fans out, stitches, folds partial answers, verifies. Each
+  /// shard executes the plan clipped to its slice (same operator, clipped
+  /// range) and verifies its own partial answer against its own proof; an
+  /// execution error on any shard fails the whole query (errored Result);
+  /// verification failures are reported per shard in `slices` and folded
+  /// into `verification` with attribution.
+  Result<QueryOutcome> ExecuteQuery(const dbms::QueryRequest& request,
+                                    ShardAttack attack = {});
+  /// Range-scan compatibility wrapper.
+  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi, ShardAttack attack = {}) {
+    return ExecuteQuery(dbms::QueryRequest::Scan(lo, hi), attack);
+  }
 
-  /// Alias kept for symmetry with the unsharded systems' Query().
+  /// Aliases kept for symmetry with the unsharded systems' Query().
+  Result<QueryOutcome> Query(const dbms::QueryRequest& request,
+                             ShardAttack attack = {}) {
+    return ExecuteQuery(request, attack);
+  }
   Result<QueryOutcome> Query(Key lo, Key hi, ShardAttack attack = {}) {
     return ExecuteQuery(lo, hi, attack);
   }

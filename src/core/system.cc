@@ -61,10 +61,11 @@ Status SaeSystem::Load(const std::vector<Record>& records) {
   return Status::OK();
 }
 
-Result<SaeSystem::QueryOutcome> SaeSystem::Query(Key lo, Key hi,
-                                                 AttackMode attack) {
+Result<SaeSystem::QueryOutcome> SaeSystem::Query(
+    const dbms::QueryRequest& request, AttackMode attack) {
   QueryEngine engine;  // no workers: the batch of one runs on this thread
-  QueryEngine::SaeBatch batch = engine.Run(this, {BatchQuery{lo, hi, attack}});
+  QueryEngine::SaeBatch batch =
+      engine.Run(this, {BatchQuery{request, attack}});
   return std::move(batch.outcomes[0]);
 }
 
@@ -95,38 +96,46 @@ const ServiceProvider* SaeSystem::StaleSp() {
   return stale_sp_.get();
 }
 
-Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(Key lo, Key hi,
-                                                        AttackMode attack) {
+Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(
+    const dbms::QueryRequest& request, AttackMode attack) {
   // Shared (reader) lock for the whole query: the epoch observed by the
   // SP answer, the TE token, and the client check is one frozen snapshot.
   std::shared_lock<std::shared_mutex> lock(rw_mu_);
   uint64_t published = owner_.epoch();
+  uint64_t seed = attack_seed_.fetch_add(1, std::memory_order_relaxed);
 
   QueryOutcome outcome;
+  outcome.request = request;
   // Per-thread pool counters and per-query channel sessions keep the cost
   // attribution exact when many queries run concurrently.
   storage::BufferPool::Stats sp_index0 = sp_.index_pool_thread_stats();
   storage::BufferPool::Stats sp_heap0 = sp_.heap_pool_thread_stats();
   storage::BufferPool::Stats te0 = te_.pool_thread_stats();
 
-  // Client -> SP: execute; the SP may be compromised. A replaying SP
-  // serves from the pre-update snapshot and (honestly) stamps the
+  // Client -> SP: execute the plan; the SP may be compromised. A replaying
+  // SP serves from the pre-update snapshot and (honestly) stamps the
   // snapshot's epoch — the freshness check, not the XOR, catches it.
-  std::vector<Record> honest;
+  ServiceProvider::PlanResult plan;
   uint64_t claimed_epoch = sp_.epoch();
   if (attack == AttackMode::kReplayStaleRoot) {
     const ServiceProvider* stale = StaleSp();
     claimed_epoch = StaleClaim(stale != nullptr, stale_epoch_, published);
-    SAE_ASSIGN_OR_RETURN(honest,
-                         (stale != nullptr ? *stale : sp_).ExecuteRange(lo, hi));
+    SAE_ASSIGN_OR_RETURN(plan,
+                         (stale != nullptr ? *stale : sp_).ExecutePlan(request));
   } else {
-    SAE_ASSIGN_OR_RETURN(honest, sp_.ExecuteRange(lo, hi));
+    SAE_ASSIGN_OR_RETURN(plan, sp_.ExecutePlan(request));
   }
-  outcome.results =
-      ApplyAttack(honest, attack, codec(),
-                  attack_seed_.fetch_add(1, std::memory_order_relaxed));
+  // Record attacks tamper the witness and re-derive the answer from it (a
+  // consistent lie the range proof catches); answer attacks leave the
+  // witness honest and falsify the derived fields (CheckAnswer's job).
+  std::vector<Record> witness =
+      ApplyAttack(std::move(plan.witness), attack, codec(), seed);
+  dbms::QueryAnswer answer = IsRecordAttack(attack)
+                                 ? dbms::EvaluateAnswer(request, witness)
+                                 : std::move(plan.answer);
+  ApplyAnswerAttack(&answer, attack, seed);
   std::vector<uint8_t> result_msg =
-      SerializeResults(outcome.results, claimed_epoch, codec());
+      SerializeQueryAnswer(answer, witness, claimed_epoch, codec());
   sim::Channel::Session sp_session = sp_client_.OpenSession();
   sp_session.Send(result_msg);
   outcome.costs.result_bytes = sp_session.bytes();
@@ -137,7 +146,7 @@ Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(Key lo, Key hi,
 
   // Client -> TE: verification token (the TE itself is always honest; a
   // kStaleVt adversary replays a token captured before the last update).
-  SAE_ASSIGN_OR_RETURN(VerificationToken vt, te_.GenerateVt(lo, hi));
+  SAE_ASSIGN_OR_RETURN(VerificationToken vt, te_.GenerateVt(request));
   if (attack == AttackMode::kStaleVt) {
     vt.epoch = vt.epoch > 0 ? vt.epoch - 1 : 0;
   }
@@ -147,16 +156,18 @@ Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(Key lo, Key hi,
   outcome.costs.auth_bytes = te_session.bytes();
   outcome.costs.te_accesses = (te_.pool_thread_stats() - te0).accesses;
 
-  // Client: decode and verify (freshness gate first, then the XOR check).
-  std::vector<Record> received;
-  SAE_ASSIGN_OR_RETURN(auto decoded, DeserializeResults(result_msg, codec()));
-  received = std::move(decoded.first);
-  outcome.claimed_epoch = decoded.second;
+  // Client: decode and verify — freshness gates, then the XOR check over
+  // the witness, then the answer recomputation (Client::VerifyAnswer).
+  SAE_ASSIGN_OR_RETURN(QueryAnswerMessage received,
+                       DeserializeQueryAnswer(result_msg, codec()));
+  outcome.answer = std::move(received.answer);
+  outcome.results = std::move(received.witness);
+  outcome.claimed_epoch = received.epoch;
   SAE_ASSIGN_OR_RETURN(outcome.vt, DeserializeVt(vt_msg));
   sim::Stopwatch watch;
-  outcome.verification =
-      Client::VerifyResult(received, outcome.vt, outcome.claimed_epoch,
-                           published, codec(), options_.scheme);
+  outcome.verification = Client::VerifyAnswer(
+      request, outcome.answer, outcome.results, outcome.vt,
+      outcome.claimed_epoch, published, codec(), options_.scheme);
   outcome.costs.client_verify_ms = watch.ElapsedMs();
   return outcome;
 }
@@ -236,10 +247,11 @@ Status TomSystem::Load(const std::vector<Record>& records) {
   return Status::OK();
 }
 
-Result<TomSystem::QueryOutcome> TomSystem::Query(Key lo, Key hi,
-                                                 AttackMode attack) {
+Result<TomSystem::QueryOutcome> TomSystem::Query(
+    const dbms::QueryRequest& request, AttackMode attack) {
   QueryEngine engine;  // no workers: the batch of one runs on this thread
-  QueryEngine::TomBatch batch = engine.Run(this, {BatchQuery{lo, hi, attack}});
+  QueryEngine::TomBatch batch =
+      engine.Run(this, {BatchQuery{request, attack}});
   return std::move(batch.outcomes[0]);
 }
 
@@ -271,39 +283,48 @@ const TomServiceProvider* TomSystem::StaleSp() {
   return stale_sp_.get();
 }
 
-Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(Key lo, Key hi,
-                                                        AttackMode attack) {
+Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(
+    const dbms::QueryRequest& request, AttackMode attack) {
   std::shared_lock<std::shared_mutex> lock(rw_mu_);
   uint64_t published = owner_.epoch();
+  uint64_t seed = attack_seed_.fetch_add(1, std::memory_order_relaxed);
 
   QueryOutcome outcome;
+  outcome.request = request;
   storage::BufferPool::Stats sp_index0 = sp_.index_pool_thread_stats();
   storage::BufferPool::Stats sp_heap0 = sp_.heap_pool_thread_stats();
 
-  TomServiceProvider::QueryResponse response;
+  TomServiceProvider::PlanResponse response;
   if (attack == AttackMode::kReplayStaleRoot) {
     // Full replay: stale results + stale VO + the stale epoch-stamped
     // signature — internally consistent, cryptographically valid for its
     // own epoch. Only the freshness gate can reject it.
     const TomServiceProvider* stale = StaleSp();
-    SAE_ASSIGN_OR_RETURN(response,
-                         (stale != nullptr ? *stale : sp_).ExecuteRange(lo, hi));
+    SAE_ASSIGN_OR_RETURN(
+        response, (stale != nullptr ? *stale : sp_).ExecutePlan(request));
     response.vo.epoch = StaleClaim(stale != nullptr, stale_epoch_, published);
   } else if (attack == AttackMode::kStaleVt) {
     // Stale authentication against the current result: the SP presents an
     // old epoch's signature (TOM's analog of a replayed TE token).
-    SAE_ASSIGN_OR_RETURN(response, sp_.ExecuteRange(lo, hi));
+    SAE_ASSIGN_OR_RETURN(response, sp_.ExecutePlan(request));
     response.vo.epoch = StaleClaim(stale_captured_, stale_epoch_, published);
     if (stale_captured_) response.vo.signature = stale_signature_;
   } else {
-    SAE_ASSIGN_OR_RETURN(response, sp_.ExecuteRange(lo, hi));
+    SAE_ASSIGN_OR_RETURN(response, sp_.ExecutePlan(request));
   }
-  outcome.results =
-      ApplyAttack(response.results, attack, codec_,
-                  attack_seed_.fetch_add(1, std::memory_order_relaxed));
+  // Record attacks tamper the witness (and the answer re-derives from the
+  // tampered set — a consistent lie the VO catches); answer attacks leave
+  // the witness honest and falsify only the derived answer.
+  std::vector<Record> witness =
+      ApplyAttack(std::move(response.witness), attack, codec_, seed);
+  dbms::QueryAnswer answer = IsRecordAttack(attack)
+                                 ? dbms::EvaluateAnswer(request, witness)
+                                 : std::move(response.answer);
+  ApplyAnswerAttack(&answer, attack, seed);
   outcome.vo = std::move(response.vo);
 
-  std::vector<uint8_t> result_msg = SerializeRecords(outcome.results, codec_);
+  std::vector<uint8_t> result_msg =
+      SerializeQueryAnswer(answer, witness, outcome.vo.epoch, codec_);
   std::vector<uint8_t> vo_msg = outcome.vo.Serialize();
   sim::Channel::Session session = sp_client_.OpenSession();
   session.Send(result_msg);
@@ -315,14 +336,16 @@ Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(Key lo, Key hi,
   outcome.costs.sp_heap_accesses =
       (sp_.heap_pool_thread_stats() - sp_heap0).accesses;
 
-  SAE_ASSIGN_OR_RETURN(std::vector<Record> received,
-                       DeserializeRecords(result_msg, codec_));
+  SAE_ASSIGN_OR_RETURN(QueryAnswerMessage received,
+                       DeserializeQueryAnswer(result_msg, codec_));
+  outcome.answer = std::move(received.answer);
+  outcome.results = std::move(received.witness);
   SAE_ASSIGN_OR_RETURN(mbtree::VerificationObject vo,
                        mbtree::VerificationObject::Deserialize(vo_msg));
   sim::Stopwatch watch;
-  outcome.verification =
-      TomClient::Verify(lo, hi, received, vo, owner_.public_key(), codec_,
-                        options_.scheme, published);
+  outcome.verification = TomClient::VerifyAnswer(
+      request, outcome.answer, outcome.results, vo, owner_.public_key(),
+      codec_, options_.scheme, published);
   outcome.costs.client_verify_ms = watch.ElapsedMs();
   return outcome;
 }

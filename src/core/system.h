@@ -2,10 +2,11 @@
 //
 // End-to-end harnesses wiring the entities of each outsourcing model with
 // byte-metered channels. These are the top-level public API used by the
-// examples and the figure benches: load a dataset, run authenticated range
-// queries AND epoch-versioned updates — concurrently, from any number of
-// threads — optionally under an attacking SP, and read back per-party
-// costs.
+// examples and the figure benches: load a dataset, run authenticated
+// queries over the verified plan layer (range/point scans and
+// COUNT/SUM/MIN/MAX/top-k aggregates, dbms::QueryRequest) AND
+// epoch-versioned updates — concurrently, from any number of threads —
+// optionally under an attacking SP, and read back per-party costs.
 //
 // Concurrency discipline (reader-writer + epoch snapshot): each system owns
 // a std::shared_mutex. ExecuteQuery holds it shared for the whole query
@@ -90,18 +91,27 @@ class SaeSystem {
   Status Load(const std::vector<Record>& records);
 
   struct QueryOutcome {
-    std::vector<Record> results;  ///< what the (possibly malicious) SP sent
+    dbms::QueryRequest request;   ///< the executed plan
+    dbms::QueryAnswer answer;     ///< the SP's claimed (possibly tampered)
+                                  ///< derived answer, as received
+    std::vector<Record> results;  ///< witness records the SP sent (for
+                                  ///< scans these ARE the answer rows)
     uint64_t claimed_epoch = 0;   ///< the epoch the SP stamped its answer
     VerificationToken vt;         ///< the TE's epoch-stamped token
     Status verification;          ///< OK iff the client accepted the result
     QueryCosts costs;
   };
 
-  /// Client issues [lo, hi] to SP and TE simultaneously and verifies.
+  /// Client issues the plan to SP and TE simultaneously and verifies.
   /// Routed through a batch-of-one QueryEngine; for multi-query load build
   /// a core::QueryEngine with worker threads and pass it a batch.
-  Result<QueryOutcome> Query(Key lo, Key hi,
+  Result<QueryOutcome> Query(const dbms::QueryRequest& request,
                              AttackMode attack = AttackMode::kNone);
+  /// Range-scan compatibility wrapper.
+  Result<QueryOutcome> Query(Key lo, Key hi,
+                             AttackMode attack = AttackMode::kNone) {
+    return Query(dbms::QueryRequest::Scan(lo, hi), attack);
+  }
 
   /// The thread-safe single-query operation QueryEngine workers invoke:
   /// runs SP execution, TE token generation, and client verification
@@ -110,8 +120,13 @@ class SaeSystem {
   /// sessions. Any number of threads may call this concurrently, and
   /// Insert/Delete may interleave with it — writers simply serialize
   /// against in-flight queries through the lock.
-  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
+  Result<QueryOutcome> ExecuteQuery(const dbms::QueryRequest& request,
                                     AttackMode attack = AttackMode::kNone);
+  /// Range-scan compatibility wrapper.
+  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
+                                    AttackMode attack = AttackMode::kNone) {
+    return ExecuteQuery(dbms::QueryRequest::Scan(lo, hi), attack);
+  }
 
   /// DO-side updates, propagated to SP and TE under the writer (unique)
   /// lock with a fresh epoch. Safe to call concurrently with queries and
@@ -199,20 +214,32 @@ class TomSystem {
   Status Load(const std::vector<Record>& records);
 
   struct QueryOutcome {
-    std::vector<Record> results;
+    dbms::QueryRequest request;     ///< the executed plan
+    dbms::QueryAnswer answer;       ///< the SP's claimed derived answer
+    std::vector<Record> results;    ///< witness records the SP sent
     mbtree::VerificationObject vo;  ///< epoch-stamped, root-signed
     Status verification;
     QueryCosts costs;
   };
 
   /// Routed through a batch-of-one QueryEngine, like SaeSystem::Query.
-  Result<QueryOutcome> Query(Key lo, Key hi,
+  Result<QueryOutcome> Query(const dbms::QueryRequest& request,
                              AttackMode attack = AttackMode::kNone);
+  /// Range-scan compatibility wrapper.
+  Result<QueryOutcome> Query(Key lo, Key hi,
+                             AttackMode attack = AttackMode::kNone) {
+    return Query(dbms::QueryRequest::Scan(lo, hi), attack);
+  }
 
   /// Thread-safe single-query operation (see SaeSystem::ExecuteQuery):
   /// shared lock for the whole query; interleaves with updates.
-  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
+  Result<QueryOutcome> ExecuteQuery(const dbms::QueryRequest& request,
                                     AttackMode attack = AttackMode::kNone);
+  /// Range-scan compatibility wrapper.
+  Result<QueryOutcome> ExecuteQuery(Key lo, Key hi,
+                                    AttackMode attack = AttackMode::kNone) {
+    return ExecuteQuery(dbms::QueryRequest::Scan(lo, hi), attack);
+  }
 
   /// Updates flow DO -> SP together with a fresh epoch-stamped root
   /// signature, under the writer lock; safe to interleave with queries.

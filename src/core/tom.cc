@@ -185,6 +185,17 @@ Result<TomServiceProvider::QueryResponse> TomServiceProvider::ExecuteRange(
   return response;
 }
 
+Result<TomServiceProvider::PlanResponse> TomServiceProvider::ExecutePlan(
+    const dbms::QueryRequest& request) const {
+  SAE_ASSIGN_OR_RETURN(QueryResponse response,
+                       ExecuteRange(request.lo, request.hi));
+  PlanResponse plan;
+  plan.answer = dbms::EvaluateAnswer(request, response.results);
+  plan.witness = std::move(response.results);
+  plan.vo = std::move(response.vo);
+  return plan;
+}
+
 // --- TomClient ----------------------------------------------------------------
 
 Status TomClient::Verify(Key lo, Key hi, const std::vector<Record>& results,
@@ -194,6 +205,19 @@ Status TomClient::Verify(Key lo, Key hi, const std::vector<Record>& results,
                          crypto::HashScheme scheme, uint64_t current_epoch) {
   return mbtree::VerifyVO(vo, lo, hi, results, owner_key, codec, scheme,
                           current_epoch);
+}
+
+Status TomClient::VerifyAnswer(const dbms::QueryRequest& request,
+                               const dbms::QueryAnswer& claimed,
+                               const std::vector<Record>& witness,
+                               const mbtree::VerificationObject& vo,
+                               const crypto::RsaPublicKey& owner_key,
+                               const RecordCodec& codec,
+                               crypto::HashScheme scheme,
+                               uint64_t current_epoch) {
+  SAE_RETURN_NOT_OK(Verify(request.lo, request.hi, witness, vo, owner_key,
+                           codec, scheme, current_epoch));
+  return dbms::CheckAnswer(request, witness, claimed);
 }
 
 }  // namespace sae::core

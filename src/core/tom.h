@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crypto/rsa.h"
+#include "dbms/query.h"
 #include "mbtree/mb_tree.h"
 #include "sim/channel.h"
 #include "storage/buffer_pool.h"
@@ -124,6 +125,19 @@ class TomServiceProvider {
   /// call from many threads concurrently (no concurrent updates).
   Result<QueryResponse> ExecuteRange(Key lo, Key hi) const;
 
+  /// An executed query plan: claimed answer, witness records (what the VO
+  /// authenticates), and the VO over the underlying range.
+  struct PlanResponse {
+    dbms::QueryAnswer answer;
+    std::vector<Record> witness;
+    mbtree::VerificationObject vo;
+  };
+
+  /// Executes any verified-plan operator: range scan + VO as in
+  /// ExecuteRange, answer derived with the shared rule
+  /// (dbms::EvaluateAnswer). Thread-safety matches ExecuteRange.
+  Result<PlanResponse> ExecutePlan(const dbms::QueryRequest& request) const;
+
   const mbtree::MbTree& ads() const { return *mb_; }
 
   /// Snapshots of the pools' global counters; diff two snapshots to measure
@@ -177,6 +191,20 @@ class TomClient {
                        const RecordCodec& codec,
                        crypto::HashScheme scheme = crypto::HashScheme::kSha1,
                        uint64_t current_epoch = 0);
+
+  /// Operator-typed verification: first the full range check above over
+  /// the *witness* (freshness, soundness, boundary completeness), then the
+  /// derived answer is recomputed from the now-authenticated witness and
+  /// compared with the SP's claim (dbms::CheckAnswer) — a wrong aggregate
+  /// or truncated top-k fails even when every witness byte is genuine.
+  static Status VerifyAnswer(const dbms::QueryRequest& request,
+                             const dbms::QueryAnswer& claimed,
+                             const std::vector<Record>& witness,
+                             const mbtree::VerificationObject& vo,
+                             const crypto::RsaPublicKey& owner_key,
+                             const RecordCodec& codec,
+                             crypto::HashScheme scheme = crypto::HashScheme::kSha1,
+                             uint64_t current_epoch = 0);
 };
 
 }  // namespace sae::core

@@ -14,6 +14,7 @@
 
 #include "core/epoch.h"
 #include "crypto/digest.h"
+#include "dbms/query.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 #include "storage/record.h"
@@ -57,6 +58,13 @@ class TrustedEntity {
   /// current epoch. Safe to call from many threads concurrently (writers
   /// are fenced out by the owning system's reader-writer lock).
   Result<VerificationToken> GenerateVt(Key lo, Key hi) const;
+
+  /// Operator-typed convenience: every plan operator is authenticated by
+  /// the token over its underlying range — the TE needs no knowledge of
+  /// the operator (the client recomputes aggregates from the witness).
+  Result<VerificationToken> GenerateVt(const dbms::QueryRequest& request) const {
+    return GenerateVt(request.lo, request.hi);
+  }
 
   /// Epoch bookkeeping: the DO publishes a new epoch with every update
   /// shipment (DataOwner bumps, the TE records). Standalone TEs built

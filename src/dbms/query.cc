@@ -1,0 +1,147 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the verified query-plan layer (dbms/query.h): the shared
+// derivation rule EvaluateAnswer, the client-side recomputation check
+// CheckAnswer, and the cross-shard partial-answer fold MergeAnswers.
+
+#include "dbms/query.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sae::dbms {
+
+namespace {
+
+// Top-k rank order: descending key, then descending id. Total and
+// deterministic for any record multiset the trees can store.
+bool TopKBefore(const Record& a, const Record& b) {
+  return a.key != b.key ? a.key > b.key : a.id > b.id;
+}
+
+void RankTopK(std::vector<Record>* records, uint32_t limit) {
+  std::sort(records->begin(), records->end(), TopKBefore);
+  if (records->size() > limit) records->resize(limit);
+}
+
+}  // namespace
+
+const char* QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::kScan:
+      return "scan";
+    case QueryOp::kPoint:
+      return "point";
+    case QueryOp::kCount:
+      return "count";
+    case QueryOp::kSum:
+      return "sum";
+    case QueryOp::kMin:
+      return "min";
+    case QueryOp::kMax:
+      return "max";
+    case QueryOp::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+QueryAnswer EvaluateAnswer(const QueryRequest& request,
+                           const std::vector<Record>& range_records) {
+  QueryAnswer answer;
+  answer.op = request.op;
+  answer.count = range_records.size();
+  for (const Record& record : range_records) {
+    answer.sum += record.key;
+    if (!answer.has_extrema) {
+      answer.has_extrema = true;
+      answer.min_key = answer.max_key = record.key;
+    } else {
+      answer.min_key = std::min(answer.min_key, record.key);
+      answer.max_key = std::max(answer.max_key, record.key);
+    }
+  }
+  switch (request.op) {
+    case QueryOp::kTopK:
+      answer.records = range_records;
+      RankTopK(&answer.records, request.limit);
+      break;
+    case QueryOp::kScan:
+    case QueryOp::kPoint:
+      // The rows are the witness itself — shipped and held once by the
+      // protocol layer, never duplicated into the answer.
+    case QueryOp::kCount:
+    case QueryOp::kSum:
+    case QueryOp::kMin:
+    case QueryOp::kMax:
+      break;
+  }
+  return answer;
+}
+
+Status CheckAnswer(const QueryRequest& request,
+                   const std::vector<Record>& verified_witness,
+                   const QueryAnswer& claimed) {
+  if (claimed.op != request.op) {
+    return Status::VerificationFailure(
+        std::string("answer operator mismatch: asked ") +
+        QueryOpName(request.op) + ", answered " + QueryOpName(claimed.op));
+  }
+  QueryAnswer expect = EvaluateAnswer(request, verified_witness);
+  if (claimed.count != expect.count) {
+    return Status::VerificationFailure(
+        "claimed COUNT " + std::to_string(claimed.count) +
+        " does not match the authenticated result set (" +
+        std::to_string(expect.count) + ")");
+  }
+  if (claimed.sum != expect.sum) {
+    return Status::VerificationFailure(
+        "claimed SUM " + std::to_string(claimed.sum) +
+        " does not match the authenticated result set (" +
+        std::to_string(expect.sum) + ")");
+  }
+  if (claimed.has_extrema != expect.has_extrema ||
+      claimed.min_key != expect.min_key ||
+      claimed.max_key != expect.max_key) {
+    return Status::VerificationFailure(
+        "claimed MIN/MAX do not match the authenticated result set");
+  }
+  if (claimed.records != expect.records) {
+    return Status::VerificationFailure(
+        std::string("claimed ") + QueryOpName(request.op) +
+        " rows do not match the authenticated result set (" +
+        std::to_string(claimed.records.size()) + " claimed, " +
+        std::to_string(expect.records.size()) + " derived)");
+  }
+  return Status::OK();
+}
+
+QueryAnswer MergeAnswers(const QueryRequest& request,
+                         const std::vector<QueryAnswer>& parts) {
+  QueryAnswer merged;
+  merged.op = request.op;
+  for (const QueryAnswer& part : parts) {
+    merged.count += part.count;
+    merged.sum += part.sum;
+    if (part.has_extrema) {
+      if (!merged.has_extrema) {
+        merged.has_extrema = true;
+        merged.min_key = part.min_key;
+        merged.max_key = part.max_key;
+      } else {
+        merged.min_key = std::min(merged.min_key, part.min_key);
+        merged.max_key = std::max(merged.max_key, part.max_key);
+      }
+    }
+    // Parts arrive in ascending shard (= ascending key) order, so plain
+    // concatenation keeps scan/point rows sorted; top-k re-ranks below.
+    merged.records.insert(merged.records.end(), part.records.begin(),
+                          part.records.end());
+  }
+  if (request.op == QueryOp::kTopK) {
+    RankTopK(&merged.records, request.limit);
+  }
+  return merged;
+}
+
+}  // namespace sae::dbms

@@ -417,6 +417,19 @@ Status SigChainClient::Verify(Key lo, Key hi,
   return VerifyCondensed(owner_key, chain, vo.condensed);
 }
 
+Status SigChainClient::VerifyAnswer(const dbms::QueryRequest& request,
+                                    const dbms::QueryAnswer& claimed,
+                                    const std::vector<Record>& witness,
+                                    const SigChainVo& vo,
+                                    const crypto::RsaPublicKey& owner_key,
+                                    const RecordCodec& codec,
+                                    crypto::HashScheme scheme,
+                                    uint64_t current_epoch) {
+  SAE_RETURN_NOT_OK(Verify(request.lo, request.hi, witness, vo, owner_key,
+                           codec, scheme, current_epoch));
+  return dbms::CheckAnswer(request, witness, claimed);
+}
+
 Status VerifyComposite(Key lo, Key hi,
                        const std::vector<ShardedChainSlice>& slices,
                        const std::vector<Key>& fences,

@@ -28,6 +28,7 @@
 
 #include "crypto/digest.h"
 #include "crypto/rsa.h"
+#include "dbms/query.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
 #include "storage/key_range.h"
@@ -264,6 +265,21 @@ class SigChainClient {
                        const RecordCodec& codec,
                        crypto::HashScheme scheme = crypto::HashScheme::kSha1,
                        uint64_t current_epoch = 0);
+
+  /// Operator-typed verification: the chain/condensed-signature check above
+  /// authenticates the *witness* (the full range record set), then the
+  /// derived answer is recomputed from it and compared with the SP's claim
+  /// (dbms::CheckAnswer) — the same proof-carrying aggregate contract as
+  /// SAE's Client::VerifyAnswer and TOM's TomClient::VerifyAnswer. The
+  /// scheme's documented freshness limitation is unchanged.
+  static Status VerifyAnswer(const dbms::QueryRequest& request,
+                             const dbms::QueryAnswer& claimed,
+                             const std::vector<Record>& witness,
+                             const SigChainVo& vo,
+                             const crypto::RsaPublicKey& owner_key,
+                             const RecordCodec& codec,
+                             crypto::HashScheme scheme = crypto::HashScheme::kSha1,
+                             uint64_t current_epoch = 0);
 };
 
 }  // namespace sae::sigchain

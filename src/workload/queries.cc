@@ -5,8 +5,11 @@
 
 #include "workload/queries.h"
 
+#include <algorithm>
+
 #include "util/macros.h"
 #include "util/random.h"
+#include "util/zipf.h"
 
 namespace sae::workload {
 
@@ -46,6 +49,91 @@ std::vector<RangeQuery> GenerateCrossShardQueries(
     queries.push_back(RangeQuery{lo, lo + extent});
   }
   return queries;
+}
+
+std::vector<dbms::QueryRequest> GenerateOperatorMix(
+    const OperatorMixSpec& spec) {
+  // Default mix: scan-only (the paper's workload shape).
+  std::vector<std::pair<dbms::QueryOp, double>> mix = spec.mix;
+  if (mix.empty()) mix.push_back({dbms::QueryOp::kScan, 1.0});
+  double total_weight = 0.0;
+  for (const auto& [op, weight] : mix) {
+    SAE_CHECK(weight >= 0.0);
+    total_weight += weight;
+  }
+  SAE_CHECK(total_weight > 0.0);
+
+  std::vector<double> extents = spec.extent_fractions;
+  if (extents.empty()) extents.push_back(0.005);
+  for (double extent : extents) {
+    SAE_CHECK(extent > 0.0 && extent <= 1.0);
+  }
+
+  uint64_t domain = uint64_t(spec.domain_max) + 1;
+  Rng rng(spec.seed);
+  // Placement generator: uniform, or the SKW dataset's bucketed Zipf so
+  // hot queries cluster at the popular low end of the domain. Bucket count
+  // clamps to the domain so tiny test domains stay valid.
+  uint64_t buckets =
+      std::min<uint64_t>(spec.zipf_buckets, uint64_t(spec.domain_max) + 1);
+  SkewedKeyGenerator skewed(spec.domain_max, spec.zipf_theta, buckets,
+                            spec.seed ^ 0x5AE0u);
+
+  std::vector<dbms::QueryRequest> requests;
+  requests.reserve(spec.count);
+  for (size_t i = 0; i < spec.count; ++i) {
+    // Operator: weighted draw from the mix.
+    double pick = rng.NextDouble() * total_weight;
+    dbms::QueryOp op = mix.back().first;
+    for (const auto& [candidate, weight] : mix) {
+      if (pick < weight) {
+        op = candidate;
+        break;
+      }
+      pick -= weight;
+    }
+
+    // Extent: the selectivity sweep, round-robin so every point of the
+    // sweep is hit evenly regardless of the operator draw. A fraction of
+    // 1.0 rounds to domain_max + 1; clamp so lo_max below never wraps.
+    uint32_t extent = uint32_t(double(domain) * extents[i % extents.size()]);
+    if (extent == 0) extent = 1;
+    if (extent > spec.domain_max) extent = spec.domain_max;
+    if (op == dbms::QueryOp::kPoint) extent = 0;
+
+    // Placement: low end uniform or Zipf-skewed, clamped so [lo, lo+extent]
+    // stays inside the domain.
+    uint32_t lo_max = spec.domain_max - extent;
+    uint32_t lo = spec.zipf_theta > 0.0
+                      ? std::min(skewed.Next(), lo_max)
+                      : uint32_t(rng.NextRange(0, lo_max));
+
+    switch (op) {
+      case dbms::QueryOp::kPoint:
+        requests.push_back(dbms::QueryRequest::Point(lo));
+        break;
+      case dbms::QueryOp::kScan:
+        requests.push_back(dbms::QueryRequest::Scan(lo, lo + extent));
+        break;
+      case dbms::QueryOp::kCount:
+        requests.push_back(dbms::QueryRequest::Count(lo, lo + extent));
+        break;
+      case dbms::QueryOp::kSum:
+        requests.push_back(dbms::QueryRequest::Sum(lo, lo + extent));
+        break;
+      case dbms::QueryOp::kMin:
+        requests.push_back(dbms::QueryRequest::Min(lo, lo + extent));
+        break;
+      case dbms::QueryOp::kMax:
+        requests.push_back(dbms::QueryRequest::Max(lo, lo + extent));
+        break;
+      case dbms::QueryOp::kTopK:
+        requests.push_back(
+            dbms::QueryRequest::TopK(lo, lo + extent, spec.topk_limit));
+        break;
+    }
+  }
+  return requests;
 }
 
 }  // namespace sae::workload

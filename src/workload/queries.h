@@ -1,14 +1,19 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
-// Query workload (paper §IV): uniformly placed range queries with a fixed
-// extent of 0.5% of the key domain; every experiment averages 100 of them.
+// Query workloads. The paper's §IV workload is uniformly placed range
+// queries with a fixed extent of 0.5% of the key domain (every experiment
+// averages 100 of them); the operator-mix generator extends it to the
+// verified plan layer — weighted scan/point/aggregate/top-k mixes, a
+// selectivity sweep, and optional Zipf-skewed range placement.
 
 #ifndef SAE_WORKLOAD_QUERIES_H_
 #define SAE_WORKLOAD_QUERIES_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "dbms/query.h"
 #include "storage/record.h"
 #include "workload/dataset.h"
 
@@ -37,6 +42,34 @@ std::vector<RangeQuery> GenerateQueries(const QueryWorkloadSpec& spec);
 /// tests and the shard-axis benches.
 std::vector<RangeQuery> GenerateCrossShardQueries(
     const QueryWorkloadSpec& spec, const std::vector<storage::Key>& fences);
+
+/// Operator-mix workload over the verified plan layer.
+struct OperatorMixSpec {
+  size_t count = 100;
+  uint32_t domain_max = kDefaultDomainMax;
+  uint64_t seed = 7;
+  /// Weighted operator mix (weights need not sum to 1; all non-negative,
+  /// at least one positive). Empty = scan-only, the paper's workload.
+  std::vector<std::pair<dbms::QueryOp, double>> mix;
+  /// Selectivity sweep: each query draws its extent fraction round-robin
+  /// from this list, so one batch covers every sweep point evenly. Empty =
+  /// the paper's fixed 0.5%. Ignored by point queries (extent 0).
+  std::vector<double> extent_fractions;
+  /// Zipf skew for range *placement* (0 = uniform): query low ends cluster
+  /// at the popular (low) end of the domain like the SKW dataset's keys,
+  /// modelling hot-spot read traffic.
+  double zipf_theta = 0.0;
+  uint64_t zipf_buckets = 1000;
+  /// Result-cardinality cap stamped into kTopK requests.
+  uint32_t topk_limit = 10;
+};
+
+/// Generates `count` plan-layer requests: operator drawn from the weighted
+/// mix, extent from the selectivity sweep, placement uniform or
+/// Zipf-skewed. Deterministic in the seed. Drives the operator axis of
+/// bench_throughput and the operator test suites.
+std::vector<dbms::QueryRequest> GenerateOperatorMix(
+    const OperatorMixSpec& spec);
 
 }  // namespace sae::workload
 

@@ -150,7 +150,7 @@ TEST_F(SaeConcurrencyTest, ThreadedBatchMatchesSerialRun) {
   // Serial baseline through the public single-query API.
   std::vector<SaeSystem::QueryOutcome> serial;
   for (const BatchQuery& q : batch) {
-    auto outcome = system_.Query(q.lo, q.hi);
+    auto outcome = system_.Query(q.request);
     ASSERT_TRUE(outcome.ok());
     serial.push_back(std::move(outcome.value()));
   }
@@ -253,7 +253,7 @@ TEST(TomConcurrencyTest, ThreadedBatchMatchesSerialRun) {
   std::vector<BatchQuery> batch = MakeBatch(24, 15000);
   std::vector<TomSystem::QueryOutcome> serial;
   for (const BatchQuery& q : batch) {
-    auto outcome = system.Query(q.lo, q.hi);
+    auto outcome = system.Query(q.request);
     ASSERT_TRUE(outcome.ok());
     serial.push_back(std::move(outcome.value()));
   }

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include "btree/bplus_tree.h"
+#include "core/client.h"
 #include "core/messages.h"
 #include "crypto/digest.h"
+#include "dbms/query.h"
 #include "mbtree/mb_tree.h"
 #include "storage/page_store.h"
 #include "storage/record.h"
@@ -112,6 +114,82 @@ TEST(GoldenTest, ResultsMessageWireFormat) {
   EXPECT_EQ(HexEncode(bytes.data(), bytes.size()),
             "07010203040506070814000000010000000000000008070605040302010d0c0b"
             "0aaabb000000000000");
+}
+
+TEST(GoldenTest, QueryRequestWireFormat) {
+  // tag || op (kTopK=6) || lo (4B LE) || hi (4B LE) || limit (4B LE).
+  std::vector<uint8_t> bytes = core::SerializeQueryRequest(
+      dbms::QueryRequest::TopK(0x01020304, 0x0A0B0C0D, 5));
+  EXPECT_EQ(HexEncode(bytes.data(), bytes.size()),
+            "0906040302010d0c0b0a05000000");
+  auto back = core::DeserializeQueryRequest(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), dbms::QueryRequest::TopK(0x01020304, 0x0A0B0C0D, 5));
+}
+
+TEST(GoldenTest, QueryAnswerWireFormatAggregate) {
+  // An aggregate answer ships derived fields + witness, no answer rows:
+  // tag || op || epoch(8) || count(8) || sum(8) || has_extrema(1) ||
+  // min(4) || max(4) || record_size(4) || n_answer(8)=0 || n_witness(8) ||
+  // witness records.
+  RecordCodec codec(20);
+  Record r;
+  r.id = 0x0102030405060708ull;
+  r.key = 0x0A0B0C0Du;
+  r.payload = {0xAA, 0xBB};
+  dbms::QueryAnswer answer =
+      dbms::EvaluateAnswer(dbms::QueryRequest::Count(0, 0xFFFFFFFF), {r});
+  std::vector<uint8_t> bytes =
+      core::SerializeQueryAnswer(answer, {r}, 0x0807060504030201ull, codec);
+  EXPECT_EQ(HexEncode(bytes.data(), bytes.size()),
+            "0a02010203040506070801000000000000000d0c0b0a00000000010d0c0b0a"
+            "0d0c0b0a1400000000000000000000000100000000000000080706050403020"
+            "10d0c0b0aaabb000000000000");
+  auto back = core::DeserializeQueryAnswer(bytes, codec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().answer, answer);
+  // Decoded records carry the canonical zero-padded payload.
+  Record canonical = codec.Deserialize(codec.Serialize(r).data());
+  EXPECT_EQ(back.value().witness, (std::vector<Record>{canonical}));
+  EXPECT_EQ(back.value().epoch, 0x0807060504030201ull);
+}
+
+TEST(GoldenTest, QueryAnswerWireFormatTopK) {
+  // Top-k is the only operator shipping answer rows of its own (the ranked
+  // winners), ahead of the witness.
+  RecordCodec codec(20);
+  Record a = codec.MakeRecord(1, 10);
+  Record b = codec.MakeRecord(2, 20);
+  dbms::QueryAnswer answer =
+      dbms::EvaluateAnswer(dbms::QueryRequest::TopK(0, 100, 1), {a, b});
+  ASSERT_EQ(answer.records.size(), 1u);
+  EXPECT_EQ(answer.records[0].id, 2u);  // key 20 wins
+  std::vector<uint8_t> bytes =
+      core::SerializeQueryAnswer(answer, {a, b}, 3, codec);
+  // Sizes pin the layout: 55-byte header (tag, op, epoch, count, sum,
+  // extrema flag, min, max, record size, two cardinalities) + 1 answer
+  // row + 2 witness rows.
+  EXPECT_EQ(bytes.size(), 55u + 3 * codec.record_size());
+  auto back = core::DeserializeQueryAnswer(bytes, codec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().answer, answer);
+  EXPECT_EQ(back.value().witness, (std::vector<Record>{a, b}));
+}
+
+// The aggregate-verification contract under BOTH hash schemes: the client
+// recomputes the answer from the witness whose per-record digests (and
+// therefore the XOR token that authenticates it) depend on the scheme.
+// Pinned byte-exactly so neither scheme's witness digesting can drift.
+TEST(GoldenTest, WitnessXorTokenBothSchemes) {
+  RecordCodec codec(24);
+  std::vector<Record> witness = {codec.MakeRecord(42, 7),
+                                 codec.MakeRecord(43, 8)};
+  crypto::Digest sha1 =
+      core::Client::ResultXor(witness, codec, crypto::HashScheme::kSha1);
+  EXPECT_EQ(sha1.ToHex(), "4bb88ca074b47e19859550f2fa22a84463623a8f");
+  crypto::Digest sha256 = core::Client::ResultXor(
+      witness, codec, crypto::HashScheme::kSha256Trunc);
+  EXPECT_EQ(sha256.ToHex(), "89d6d931739766bb09cf7a9d41dd3d37d4346170");
 }
 
 TEST(GoldenTest, EpochNoticeWireFormat) {

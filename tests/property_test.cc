@@ -332,6 +332,7 @@ TEST(FuzzTest, CorruptedMessagesNeverCrash) {
   core::VerificationToken vt;
   vt.epoch = 3;
   vt.digest = crypto::ComputeDigest("x", 1);
+  dbms::QueryRequest topk = dbms::QueryRequest::TopK(5, 500, 3);
   std::vector<std::vector<uint8_t>> messages = {
       core::SerializeRecords(records, codec),
       core::SerializeResults(records, 5, codec),
@@ -340,6 +341,13 @@ TEST(FuzzTest, CorruptedMessagesNeverCrash) {
       core::SerializeDelete(42, 7),
       core::SerializeSignature(crypto::RsaSignature(64, 0x5A), 9),
       core::SerializeEpochNotice(11),
+      core::SerializeShardEpochs({1, 2, 3}),
+      core::SerializeQueryRequest(topk),
+      core::SerializeQueryAnswer(dbms::EvaluateAnswer(topk, records),
+                                 records, 5, codec),
+      core::SerializeQueryAnswer(
+          dbms::EvaluateAnswer(dbms::QueryRequest::Sum(0, 50), records),
+          records, 5, codec),
   };
 
   Rng rng(777);
@@ -360,6 +368,9 @@ TEST(FuzzTest, CorruptedMessagesNeverCrash) {
     (void)core::DeserializeDelete(bytes);
     (void)core::DeserializeSignature(bytes);
     (void)core::DeserializeEpochNotice(bytes);
+    (void)core::DeserializeShardEpochs(bytes);
+    (void)core::DeserializeQueryRequest(bytes);
+    (void)core::DeserializeQueryAnswer(bytes, codec);
   }
 }
 

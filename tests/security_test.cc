@@ -490,6 +490,117 @@ INSTANTIATE_TEST_SUITE_P(BothHashSchemes, FreshnessMatrixTest,
                          ::testing::Values(crypto::HashScheme::kSha1,
                                            crypto::HashScheme::kSha256Trunc));
 
+// --- aggregate adversarial matrix -------------------------------------------------
+//
+// The answer-level attacks: the SP ships a perfectly genuine witness (the
+// range proof verifies) but lies about the derived answer — wrong COUNT,
+// wrong SUM, or a silently truncated top-k. Both models, both hash
+// schemes: every lie must be a kVerificationFailure, record-level attacks
+// must still be caught under aggregate operators, and the honest control
+// row must verify.
+
+struct AggregateCase {
+  dbms::QueryRequest request;
+  core::AttackMode attack;
+};
+
+std::vector<AggregateCase> AggregateCases() {
+  return {
+      {dbms::QueryRequest::Count(100, 2500), core::AttackMode::kWrongCount},
+      {dbms::QueryRequest::Sum(100, 2500), core::AttackMode::kWrongSum},
+      {dbms::QueryRequest::TopK(100, 2500, 5),
+       core::AttackMode::kTruncatedTopK},
+      // "Never silently honest": answer attacks against operators whose
+      // primary dimension is elsewhere are still caught, because every
+      // derived dimension is checked for every operator — and truncation
+      // against a non-top-k operator (whose rows are the witness, not the
+      // answer) degrades to a count lie rather than a no-op.
+      {dbms::QueryRequest::Scan(100, 2500), core::AttackMode::kWrongCount},
+      {dbms::QueryRequest::Min(100, 2500), core::AttackMode::kWrongSum},
+      {dbms::QueryRequest::Scan(100, 2500), core::AttackMode::kTruncatedTopK},
+      {dbms::QueryRequest::Point(110), core::AttackMode::kTruncatedTopK},
+      // Record-level tampering under an aggregate operator: the witness
+      // breaks the range proof even though the claimed answer is
+      // self-consistent with the tampered witness.
+      {dbms::QueryRequest::Count(100, 2500), core::AttackMode::kDropOne},
+      {dbms::QueryRequest::Sum(100, 2500), core::AttackMode::kInjectFake},
+      {dbms::QueryRequest::TopK(100, 2500, 5),
+       core::AttackMode::kTamperPayload},
+      // Empty range: the truncation attack degrades to a count lie.
+      {dbms::QueryRequest::TopK(900000, 950000, 5),
+       core::AttackMode::kTruncatedTopK},
+  };
+}
+
+class AggregateMatrixTest
+    : public ::testing::TestWithParam<crypto::HashScheme> {};
+
+TEST_P(AggregateMatrixTest, SaeRejectsEveryAggregateAttack) {
+  core::SaeSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  core::SaeSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+
+  for (const AggregateCase& c : AggregateCases()) {
+    auto outcome = system.Query(c.request, c.attack);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().verification.code(),
+              StatusCode::kVerificationFailure)
+        << dbms::QueryOpName(c.request.op) << " under attack "
+        << int(c.attack) << ": " << outcome.value().verification.ToString();
+    // Control row: the same request, honest, verifies.
+    auto honest = system.Query(c.request);
+    ASSERT_TRUE(honest.ok());
+    EXPECT_TRUE(honest.value().verification.ok())
+        << dbms::QueryOpName(c.request.op);
+  }
+}
+
+TEST_P(AggregateMatrixTest, TomRejectsEveryAggregateAttack) {
+  core::TomSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  options.rsa_modulus_bits = 512;  // fast for tests
+  core::TomSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+
+  for (const AggregateCase& c : AggregateCases()) {
+    auto outcome = system.Query(c.request, c.attack);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().verification.code(),
+              StatusCode::kVerificationFailure)
+        << dbms::QueryOpName(c.request.op) << " under attack "
+        << int(c.attack) << ": " << outcome.value().verification.ToString();
+    auto honest = system.Query(c.request);
+    ASSERT_TRUE(honest.ok());
+    EXPECT_TRUE(honest.value().verification.ok())
+        << dbms::QueryOpName(c.request.op);
+  }
+}
+
+// Aggregate lies and freshness attacks are orthogonal gates: a stale
+// replay of an aggregate query reports staleness (the freshness gate runs
+// first), never generic corruption.
+TEST_P(AggregateMatrixTest, StaleAggregateReportsStalenessNotCorruption) {
+  core::SaeSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  core::SaeSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(9000, 1234)).ok());
+
+  auto outcome = system.Query(dbms::QueryRequest::Count(100, 2500),
+                              core::AttackMode::kReplayStaleRoot);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().verification.code(), StatusCode::kStaleEpoch);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothHashSchemes, AggregateMatrixTest,
+                         ::testing::Values(crypto::HashScheme::kSha1,
+                                           crypto::HashScheme::kSha256Trunc));
+
 // The third scheme: signature chaining. Its per-record signatures never
 // change, so freshness rides on the signed epoch token in every VO. Note
 // the token binds only the epoch number (sigchain has no root digest to

@@ -459,6 +459,73 @@ TEST_F(ShardedMaliciousTest, OneCompromisedShardIsAttributedTom) {
   }
 }
 
+// The aggregate adversarial matrix, sharded: one shard lies about its
+// partial COUNT/SUM or truncates its top-k winners while every witness
+// byte it ships is genuine. The per-slice answer recomputation catches it,
+// the composite fold attributes it, and the honest slices stay verified.
+TEST_F(ShardedMaliciousTest, AggregateTamperingShardIsAttributed) {
+  struct Case {
+    dbms::QueryRequest request;
+    AttackMode mode;
+  };
+  const Case kCases[] = {
+      {dbms::QueryRequest::Count(1500, 4500), AttackMode::kWrongCount},
+      {dbms::QueryRequest::Sum(1500, 4500), AttackMode::kWrongSum},
+      {dbms::QueryRequest::TopK(1500, 4500, 7), AttackMode::kTruncatedTopK},
+  };
+  for (const Case& c : kCases) {
+    for (size_t bad_shard = 0; bad_shard < 3; ++bad_shard) {
+      auto sae = sae_->Query(c.request, ShardAttack::At(bad_shard, c.mode));
+      ASSERT_TRUE(sae.ok());
+      EXPECT_EQ(sae.value().verification.code(),
+                StatusCode::kVerificationFailure)
+          << "SAE mode " << int(c.mode) << " shard " << bad_shard;
+      EXPECT_NE(sae.value().verification.message().find(
+                    std::to_string(bad_shard)),
+                std::string::npos);
+      for (const auto& slice : sae.value().slices) {
+        EXPECT_EQ(slice.outcome.verification.ok(), slice.shard != bad_shard);
+      }
+
+      auto tom = tom_->Query(c.request, ShardAttack::At(bad_shard, c.mode));
+      ASSERT_TRUE(tom.ok());
+      EXPECT_EQ(tom.value().verification.code(),
+                StatusCode::kVerificationFailure)
+          << "TOM mode " << int(c.mode) << " shard " << bad_shard;
+      EXPECT_NE(tom.value().verification.message().find(
+                    std::to_string(bad_shard)),
+                std::string::npos);
+      for (const auto& slice : tom.value().slices) {
+        EXPECT_EQ(slice.outcome.verification.ok(), slice.shard != bad_shard);
+      }
+    }
+  }
+}
+
+// With every shard honest the same cross-shard aggregates verify and the
+// composite answer folds to the oracle's — the matrix's control row.
+TEST_F(ShardedMaliciousTest, HonestCrossShardAggregatesVerify) {
+  SaeSystem oracle{[] {
+    SaeSystem::Options o;
+    o.record_size = kRecSize;
+    return o;
+  }()};
+  ASSERT_TRUE(oracle.Load(dataset_).ok());
+  for (const auto& request :
+       {dbms::QueryRequest::Count(1500, 4500),
+        dbms::QueryRequest::Sum(1500, 4500), dbms::QueryRequest::Min(1500, 4500),
+        dbms::QueryRequest::Max(1500, 4500),
+        dbms::QueryRequest::TopK(1500, 4500, 7)}) {
+    auto composite = sae_->Query(request);
+    auto plain = oracle.Query(request);
+    ASSERT_TRUE(composite.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_TRUE(composite.value().verification.ok());
+    EXPECT_EQ(composite.value().answer, plain.value().answer)
+        << dbms::QueryOpName(request.op);
+  }
+}
+
 TEST_F(ShardedMaliciousTest, AttackOutsideQueriedShardsIsHarmless) {
   // The compromised shard owns keys >= 4000; the query never touches it.
   auto outcome = sae_->Query(100, 1900,

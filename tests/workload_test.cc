@@ -146,5 +146,130 @@ TEST(QueryTest, PlacementCoversDomain) {
   EXPECT_GT(max_lo, spec.domain_max * 8ull / 10);
 }
 
+TEST(OperatorMixTest, DefaultsToScanOnlyPaperWorkload) {
+  OperatorMixSpec spec;
+  spec.count = 50;
+  auto requests = GenerateOperatorMix(spec);
+  ASSERT_EQ(requests.size(), 50u);
+  uint32_t extent = uint32_t((uint64_t(spec.domain_max) + 1) * 0.005);
+  for (const auto& q : requests) {
+    EXPECT_EQ(q.op, dbms::QueryOp::kScan);
+    EXPECT_EQ(q.hi - q.lo, extent);
+    EXPECT_LE(q.hi, spec.domain_max);
+  }
+}
+
+TEST(OperatorMixTest, WeightedMixRoughlyHonored) {
+  OperatorMixSpec spec;
+  spec.count = 4000;
+  spec.mix = {{dbms::QueryOp::kScan, 3.0}, {dbms::QueryOp::kCount, 1.0}};
+  auto requests = GenerateOperatorMix(spec);
+  size_t scans = 0, counts = 0;
+  for (const auto& q : requests) {
+    if (q.op == dbms::QueryOp::kScan) ++scans;
+    if (q.op == dbms::QueryOp::kCount) ++counts;
+  }
+  EXPECT_EQ(scans + counts, requests.size());
+  double scan_fraction = double(scans) / double(requests.size());
+  EXPECT_GT(scan_fraction, 0.70);
+  EXPECT_LT(scan_fraction, 0.80);
+}
+
+TEST(OperatorMixTest, SelectivitySweepRoundRobinsExtents) {
+  OperatorMixSpec spec;
+  spec.count = 90;
+  spec.extent_fractions = {0.001, 0.01, 0.1};
+  auto requests = GenerateOperatorMix(spec);
+  uint64_t domain = uint64_t(spec.domain_max) + 1;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    uint32_t expect = uint32_t(
+        double(domain) * spec.extent_fractions[i % 3]);
+    EXPECT_EQ(requests[i].hi - requests[i].lo, expect) << i;
+  }
+}
+
+TEST(OperatorMixTest, FullDomainExtentStaysInDomain) {
+  // A selectivity of 1.0 (the documented maximum) must clamp to the
+  // domain instead of wrapping the placement arithmetic.
+  OperatorMixSpec spec;
+  spec.count = 30;
+  spec.extent_fractions = {1.0};
+  spec.mix = {{dbms::QueryOp::kScan, 1.0}, {dbms::QueryOp::kCount, 1.0}};
+  for (const auto& q : GenerateOperatorMix(spec)) {
+    EXPECT_EQ(q.lo, 0u);
+    EXPECT_EQ(q.hi, spec.domain_max);
+  }
+  // Same under Zipf placement (the clamp path differs).
+  spec.zipf_theta = 0.8;
+  for (const auto& q : GenerateOperatorMix(spec)) {
+    EXPECT_LE(q.lo, q.hi);
+    EXPECT_LE(q.hi, spec.domain_max);
+  }
+}
+
+TEST(OperatorMixTest, PointQueriesCollapseToSingleKey) {
+  OperatorMixSpec spec;
+  spec.count = 40;
+  spec.mix = {{dbms::QueryOp::kPoint, 1.0}};
+  for (const auto& q : GenerateOperatorMix(spec)) {
+    EXPECT_EQ(q.op, dbms::QueryOp::kPoint);
+    EXPECT_EQ(q.lo, q.hi);
+  }
+}
+
+TEST(OperatorMixTest, TopKCarriesTheLimit) {
+  OperatorMixSpec spec;
+  spec.count = 20;
+  spec.mix = {{dbms::QueryOp::kTopK, 1.0}};
+  spec.topk_limit = 25;
+  for (const auto& q : GenerateOperatorMix(spec)) {
+    EXPECT_EQ(q.op, dbms::QueryOp::kTopK);
+    EXPECT_EQ(q.limit, 25u);
+  }
+}
+
+TEST(OperatorMixTest, ZipfPlacementSkewsTowardLowDomain) {
+  OperatorMixSpec uniform;
+  uniform.count = 4000;
+  auto uniform_reqs = GenerateOperatorMix(uniform);
+
+  OperatorMixSpec skewed = uniform;
+  skewed.zipf_theta = 0.8;
+  auto skewed_reqs = GenerateOperatorMix(skewed);
+
+  auto low_fraction = [&](const std::vector<dbms::QueryRequest>& reqs,
+                          uint32_t domain_max) {
+    size_t low = 0;
+    for (const auto& q : reqs) {
+      if (q.lo <= domain_max / 5) ++low;
+    }
+    return double(low) / double(reqs.size());
+  };
+  EXPECT_LT(low_fraction(uniform_reqs, uniform.domain_max), 0.25);
+  EXPECT_GT(low_fraction(skewed_reqs, skewed.domain_max), 0.55);
+}
+
+TEST(OperatorMixTest, DeterministicForSeed) {
+  OperatorMixSpec spec;
+  spec.count = 200;
+  spec.mix = {{dbms::QueryOp::kScan, 1.0}, {dbms::QueryOp::kSum, 1.0},
+              {dbms::QueryOp::kTopK, 0.5}};
+  spec.zipf_theta = 0.8;
+  auto a = GenerateOperatorMix(spec);
+  auto b = GenerateOperatorMix(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  spec.seed = 8;
+  auto c = GenerateOperatorMix(spec);
+  bool all_equal = true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != c[i]) {
+      all_equal = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(all_equal);
+}
+
 }  // namespace
 }  // namespace sae::workload
