@@ -12,11 +12,14 @@
 // node-access model: it is the concurrency of the read path (buffer pools,
 // trees, verification) that is under test, not simulated disk latency.
 
+#include <chrono>
+#include <string>
 #include <thread>
 
 #include "core/query_engine.h"
 #include "core/sharded_system.h"
 #include "fig_common.h"
+#include "sigchain/sig_chain.h"
 #include "workload/queries.h"
 
 using namespace sae;
@@ -124,6 +127,236 @@ void RunOperatorSweep(const char* model, System* system) {
   }
 }
 
+// --- cached vs uncached: 95/5 read-heavy mixed workload ----------------------
+//
+// The verified-path caches (hot-level node memos, epoch-keyed answer
+// caches) target exactly this shape: a hot set of repeated verified
+// queries with occasional updates bumping the epoch. Both systems replay
+// the identical schedule; the uncached control must reach the identical
+// per-query verdicts and result counts — that is the cache-parity gate CI
+// enforces (a disagreement exits nonzero).
+
+double Ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+struct MixedRun {
+  double wall_ms = 0;               // full schedule, inserts included
+  uint64_t queries = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  double per_op_ms[7] = {};         // query-only time per operator class
+  uint64_t per_op_queries[7] = {};
+  std::vector<int> codes;           // per-query verification code
+  std::vector<size_t> result_counts;
+
+  double Qps() const { return queries / (wall_ms / 1000.0); }
+};
+
+std::vector<dbms::QueryRequest> HotRequests() {
+  using dbms::QueryRequest;
+  // One narrow range per operator class (0.05% of the domain), fixed seed:
+  // the hot set a read-heavy client hammers between updates.
+  Rng rng(0xCA11ED);
+  constexpr uint32_t kExtent = kDomainMax / 2000;
+  auto lo = [&rng] { return uint32_t(rng.NextBounded(kDomainMax - kExtent)); };
+  uint32_t a = lo();
+  std::vector<dbms::QueryRequest> pool;
+  pool.push_back(QueryRequest::Scan(a, a + kExtent));
+  pool.push_back(QueryRequest::Point(lo()));
+  a = lo();
+  pool.push_back(QueryRequest::Count(a, a + kExtent));
+  a = lo();
+  pool.push_back(QueryRequest::Sum(a, a + kExtent));
+  a = lo();
+  pool.push_back(QueryRequest::Min(a, a + kExtent));
+  a = lo();
+  pool.push_back(QueryRequest::Max(a, a + kExtent));
+  a = lo();
+  pool.push_back(QueryRequest::TopK(a, a + kExtent, 10));
+  return pool;
+}
+
+size_t OpIndex(dbms::QueryOp op) { return size_t(op); }
+
+template <typename System>
+MixedRun RunMixedSchedule(System* system, size_t ops) {
+  using clock = std::chrono::steady_clock;
+  std::vector<dbms::QueryRequest> pool = HotRequests();
+  storage::RecordCodec codec(kRecordSize);
+  MixedRun run;
+  uint64_t state = 0x95'05;  // the 95/5 schedule seed, shared by design
+  auto start = clock::now();
+  for (size_t i = 0; i < ops; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    if ((state >> 33) % 100 < 5) {
+      SAE_CHECK_OK(system->Insert(codec.MakeRecord(
+          5'000'000 + i, uint32_t((state >> 7) % kDomainMax))));
+      continue;
+    }
+    const dbms::QueryRequest& request = pool[(state >> 33) % pool.size()];
+    auto q0 = clock::now();
+    auto outcome = system->ExecuteQuery(request);
+    auto q1 = clock::now();
+    SAE_CHECK_OK(outcome.status());
+    ++run.queries;
+    size_t op = OpIndex(request.op);
+    run.per_op_ms[op] += Ms(q1 - q0);
+    ++run.per_op_queries[op];
+    outcome.value().verification.ok() ? ++run.accepted : ++run.rejected;
+    run.codes.push_back(int(outcome.value().verification.code()));
+    run.result_counts.push_back(outcome.value().results.size());
+  }
+  run.wall_ms = Ms(clock::now() - start);
+  return run;
+}
+
+std::string HitRatesJson(const core::SaeCacheStats& stats) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"sp_answer\": %.3f, \"te_vt\": %.3f, \"te_digest\": %.3f}",
+                stats.sp_answer.HitRate(), stats.te_vt.HitRate(),
+                stats.te_digest.HitRate());
+  return buf;
+}
+
+std::string HitRatesJson(const core::TomCacheStats& stats) {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"sp_answer\": %.3f, \"sp_digest\": %.3f, \"owner_digest\": %.3f}",
+      stats.sp_answer.HitRate(), stats.sp_digest.HitRate(),
+      stats.owner_digest.HitRate());
+  return buf;
+}
+
+// Appends one model's section to the JSON body; returns false on a parity
+// violation (cached and uncached runs disagreeing on any verdict or result
+// count — the one thing a correct cache can never do).
+template <typename System>
+bool RunCachedComparison(const char* model, System* cached, System* uncached,
+                         std::string* json) {
+  constexpr size_t kOps = 2000;
+  MixedRun on = RunMixedSchedule(cached, kOps);
+  MixedRun off = RunMixedSchedule(uncached, kOps);
+  std::string hit_rates = HitRatesJson(cached->cache_stats());
+
+  bool parity = on.codes == off.codes && on.result_counts == off.result_counts;
+  std::printf("%6s %10.0f %12.0f %9.2fx %10llu %10llu %s\n", model, on.Qps(),
+              off.Qps(), on.Qps() / off.Qps(),
+              (unsigned long long)on.accepted,
+              (unsigned long long)on.rejected, parity ? "ok" : "MISMATCH");
+  if (!parity) {
+    std::fprintf(stderr,
+                 "PARITY FAILURE (%s): cached and uncached runs disagree "
+                 "(accepted %llu vs %llu, rejected %llu vs %llu)\n",
+                 model, (unsigned long long)on.accepted,
+                 (unsigned long long)off.accepted,
+                 (unsigned long long)on.rejected,
+                 (unsigned long long)off.rejected);
+  }
+
+  char buf[256];
+  *json += "    {\"model\": \"";
+  *json += model;
+  std::snprintf(buf, sizeof(buf),
+                "\", \"qps_cached\": %.1f, \"qps_uncached\": %.1f, "
+                "\"speedup\": %.3f, \"accepted\": %llu, \"rejected\": %llu, "
+                "\"parity_ok\": %s,\n",
+                on.Qps(), off.Qps(), on.Qps() / off.Qps(),
+                (unsigned long long)on.accepted,
+                (unsigned long long)on.rejected, parity ? "true" : "false");
+  *json += buf;
+  *json += "     \"cache_hit_rates\": " + hit_rates + ",\n";
+  *json += "     \"operator_qps\": {";
+  for (size_t op = 0; op < 7; ++op) {
+    if (on.per_op_queries[op] == 0) continue;
+    double qps_on = on.per_op_queries[op] / (on.per_op_ms[op] / 1000.0);
+    double qps_off = off.per_op_queries[op] / (off.per_op_ms[op] / 1000.0);
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"cached\": %.1f, \"uncached\": %.1f}",
+                  op == 0 ? "" : ", ",
+                  dbms::QueryOpName(dbms::QueryOp(op)), qps_on, qps_off);
+    *json += buf;
+  }
+  *json += "}}";
+  return parity;
+}
+
+// --- sig-chain batch verification --------------------------------------------
+//
+// VerifyBatch amortizes the epoch-token RSA check across the batch and
+// replaces the per-item condensed modexp with one combined check (shared-
+// squaring multi-exponentiation). Verdict-identical to per-item
+// VerifyAnswer; the speedup is what this section measures.
+
+double RunBatchVerifyBench(std::string* json) {
+  using clock = std::chrono::steady_clock;
+  constexpr size_t kRecords = 600;
+  constexpr size_t kItems = 48;
+
+  sigchain::SigChainOwner::Options owner_options;
+  owner_options.record_size = kRecordSize;
+  sigchain::SigChainOwner owner(owner_options);
+  sigchain::SigChainSp::Options sp_options;
+  sp_options.record_size = kRecordSize;
+  sigchain::SigChainSp sp(sp_options);
+  storage::RecordCodec codec(kRecordSize);
+
+  std::vector<storage::Record> records;
+  for (uint64_t id = 1; id <= kRecords; ++id) {
+    records.push_back(codec.MakeRecord(id, uint32_t(id * 100)));
+  }
+  auto sigs = owner.SignDataset(records);
+  SAE_CHECK_OK(sigs.status());
+  SAE_CHECK_OK(sp.LoadDataset(records, sigs.value(), owner.public_key()));
+  sp.SetEpoch(owner.epoch(), owner.epoch_signature());
+
+  std::vector<sigchain::SigChainClient::BatchItem> items;
+  Rng rng(0xBA7C4);
+  for (size_t i = 0; i < kItems; ++i) {
+    uint32_t lo = uint32_t(rng.NextBounded(kRecords * 100));
+    uint32_t hi = lo + 2000;
+    auto response = sp.ExecuteRange(lo, hi);
+    SAE_CHECK_OK(response.status());
+    sigchain::SigChainClient::BatchItem item;
+    item.request = dbms::QueryRequest::Scan(lo, hi);
+    item.claimed = dbms::EvaluateAnswer(item.request, response.value().results);
+    item.witness = std::move(response.value().results);
+    item.vo = std::move(response.value().vo);
+    items.push_back(std::move(item));
+  }
+
+  auto t0 = clock::now();
+  for (const auto& item : items) {
+    SAE_CHECK_OK(sigchain::SigChainClient::VerifyAnswer(
+        item.request, item.claimed, item.witness, item.vo,
+        owner.public_key(), codec, crypto::HashScheme::kSha1, owner.epoch()));
+  }
+  auto t1 = clock::now();
+  auto verdicts = sigchain::SigChainClient::VerifyBatch(
+      items, owner.public_key(), codec, crypto::HashScheme::kSha1,
+      owner.epoch());
+  auto t2 = clock::now();
+  for (const Status& verdict : verdicts) SAE_CHECK_OK(verdict);
+
+  double per_item_ms = Ms(t1 - t0);
+  double batch_ms = Ms(t2 - t1);
+  double speedup = per_item_ms / batch_ms;
+  std::printf("\n# Sig-chain batch verification (%zu items, RSA-%zu)\n",
+              kItems, owner_options.rsa_modulus_bits);
+  std::printf("# per-item: %.1f ms   batched: %.1f ms   speedup: %.2fx\n",
+              per_item_ms, batch_ms, speedup);
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  \"batch_verify\": {\"items\": %zu, \"per_item_ms\": %.2f, "
+                "\"batch_ms\": %.2f, \"speedup\": %.3f}",
+                kItems, per_item_ms, batch_ms, speedup);
+  *json += buf;
+  return speedup;
+}
+
 }  // namespace
 
 int main() {
@@ -165,5 +398,57 @@ int main() {
               batch.size());
 
   RunShardSweep(dataset, batch);
+
+  // --- cached vs uncached + batch verify, with BENCH_throughput.json ---------
+  std::string json;
+  bool parity_ok = true;
+  std::printf("\n# Cached vs uncached: 95/5 read-heavy mixed workload "
+              "(hot set of 7 verified queries + epoch-bumping inserts)\n");
+  std::printf("# model   q/s-on     q/s-off   speedup   accepted   rejected "
+              "parity\n");
+  json += "  \"read_heavy_95_5\": [\n";
+  {
+    core::SaeSystem::Options options;
+    options.record_size = kRecordSize;
+    core::SaeSystem cached(options);
+    core::SaeSystem uncached(core::SaeSystem::Options(options).DisableCaches());
+    SAE_CHECK_OK(cached.Load(dataset));
+    SAE_CHECK_OK(uncached.Load(dataset));
+    parity_ok = RunCachedComparison("SAE", &cached, &uncached, &json);
+  }
+  json += ",\n";
+  {
+    core::TomSystem::Options options;
+    options.record_size = kRecordSize;
+    core::TomSystem cached(options);
+    core::TomSystem uncached(core::TomSystem::Options(options).DisableCaches());
+    SAE_CHECK_OK(cached.Load(dataset));
+    SAE_CHECK_OK(uncached.Load(dataset));
+    parity_ok = RunCachedComparison("TOM", &cached, &uncached, &json) &&
+                parity_ok;
+  }
+  json += "\n  ],\n";
+
+  RunBatchVerifyBench(&json);
+  json += "\n";
+
+  const char* json_path = std::getenv("SAE_BENCH_JSON");
+  if (json_path == nullptr) json_path = "BENCH_throughput.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"throughput\", \"scale\": %.3f,\n",
+                 BenchScale());
+    std::fputs(json.c_str(), f);
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("\n# wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path);
+    return 1;
+  }
+
+  if (!parity_ok) {
+    std::fprintf(stderr, "cache parity gate FAILED\n");
+    return 1;
+  }
   return 0;
 }

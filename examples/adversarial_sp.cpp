@@ -36,6 +36,10 @@ const char* ModeName(AttackMode mode) {
       return "replay stale snapshot (freshness)";
     case AttackMode::kStaleVt:
       return "stale token/signature (freshness)";
+    case AttackMode::kStaleCacheReplay:
+      return "replay stale cache hit (freshness)";
+    case AttackMode::kPoisonedCache:
+      return "poison own answer cache (cache)";
     case AttackMode::kWrongCount:
       return "lie about COUNT      (aggregate)";
     case AttackMode::kWrongSum:
@@ -83,6 +87,7 @@ int main() {
         AttackMode::kInjectFake, AttackMode::kTamperPayload,
         AttackMode::kTamperKey, AttackMode::kDuplicateOne,
         AttackMode::kReplayStaleRoot, AttackMode::kStaleVt,
+        AttackMode::kStaleCacheReplay, AttackMode::kPoisonedCache,
         AttackMode::kWrongCount, AttackMode::kWrongSum,
         AttackMode::kTruncatedTopK}) {
     // Aggregate attacks target the derived answer, so run them against

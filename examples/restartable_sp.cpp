@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
 
   // The TE is an independent party: it stays up across SP restarts.
   core::TrustedEntity te(core::TrustedEntity::Options{
-      kRecSize, crypto::HashScheme::kSha1, 1024, {}});
+      kRecSize, crypto::HashScheme::kSha1, 1024, {}, {}});
   if (!te.LoadDataset(records).ok()) return 1;
 
   ByteWriter snapshot;

@@ -1,0 +1,100 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the epoch-keyed answer cache (core/answer_cache.h).
+
+#include "core/answer_cache.h"
+
+namespace sae::core {
+
+AnswerCache::Key AnswerCache::Key::For(const dbms::QueryRequest& request,
+                                       uint64_t epoch) {
+  Key key;
+  key.op = request.op;
+  key.lo = request.lo;
+  key.hi = request.hi;
+  key.limit = request.limit;
+  key.epoch = epoch;
+  return key;
+}
+
+size_t AnswerCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the key fields; cheap and stable.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(uint64_t(k.op));
+  mix(uint64_t(k.lo));
+  mix(uint64_t(k.hi));
+  mix(uint64_t(k.limit));
+  mix(k.epoch);
+  return size_t(h);
+}
+
+AnswerCache::AnswerCache(const AnswerCacheOptions& options)
+    : options_(options) {}
+
+std::shared_ptr<const CachedAnswer> AnswerCache::Lookup(const Key& key) {
+  if (!enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.value;
+}
+
+void AnswerCache::Insert(const Key& key, CachedAnswer value) {
+  if (!enabled()) return;
+  auto holder = std::make_shared<const CachedAnswer>(std::move(value));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Concurrent readers may race to fill the same miss; last writer wins
+    // (both computed the same honest bytes).
+    it->second.value = std::move(holder);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (map_.size() >= options_.max_entries) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  map_[key] = Entry{std::move(holder), lru_.begin()};
+  ++stats_.insertions;
+}
+
+void AnswerCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += map_.size();
+  map_.clear();
+  lru_.clear();
+}
+
+AnswerCacheStats AnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void AnswerCache::MutateEntries(
+    const std::function<void(CachedAnswer*)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : map_) {
+    CachedAnswer mutated = *entry.value;
+    fn(&mutated);
+    entry.value = std::make_shared<const CachedAnswer>(std::move(mutated));
+  }
+}
+
+}  // namespace sae::core

@@ -1,0 +1,140 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// AnswerCache: an epoch-keyed LRU cache of *serialized* query responses at
+// the service provider. The key embeds the epoch the answer speaks for, so
+// an epoch bump invalidates every resident entry semantically (a stale key
+// can never match a fresh query) and InvalidateAll() reclaims the memory
+// wholesale. The cache stores the exact wire bytes the SP would have sent
+// (answer shipment, and under TOM the VO as well); a hit replays those
+// bytes bit-for-bit, which is what the cache-parity harness verifies.
+//
+// The cache is never trusted: the client verifies every answer against the
+// live TE token / root signature regardless of where the SP got the bytes.
+// See docs/ARCHITECTURE.md §"Caching without trusting the cache".
+
+#ifndef SAE_CORE_ANSWER_CACHE_H_
+#define SAE_CORE_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dbms/query.h"
+#include "storage/record.h"
+
+namespace sae::core {
+
+struct AnswerCacheOptions {
+  bool enabled = true;
+  size_t max_entries = 1024;
+
+  static AnswerCacheOptions Disabled() {
+    AnswerCacheOptions o;
+    o.enabled = false;
+    return o;
+  }
+};
+
+/// Counters of one AnswerCache; snapshot by value, diff to measure a span
+/// (same pattern as BufferPool::Stats).
+struct AnswerCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      ///< capacity-driven LRU removals
+  uint64_t invalidations = 0;  ///< entries dropped by InvalidateAll
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+
+  friend AnswerCacheStats operator-(AnswerCacheStats a,
+                                    const AnswerCacheStats& b) {
+    a.hits -= b.hits;
+    a.misses -= b.misses;
+    a.insertions -= b.insertions;
+    a.evictions -= b.evictions;
+    a.invalidations -= b.invalidations;
+    return a;
+  }
+  AnswerCacheStats& operator+=(const AnswerCacheStats& b) {
+    hits += b.hits;
+    misses += b.misses;
+    insertions += b.insertions;
+    evictions += b.evictions;
+    invalidations += b.invalidations;
+    return *this;
+  }
+};
+
+/// The serialized response a cache entry replays: the operator answer
+/// shipment (SerializeQueryAnswer bytes) and, under TOM, the VO bytes.
+struct CachedAnswer {
+  std::vector<uint8_t> answer_msg;
+  std::vector<uint8_t> proof_msg;  ///< empty for SAE's conventional SP
+};
+
+class AnswerCache {
+ public:
+  /// (range, op, top-k limit, epoch) — everything that determines the
+  /// honest response bytes.
+  struct Key {
+    dbms::QueryOp op = dbms::QueryOp::kScan;
+    storage::Key lo = 0;
+    storage::Key hi = 0;
+    uint32_t limit = 0;
+    uint64_t epoch = 0;
+
+    static Key For(const dbms::QueryRequest& request, uint64_t epoch);
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.op == b.op && a.lo == b.lo && a.hi == b.hi &&
+             a.limit == b.limit && a.epoch == b.epoch;
+    }
+  };
+
+  explicit AnswerCache(const AnswerCacheOptions& options = {});
+
+  bool enabled() const { return options_.enabled && options_.max_entries > 0; }
+
+  /// nullptr on miss (or when disabled). Hits refresh LRU position.
+  std::shared_ptr<const CachedAnswer> Lookup(const Key& key);
+
+  void Insert(const Key& key, CachedAnswer value);
+
+  /// The epoch-bump hook: drops every resident entry. (Keys are epoch-
+  /// stamped so retained entries could never hit again anyway — this
+  /// reclaims their memory immediately.)
+  void InvalidateAll();
+
+  AnswerCacheStats stats() const;
+  size_t size() const;
+
+  /// Adversary hook (tests / MaliciousSp): rewrites every resident entry in
+  /// place. A poisoned cache must still be caught by client verification.
+  void MutateEntries(const std::function<void(CachedAnswer*)>& fn);
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    std::shared_ptr<const CachedAnswer> value;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  AnswerCacheOptions options_;
+  mutable std::mutex mu_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  AnswerCacheStats stats_;
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_ANSWER_CACHE_H_

@@ -21,15 +21,20 @@ crypto::Digest Client::ResultXor(const std::vector<Record>& results,
   return acc;
 }
 
-Status Client::VerifyResult(const std::vector<Record>& results,
-                            const crypto::Digest& vt,
-                            const RecordCodec& codec,
-                            crypto::HashScheme scheme) {
-  if (ResultXor(results, codec, scheme) != vt) {
+Status Client::CompareXor(const crypto::Digest& computed,
+                          const crypto::Digest& token_digest) {
+  if (computed != token_digest) {
     return Status::VerificationFailure(
         "result XOR does not match the TE's verification token");
   }
   return Status::OK();
+}
+
+Status Client::VerifyResult(const std::vector<Record>& results,
+                            const crypto::Digest& vt,
+                            const RecordCodec& codec,
+                            crypto::HashScheme scheme) {
+  return CompareXor(ResultXor(results, codec, scheme), vt);
 }
 
 Status Client::VerifyShardedResult(
@@ -100,11 +105,9 @@ Status Client::VerifyShardedAnswer(
   return Status::OK();
 }
 
-Status Client::VerifyResult(const std::vector<Record>& results,
-                            const VerificationToken& vt,
-                            uint64_t claimed_epoch, uint64_t published_epoch,
-                            const RecordCodec& codec,
-                            crypto::HashScheme scheme) {
+Status Client::CheckFreshness(const VerificationToken& vt,
+                              uint64_t claimed_epoch,
+                              uint64_t published_epoch) {
   if (vt.epoch < published_epoch) {
     return Status::StaleEpoch("verification token lags the published epoch");
   }
@@ -119,6 +122,15 @@ Status Client::VerifyResult(const std::vector<Record>& results,
   if (claimed_epoch > published_epoch) {
     return Status::VerificationFailure("SP claims a future epoch");
   }
+  return Status::OK();
+}
+
+Status Client::VerifyResult(const std::vector<Record>& results,
+                            const VerificationToken& vt,
+                            uint64_t claimed_epoch, uint64_t published_epoch,
+                            const RecordCodec& codec,
+                            crypto::HashScheme scheme) {
+  SAE_RETURN_NOT_OK(CheckFreshness(vt, claimed_epoch, published_epoch));
   return VerifyResult(results, vt.digest, codec, scheme);
 }
 

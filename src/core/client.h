@@ -31,6 +31,18 @@ class Client {
       const std::vector<Record>& results, const RecordCodec& codec,
       crypto::HashScheme scheme = crypto::HashScheme::kSha1);
 
+  /// The epoch gates of the full client check, on their own (steps 1-2 of
+  /// VerifyResult below): token and SP claim must both speak for the
+  /// published epoch. SaeClientMemo runs these fresh on every query.
+  static Status CheckFreshness(const VerificationToken& vt,
+                               uint64_t claimed_epoch,
+                               uint64_t published_epoch);
+
+  /// The XOR comparison on its own: `computed` (from ResultXor) against
+  /// the token digest, with the canonical failure status.
+  static Status CompareXor(const crypto::Digest& computed,
+                           const crypto::Digest& token_digest);
+
   /// OK when the result matches the token; VerificationFailure otherwise.
   static Status VerifyResult(
       const std::vector<Record>& results, const crypto::Digest& vt,

@@ -1,0 +1,239 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the client-side verification memos (core/client_memo.h).
+// Invariant shared by both classes: the memo changes only WHERE a verdict
+// is computed (replay of the client's own prior pure computation on
+// byte-identical inputs), never WHAT the verdict is — the cache-parity
+// harness pins this bit-for-bit against the unmemoized client.
+
+#include "core/client_memo.h"
+
+#include <utility>
+
+#include "core/tom.h"
+#include "util/macros.h"
+
+namespace sae::core {
+
+namespace {
+
+size_t HashRequest(const dbms::QueryRequest& r) {
+  uint64_t h = 0x9E3779B97F4A7C15ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(uint64_t(r.op));
+  mix(r.lo);
+  mix(r.hi);
+  mix(r.limit);
+  return size_t(h);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SaeClientMemo
+// ---------------------------------------------------------------------------
+
+size_t SaeClientMemo::RequestKeyHash::operator()(
+    const dbms::QueryRequest& r) const {
+  return HashRequest(r);
+}
+
+SaeClientMemo::SaeClientMemo(const AnswerCacheOptions& options)
+    : options_(options) {}
+
+std::shared_ptr<const SaeClientMemo::Entry> SaeClientMemo::Lookup(
+    const dbms::QueryRequest& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.entry;
+}
+
+void SaeClientMemo::Insert(const dbms::QueryRequest& key,
+                           std::shared_ptr<const Entry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++stats_.insertions;
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  ++stats_.insertions;
+  while (map_.size() > options_.max_entries) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+Status SaeClientMemo::VerifyAnswer(const dbms::QueryRequest& request,
+                                   const dbms::QueryAnswer& claimed,
+                                   const std::vector<storage::Record>& witness,
+                                   const VerificationToken& vt,
+                                   uint64_t claimed_epoch,
+                                   uint64_t published_epoch,
+                                   const storage::RecordCodec& codec,
+                                   crypto::HashScheme scheme) {
+  // The epoch gates always run fresh: they are the only part of the client
+  // check that depends on live trusted state rather than the bytes alone.
+  SAE_RETURN_NOT_OK(
+      Client::CheckFreshness(vt, claimed_epoch, published_epoch));
+
+  if (enabled()) {
+    std::shared_ptr<const Entry> entry = Lookup(request);
+    if (entry && entry->answer == claimed && entry->witness == witness) {
+      // Byte-identical repeat: the memoized XOR *is* ResultXor(witness) by
+      // determinism, so comparing it against the LIVE token digest gives
+      // the same verdict a fresh re-hash would — including rejection when
+      // an update moved the token for this range.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hits;
+      }
+      SAE_RETURN_NOT_OK(Client::CompareXor(entry->xor_digest, vt.digest));
+      return entry->answer_check;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
+
+  crypto::Digest xor_digest = Client::ResultXor(witness, codec, scheme);
+  SAE_RETURN_NOT_OK(Client::CompareXor(xor_digest, vt.digest));
+  Status answer_check = dbms::CheckAnswer(request, witness, claimed);
+  if (enabled()) {
+    // Memoize only token-matched responses: an XOR mismatch never reaches
+    // here, so a poisoned response can't seed the memo.
+    auto fresh = std::make_shared<Entry>();
+    fresh->answer = claimed;
+    fresh->witness = witness;
+    fresh->xor_digest = xor_digest;
+    fresh->answer_check = answer_check;
+    Insert(request, std::move(fresh));
+  }
+  return answer_check;
+}
+
+AnswerCacheStats SaeClientMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SaeClientMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+// ---------------------------------------------------------------------------
+// TomClientMemo
+// ---------------------------------------------------------------------------
+
+size_t TomClientMemo::RequestKeyHash::operator()(
+    const dbms::QueryRequest& r) const {
+  return HashRequest(r);
+}
+
+TomClientMemo::TomClientMemo(const AnswerCacheOptions& options)
+    : options_(options) {}
+
+std::shared_ptr<const TomClientMemo::Entry> TomClientMemo::Lookup(
+    const dbms::QueryRequest& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.entry;
+}
+
+void TomClientMemo::Insert(const dbms::QueryRequest& key,
+                           std::shared_ptr<const Entry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++stats_.insertions;
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  ++stats_.insertions;
+  while (map_.size() > options_.max_entries) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void TomClientMemo::DropAllIfEpochMoved(uint64_t published_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (published_epoch <= seen_epoch_) return;
+  seen_epoch_ = published_epoch;
+  stats_.invalidations += map_.size();
+  map_.clear();
+  lru_.clear();
+}
+
+Status TomClientMemo::VerifyAnswer(const dbms::QueryRequest& request,
+                                   const dbms::QueryAnswer& claimed,
+                                   const std::vector<storage::Record>& witness,
+                                   const mbtree::VerificationObject& vo,
+                                   const std::vector<uint8_t>& vo_msg,
+                                   const crypto::RsaPublicKey& owner_key,
+                                   const storage::RecordCodec& codec,
+                                   crypto::HashScheme scheme,
+                                   uint64_t published_epoch) {
+  // The epoch gate always runs fresh against the live published epoch.
+  SAE_RETURN_NOT_OK(mbtree::CheckVoFreshness(vo, published_epoch));
+
+  if (enabled()) {
+    // Every VO re-signs the epoch-stamped root, so entries from an older
+    // epoch can never byte-match again — reclaim them eagerly.
+    DropAllIfEpochMoved(published_epoch);
+    std::shared_ptr<const Entry> entry = Lookup(request);
+    if (entry && entry->vo_msg == vo_msg && entry->answer == claimed &&
+        entry->witness == witness) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hits;
+      }
+      return entry->inner;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
+
+  // The gate just proved vo.epoch == published_epoch, so handing vo.epoch
+  // to the full verifier makes its internal gate trivially true and what
+  // remains is a pure function of (request, claimed, witness, vo bytes) —
+  // exactly the computation a byte-identical repeat may replay.
+  Status inner = TomClient::VerifyAnswer(request, claimed, witness, vo,
+                                         owner_key, codec, scheme, vo.epoch);
+  if (enabled()) {
+    auto fresh = std::make_shared<Entry>();
+    fresh->answer = claimed;
+    fresh->witness = witness;
+    fresh->vo_msg = vo_msg;
+    fresh->inner = inner;
+    Insert(request, std::move(fresh));
+  }
+  return inner;
+}
+
+AnswerCacheStats TomClientMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t TomClientMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace sae::core
+

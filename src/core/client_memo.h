@@ -1,0 +1,149 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Client-side verification memos: the client caches ITS OWN verification
+// work, never the server's claims. Each memo keys an entry by the query
+// request and validates it by bitwise equality of the received response
+// with the memoized copy — so a hit proves the inputs are identical to
+// ones the client already processed, and replaying the memoized pure
+// computation (the witness XOR under SAE, the VO reconstruction + RSA
+// check under TOM) is sound by determinism, not by trust. The freshness
+// gates (token/VO epoch vs the published epoch) are NOT memoized: they
+// depend on the live published epoch and run on every query, so stale
+// replays and epoch forgeries are caught exactly as on the uncached path.
+//
+// This is the client-side leg of the verified-path caching layer (see
+// docs/ARCHITECTURE.md §"Caching without trusting the cache"): the SP-side
+// answer cache makes repeated responses byte-identical, and this memo
+// turns those repeats into a cheap comparison instead of a re-hash.
+//
+// The SAE memo survives epoch bumps: the memoized XOR is a pure function
+// of the witness bytes, and a hit still compares it against the LIVE TE
+// token digest — if the range was touched the token digest moved and the
+// comparison fails exactly as a fresh re-hash would. The TOM memo expires
+// wholesale on epoch bumps (every VO re-signs the epoch-stamped root, so
+// no stale entry can ever byte-match again) and drops them eagerly.
+
+#ifndef SAE_CORE_CLIENT_MEMO_H_
+#define SAE_CORE_CLIENT_MEMO_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/answer_cache.h"
+#include "core/client.h"
+#include "core/epoch.h"
+#include "crypto/rsa.h"
+#include "dbms/query.h"
+#include "mbtree/vo.h"
+#include "storage/record.h"
+
+namespace sae::core {
+
+/// Memoizes Client::VerifyAnswer's pure work (witness XOR + answer
+/// recomputation). Verdicts are bit-identical to the unmemoized call.
+class SaeClientMemo {
+ public:
+  explicit SaeClientMemo(const AnswerCacheOptions& options);
+
+  /// Drop-in replacement for Client::VerifyAnswer: the freshness gate runs
+  /// on every call; a byte-identical (answer, witness) pair replays the
+  /// memoized XOR (compared against the live token digest) and the
+  /// memoized answer check instead of re-hashing the witness.
+  Status VerifyAnswer(const dbms::QueryRequest& request,
+                      const dbms::QueryAnswer& claimed,
+                      const std::vector<storage::Record>& witness,
+                      const VerificationToken& vt, uint64_t claimed_epoch,
+                      uint64_t published_epoch,
+                      const storage::RecordCodec& codec,
+                      crypto::HashScheme scheme);
+
+  bool enabled() const { return options_.enabled && options_.max_entries > 0; }
+  AnswerCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    dbms::QueryAnswer answer;
+    std::vector<storage::Record> witness;
+    crypto::Digest xor_digest;  ///< Client::ResultXor(witness)
+    Status answer_check;        ///< dbms::CheckAnswer(request, witness, answer)
+  };
+
+  struct RequestKeyHash {
+    size_t operator()(const dbms::QueryRequest& r) const;
+  };
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<dbms::QueryRequest>::iterator lru_pos;
+  };
+
+  std::shared_ptr<const Entry> Lookup(const dbms::QueryRequest& key);
+  void Insert(const dbms::QueryRequest& key,
+              std::shared_ptr<const Entry> entry);
+
+  AnswerCacheOptions options_;
+  mutable std::mutex mu_;
+  std::list<dbms::QueryRequest> lru_;  // front = most recent
+  std::unordered_map<dbms::QueryRequest, Slot, RequestKeyHash> map_;
+  AnswerCacheStats stats_;
+};
+
+/// Memoizes TomClient::VerifyAnswer's pure work (VO replay, RSA signature
+/// check, answer recomputation). Verdicts are bit-identical.
+class TomClientMemo {
+ public:
+  explicit TomClientMemo(const AnswerCacheOptions& options);
+
+  /// Drop-in replacement for TomClient::VerifyAnswer. `vo_msg` is the
+  /// serialized VO exactly as received — the bytes the memo compares. The
+  /// epoch gate (mbtree::CheckVoFreshness) runs on every call; only the
+  /// epoch-independent remainder is replayed on a byte-identical repeat.
+  Status VerifyAnswer(const dbms::QueryRequest& request,
+                      const dbms::QueryAnswer& claimed,
+                      const std::vector<storage::Record>& witness,
+                      const mbtree::VerificationObject& vo,
+                      const std::vector<uint8_t>& vo_msg,
+                      const crypto::RsaPublicKey& owner_key,
+                      const storage::RecordCodec& codec,
+                      crypto::HashScheme scheme, uint64_t published_epoch);
+
+  bool enabled() const { return options_.enabled && options_.max_entries > 0; }
+  AnswerCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    dbms::QueryAnswer answer;
+    std::vector<storage::Record> witness;
+    std::vector<uint8_t> vo_msg;
+    Status inner;  ///< verdict of the epoch-gate-free verification
+  };
+
+  struct RequestKeyHash {
+    size_t operator()(const dbms::QueryRequest& r) const;
+  };
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<dbms::QueryRequest>::iterator lru_pos;
+  };
+
+  std::shared_ptr<const Entry> Lookup(const dbms::QueryRequest& key);
+  void Insert(const dbms::QueryRequest& key,
+              std::shared_ptr<const Entry> entry);
+  void DropAllIfEpochMoved(uint64_t published_epoch);
+
+  AnswerCacheOptions options_;
+  mutable std::mutex mu_;
+  std::list<dbms::QueryRequest> lru_;
+  std::unordered_map<dbms::QueryRequest, Slot, RequestKeyHash> map_;
+  AnswerCacheStats stats_;
+  uint64_t seen_epoch_ = 0;  ///< latest published epoch the memo has seen
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_CLIENT_MEMO_H_

@@ -26,7 +26,7 @@ std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
   };
 
   if (mode == AttackMode::kNone || IsFreshnessAttack(mode) ||
-      IsAnswerAttack(mode)) {
+      IsAnswerAttack(mode) || IsCacheAttack(mode)) {
     // Freshness attacks corrupt the epoch claim and answer attacks the
     // derived aggregate (ApplyAnswerAttack) — never the record bytes.
     return out;
@@ -45,6 +45,8 @@ std::vector<Record> ApplyAttack(const std::vector<Record>& honest,
     case AttackMode::kWrongCount:
     case AttackMode::kWrongSum:
     case AttackMode::kTruncatedTopK:
+    case AttackMode::kStaleCacheReplay:
+    case AttackMode::kPoisonedCache:
       break;  // handled above
     case AttackMode::kDropOne:
       out.erase(out.begin() + rng.NextBounded(out.size()));

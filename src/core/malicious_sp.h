@@ -43,11 +43,30 @@ enum class AttackMode {
                     ///< while every witness record ships honestly
   kTruncatedTopK,   ///< aggregate attack: the top-k answer silently loses
                     ///< its last winner (witness untouched)
+  kStaleCacheReplay,///< freshness attack: SP replays an answer-cache entry
+                    ///< keyed to a pre-update epoch (cached stale bytes +
+                    ///< matching stale auth state)
+  kPoisonedCache,   ///< cache attack: SP rewrites its own answer cache and
+                    ///< serves the poisoned bytes (staged by the systems via
+                    ///< ExecutePoisonedPlan, not by ApplyAttack)
 };
 
 /// True for the freshness modes ApplyAttack leaves untouched.
 inline bool IsFreshnessAttack(AttackMode mode) {
-  return mode == AttackMode::kReplayStaleRoot || mode == AttackMode::kStaleVt;
+  return mode == AttackMode::kReplayStaleRoot ||
+         mode == AttackMode::kStaleVt ||
+         mode == AttackMode::kStaleCacheReplay;
+}
+
+/// True for the modes staged inside the SP's answer cache. kStaleCacheReplay
+/// is also a freshness attack (a cached entry from an old epoch is just a
+/// stale snapshot that happens to live in the cache); kPoisonedCache leaves
+/// durable damage — the poison persists for later honest queries until an
+/// epoch bump flushes it — so the parity harness excludes it from its
+/// random attack pool and the security suite covers it directly.
+inline bool IsCacheAttack(AttackMode mode) {
+  return mode == AttackMode::kStaleCacheReplay ||
+         mode == AttackMode::kPoisonedCache;
 }
 
 /// True for the modes that tamper the *derived answer* rather than the
@@ -61,7 +80,7 @@ inline bool IsAnswerAttack(AttackMode mode) {
 /// classic drop/inject/tamper family the VT / VO proof catches).
 inline bool IsRecordAttack(AttackMode mode) {
   return mode != AttackMode::kNone && !IsFreshnessAttack(mode) &&
-         !IsAnswerAttack(mode);
+         !IsAnswerAttack(mode) && !IsCacheAttack(mode);
 }
 
 /// Applies the attack to a copy of the honest result. Attacks needing a

@@ -5,13 +5,16 @@
 
 #include "core/service_provider.h"
 
+#include "core/malicious_sp.h"
+#include "core/messages.h"
 #include "util/macros.h"
 
 namespace sae::core {
 
 ServiceProvider::ServiceProvider(const Options& options)
     : index_pool_(&index_store_, options.index_pool_pages),
-      heap_pool_(&heap_store_, options.heap_pool_pages) {
+      heap_pool_(&heap_store_, options.heap_pool_pages),
+      answer_cache_(options.answer_cache) {
   auto table =
       dbms::Table::Create(&index_pool_, &heap_pool_, options.record_size);
   SAE_CHECK(table.ok());
@@ -19,14 +22,17 @@ ServiceProvider::ServiceProvider(const Options& options)
 }
 
 Status ServiceProvider::LoadDataset(const std::vector<Record>& sorted) {
+  answer_cache_.InvalidateAll();
   return table_->BulkLoad(sorted);
 }
 
 Status ServiceProvider::InsertRecord(const Record& record) {
+  answer_cache_.InvalidateAll();
   return table_->Insert(record);
 }
 
 Status ServiceProvider::DeleteRecord(RecordId id) {
+  answer_cache_.InvalidateAll();
   return table_->Delete(id);
 }
 
@@ -37,11 +43,45 @@ Result<std::vector<Record>> ServiceProvider::ExecuteRange(Key lo,
   return out;
 }
 
-Result<ServiceProvider::PlanResult> ServiceProvider::ExecutePlan(
+Result<ServiceProvider::PlanResult> ServiceProvider::ComputePlan(
     const dbms::QueryRequest& request) const {
   PlanResult plan;
   SAE_ASSIGN_OR_RETURN(plan.witness, ExecuteRange(request.lo, request.hi));
   plan.answer = dbms::EvaluateAnswer(request, plan.witness);
+  return plan;
+}
+
+Result<ServiceProvider::PlanResult> ServiceProvider::ExecutePlan(
+    const dbms::QueryRequest& request) const {
+  if (!answer_cache_.enabled()) return ComputePlan(request);
+  AnswerCache::Key key = AnswerCache::Key::For(request, epoch());
+  if (auto hit = answer_cache_.Lookup(key)) {
+    SAE_ASSIGN_OR_RETURN(
+        QueryAnswerMessage msg,
+        DeserializeQueryAnswer(hit->answer_msg, table_->codec()));
+    return PlanResult{std::move(msg.answer), std::move(msg.witness)};
+  }
+  SAE_ASSIGN_OR_RETURN(PlanResult plan, ComputePlan(request));
+  CachedAnswer entry;
+  entry.answer_msg = SerializeQueryAnswer(plan.answer, plan.witness,
+                                          key.epoch, table_->codec());
+  answer_cache_.Insert(key, std::move(entry));
+  return plan;
+}
+
+Result<ServiceProvider::PlanResult> ServiceProvider::ExecutePoisonedPlan(
+    const dbms::QueryRequest& request, uint64_t seed) const {
+  SAE_ASSIGN_OR_RETURN(PlanResult plan, ComputePlan(request));
+  plan.witness = ApplyAttack(plan.witness, AttackMode::kTamperPayload,
+                             table_->codec(), seed);
+  plan.answer = dbms::EvaluateAnswer(request, plan.witness);
+  if (answer_cache_.enabled()) {
+    AnswerCache::Key key = AnswerCache::Key::For(request, epoch());
+    CachedAnswer entry;
+    entry.answer_msg = SerializeQueryAnswer(plan.answer, plan.witness,
+                                            key.epoch, table_->codec());
+    answer_cache_.Insert(key, std::move(entry));
+  }
   return plan;
 }
 

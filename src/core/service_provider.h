@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/answer_cache.h"
 #include "dbms/query.h"
 #include "dbms/table.h"
 #include "storage/buffer_pool.h"
@@ -28,6 +29,9 @@ struct ServiceProviderOptions {
   size_t record_size = storage::kDefaultRecordSize;
   size_t index_pool_pages = 1024;
   size_t heap_pool_pages = 1024;
+  /// Epoch-keyed cache of serialized answers; invalidated wholesale on
+  /// every epoch bump. Never trusted — clients verify hits like misses.
+  AnswerCacheOptions answer_cache;
 };
 
 /// SAE's service provider. Owns its (simulated-disk) storage; index and
@@ -58,8 +62,17 @@ class ServiceProvider {
 
   /// Executes any verified-plan operator: runs the underlying range scan
   /// and derives the answer with the shared rule (dbms::EvaluateAnswer).
+  /// With the answer cache enabled, a repeat of (request, epoch) replays
+  /// the serialized response bit-for-bit instead of re-scanning.
   /// Thread-safety matches ExecuteRange.
   Result<PlanResult> ExecutePlan(const dbms::QueryRequest& request) const;
+
+  /// Adversary hook (security tests): computes the honest plan, tampers a
+  /// witness record, poisons the answer cache with the tampered bytes, and
+  /// returns the tampered plan — so the lie both ships now and persists in
+  /// the cache for later queries (until an epoch bump flushes it).
+  Result<PlanResult> ExecutePoisonedPlan(const dbms::QueryRequest& request,
+                                         uint64_t seed) const;
 
   const dbms::Table& table() const { return *table_; }
 
@@ -69,8 +82,11 @@ class ServiceProvider {
   /// tell "stale snapshot" apart from "corrupt result".
   void SetEpoch(uint64_t epoch) {
     epoch_.store(epoch, std::memory_order_release);
+    answer_cache_.InvalidateAll();
   }
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  AnswerCacheStats answer_cache_stats() const { return answer_cache_.stats(); }
 
   /// Snapshots of the pools' global counters; diff two snapshots to measure
   /// the work in between (replaces the racy reset-then-read pattern).
@@ -101,8 +117,14 @@ class ServiceProvider {
   // mutable: const reads fetch pages; the pools lock internally.
   mutable storage::BufferPool index_pool_;
   mutable storage::BufferPool heap_pool_;
+  /// Computes the plan without consulting the cache (the control path the
+  /// parity harness compares against).
+  Result<PlanResult> ComputePlan(const dbms::QueryRequest& request) const;
+
   std::unique_ptr<dbms::Table> table_;
   std::atomic<uint64_t> epoch_{0};
+  // mutable: const queries fill the cache; AnswerCache locks internally.
+  mutable AnswerCache answer_cache_;
 };
 
 }  // namespace sae::core

@@ -48,10 +48,12 @@ SaeSystem::SaeSystem(const Options& options)
       owner_(options.record_size),
       sp_(ServiceProvider::Options{options.record_size,
                                    options.sp_index_pool_pages,
-                                   options.sp_heap_pool_pages}),
+                                   options.sp_heap_pool_pages,
+                                   options.sp_answer_cache}),
       te_(TrustedEntity::Options{options.record_size, options.scheme,
-                                 options.te_pool_pages,
-                                 xbtree::XbTreeOptions{}}) {}
+                                 options.te_pool_pages, options.xb_options,
+                                 options.te_vt_cache}),
+      client_memo_(options.client_memo) {}
 
 Status SaeSystem::Load(const std::vector<Record>& records) {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
@@ -85,7 +87,7 @@ const ServiceProvider* SaeSystem::StaleSp() {
   std::call_once(stale_build_once_, [this] {
     auto sp = std::make_unique<ServiceProvider>(ServiceProvider::Options{
         options_.record_size, options_.sp_index_pool_pages,
-        options_.sp_heap_pool_pages});
+        options_.sp_heap_pool_pages, options_.sp_answer_cache});
     if (sp->LoadDataset(stale_records_).ok()) {
       sp->SetEpoch(stale_epoch_);
       stale_sp_ = std::move(sp);
@@ -117,11 +119,21 @@ Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(
   // snapshot's epoch — the freshness check, not the XOR, catches it.
   ServiceProvider::PlanResult plan;
   uint64_t claimed_epoch = sp_.epoch();
-  if (attack == AttackMode::kReplayStaleRoot) {
+  if (attack == AttackMode::kReplayStaleRoot ||
+      attack == AttackMode::kStaleCacheReplay) {
     const ServiceProvider* stale = StaleSp();
     claimed_epoch = StaleClaim(stale != nullptr, stale_epoch_, published);
-    SAE_ASSIGN_OR_RETURN(plan,
-                         (stale != nullptr ? *stale : sp_).ExecutePlan(request));
+    const ServiceProvider& source = stale != nullptr ? *stale : sp_;
+    if (attack == AttackMode::kStaleCacheReplay) {
+      // Warm the stale SP's answer cache, then serve from it: the replayed
+      // bytes literally come out of a cache entry keyed to the old epoch.
+      SAE_RETURN_NOT_OK(source.ExecutePlan(request).status());
+    }
+    SAE_ASSIGN_OR_RETURN(plan, source.ExecutePlan(request));
+  } else if (attack == AttackMode::kPoisonedCache) {
+    // The SP poisons its own cache: tampered bytes ship now and persist
+    // for later honest queries until an epoch bump flushes the cache.
+    SAE_ASSIGN_OR_RETURN(plan, sp_.ExecutePoisonedPlan(request, seed));
   } else {
     SAE_ASSIGN_OR_RETURN(plan, sp_.ExecutePlan(request));
   }
@@ -165,7 +177,7 @@ Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(
   outcome.claimed_epoch = received.epoch;
   SAE_ASSIGN_OR_RETURN(outcome.vt, DeserializeVt(vt_msg));
   sim::Stopwatch watch;
-  outcome.verification = Client::VerifyAnswer(
+  outcome.verification = client_memo_.VerifyAnswer(
       request, outcome.answer, outcome.results, outcome.vt,
       outcome.claimed_epoch, published, codec(), options_.scheme);
   outcome.costs.client_verify_ms = watch.ElapsedMs();
@@ -226,11 +238,13 @@ TomSystem::TomSystem(const Options& options)
       owner_(TomDataOwner::Options{options.record_size, options.scheme,
                                    options.rsa_modulus_bits, options.rsa_seed,
                                    options.do_pool_pages,
-                                   mbtree::MbTreeOptions{}}),
+                                   options.mb_options}),
       sp_(TomServiceProvider::Options{options.record_size, options.scheme,
                                       options.sp_index_pool_pages,
                                       options.sp_heap_pool_pages,
-                                      mbtree::MbTreeOptions{}}) {}
+                                      options.mb_options,
+                                      options.sp_answer_cache}),
+      client_memo_(options.client_memo) {}
 
 Status TomSystem::Load(const std::vector<Record>& records) {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
@@ -272,7 +286,8 @@ const TomServiceProvider* TomSystem::StaleSp() {
         TomServiceProvider::Options{options_.record_size, options_.scheme,
                                     options_.sp_index_pool_pages,
                                     options_.sp_heap_pool_pages,
-                                    mbtree::MbTreeOptions{}});
+                                    options_.mb_options,
+                                    options_.sp_answer_cache});
     if (sp->LoadDataset(stale_records_, stale_signature_, stale_epoch_)
             .ok()) {
       stale_sp_ = std::move(sp);
@@ -295,14 +310,25 @@ Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(
   storage::BufferPool::Stats sp_heap0 = sp_.heap_pool_thread_stats();
 
   TomServiceProvider::PlanResponse response;
-  if (attack == AttackMode::kReplayStaleRoot) {
+  if (attack == AttackMode::kReplayStaleRoot ||
+      attack == AttackMode::kStaleCacheReplay) {
     // Full replay: stale results + stale VO + the stale epoch-stamped
     // signature — internally consistent, cryptographically valid for its
-    // own epoch. Only the freshness gate can reject it.
+    // own epoch. Only the freshness gate can reject it. The cache-replay
+    // variant serves the second of two identical calls, so the replayed
+    // bytes come straight out of a cache entry keyed to the old epoch.
     const TomServiceProvider* stale = StaleSp();
-    SAE_ASSIGN_OR_RETURN(
-        response, (stale != nullptr ? *stale : sp_).ExecutePlan(request));
+    const TomServiceProvider& source = stale != nullptr ? *stale : sp_;
+    if (attack == AttackMode::kStaleCacheReplay) {
+      SAE_RETURN_NOT_OK(source.ExecutePlan(request).status());
+    }
+    SAE_ASSIGN_OR_RETURN(response, source.ExecutePlan(request));
     response.vo.epoch = StaleClaim(stale != nullptr, stale_epoch_, published);
+  } else if (attack == AttackMode::kPoisonedCache) {
+    // The SP poisons its own cache: tampered witness bytes ship with the
+    // honest VO (the VO disproves them) and persist in the cache for later
+    // honest queries until a signature install flushes it.
+    SAE_ASSIGN_OR_RETURN(response, sp_.ExecutePoisonedPlan(request, seed));
   } else if (attack == AttackMode::kStaleVt) {
     // Stale authentication against the current result: the SP presents an
     // old epoch's signature (TOM's analog of a replayed TE token).
@@ -343,9 +369,9 @@ Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(
   SAE_ASSIGN_OR_RETURN(mbtree::VerificationObject vo,
                        mbtree::VerificationObject::Deserialize(vo_msg));
   sim::Stopwatch watch;
-  outcome.verification = TomClient::VerifyAnswer(
-      request, outcome.answer, outcome.results, vo, owner_.public_key(),
-      codec_, options_.scheme, published);
+  outcome.verification = client_memo_.VerifyAnswer(
+      request, outcome.answer, outcome.results, vo, vo_msg,
+      owner_.public_key(), codec_, options_.scheme, published);
   outcome.costs.client_verify_ms = watch.ElapsedMs();
   return outcome;
 }

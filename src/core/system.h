@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/client.h"
+#include "core/client_memo.h"
 #include "core/data_owner.h"
 #include "core/epoch.h"
 #include "core/malicious_sp.h"
@@ -77,6 +78,33 @@ struct SaeSystemOptions {
   size_t sp_index_pool_pages = 1024;
   size_t sp_heap_pool_pages = 1024;
   size_t te_pool_pages = 1024;
+  /// TE tree fanout + hot-level digest cache knobs.
+  xbtree::XbTreeOptions xb_options;
+  /// SP answer cache and TE token memo (both epoch-keyed, never trusted).
+  AnswerCacheOptions sp_answer_cache;
+  AnswerCacheOptions te_vt_cache;
+  /// Client-side verification memo (the client's own pure work, replayed
+  /// on byte-identical responses; freshness gates still run every query).
+  AnswerCacheOptions client_memo;
+
+  /// The uncached control configuration the parity harness compares
+  /// against: every verified-path cache off, everything else identical.
+  SaeSystemOptions& DisableCaches() {
+    xb_options.hot_cache_levels = 0;
+    sp_answer_cache.enabled = false;
+    te_vt_cache.enabled = false;
+    client_memo.enabled = false;
+    return *this;
+  }
+};
+
+/// Cache counters of one SaeSystem; snapshot by value, diff components to
+/// measure a span.
+struct SaeCacheStats {
+  AnswerCacheStats sp_answer;         ///< SP answer cache (hit = no scan)
+  AnswerCacheStats te_vt;             ///< TE token memo (hit = no traversal)
+  storage::NodeCacheStats te_digest;  ///< XB-tree hot-level node cache
+  AnswerCacheStats client_memo;       ///< client verification memo
 };
 
 /// SAE: DO + conventional SP + TE + verifying client.
@@ -148,6 +176,13 @@ class SaeSystem {
   /// Accumulated update-pipeline costs (snapshot by value).
   UpdateStats update_stats() const;
 
+  /// Cache counters across all three verified-path caches.
+  SaeCacheStats cache_stats() const {
+    return SaeCacheStats{sp_.answer_cache_stats(), te_.vt_cache_stats(),
+                         te_.xb_tree().digest_cache_stats(),
+                         client_memo_.stats()};
+  }
+
   DataOwner& owner() { return owner_; }
   ServiceProvider& sp() { return sp_; }
   TrustedEntity& te() { return te_; }
@@ -172,6 +207,8 @@ class SaeSystem {
   DataOwner owner_;
   ServiceProvider sp_;
   TrustedEntity te_;
+  // mutable: const-shaped query paths feed it; the memo locks internally.
+  mutable SaeClientMemo client_memo_;
   sim::Channel do_sp_{"DO->SP"};
   sim::Channel do_te_{"DO->TE"};
   sim::Channel sp_client_{"SP->Client"};
@@ -202,6 +239,32 @@ struct TomSystemOptions {
   size_t do_pool_pages = 1024;
   size_t sp_index_pool_pages = 1024;
   size_t sp_heap_pool_pages = 1024;
+  /// ADS fanout + hot-level digest cache knobs (owner and SP mirrors).
+  mbtree::MbTreeOptions mb_options;
+  /// SP answer cache (epoch-keyed, never trusted).
+  AnswerCacheOptions sp_answer_cache;
+  /// Client-side verification memo (the client's own pure work, replayed
+  /// on byte-identical responses; the VO epoch gate still runs every
+  /// query).
+  AnswerCacheOptions client_memo;
+
+  /// The uncached control configuration the parity harness compares
+  /// against: every verified-path cache off, everything else identical.
+  TomSystemOptions& DisableCaches() {
+    mb_options.hot_cache_levels = 0;
+    sp_answer_cache.enabled = false;
+    client_memo.enabled = false;
+    return *this;
+  }
+};
+
+/// Cache counters of one TomSystem; snapshot by value, diff components to
+/// measure a span.
+struct TomCacheStats {
+  AnswerCacheStats sp_answer;            ///< SP answer + VO cache
+  storage::NodeCacheStats sp_digest;     ///< SP MB-tree hot-level cache
+  storage::NodeCacheStats owner_digest;  ///< DO's local ADS hot-level cache
+  AnswerCacheStats client_memo;          ///< client verification memo
 };
 
 /// TOM: ADS-building DO + ADS-mirroring SP + VO-verifying client.
@@ -256,6 +319,14 @@ class TomSystem {
 
   UpdateStats update_stats() const;
 
+  /// Cache counters across the SP answer cache and both ADS node caches.
+  TomCacheStats cache_stats() const {
+    return TomCacheStats{sp_.answer_cache_stats(),
+                         sp_.ads().digest_cache_stats(),
+                         owner_.ads().digest_cache_stats(),
+                         client_memo_.stats()};
+  }
+
   TomDataOwner& owner() { return owner_; }
   TomServiceProvider& sp() { return sp_; }
   sim::Channel& do_sp_channel() { return do_sp_; }
@@ -273,6 +344,8 @@ class TomSystem {
   RecordCodec codec_;
   TomDataOwner owner_;
   TomServiceProvider sp_;
+  // mutable: const-shaped query paths feed it; the memo locks internally.
+  mutable TomClientMemo client_memo_;
   sim::Channel do_sp_{"DO->SP"};
   sim::Channel sp_client_{"SP->Client"};
   std::atomic<uint64_t> attack_seed_{0xBADC0DE};

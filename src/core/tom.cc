@@ -5,6 +5,8 @@
 
 #include "core/tom.h"
 
+#include "core/malicious_sp.h"
+#include "core/messages.h"
 #include "util/macros.h"
 #include "util/random.h"
 
@@ -84,7 +86,8 @@ TomServiceProvider::TomServiceProvider(const Options& options)
       codec_(options.record_size),
       index_pool_(&index_store_, options.index_pool_pages),
       heap_pool_(&heap_store_, options.heap_pool_pages),
-      heap_(&heap_pool_, options.record_size) {
+      heap_(&heap_pool_, options.record_size),
+      answer_cache_(options.answer_cache) {
   mbtree::MbTreeOptions mb = options_.mb_options;
   mb.scheme = options_.scheme;
   auto tree = mbtree::MbTree::Create(&index_pool_, mb);
@@ -113,6 +116,7 @@ Status TomServiceProvider::LoadDataset(const std::vector<Record>& sorted,
   SAE_RETURN_NOT_OK(mb_->BulkLoad(entries));
   signature_ = std::move(signature);
   epoch_ = epoch;
+  answer_cache_.InvalidateAll();
   return Status::OK();
 }
 
@@ -135,6 +139,7 @@ Status TomServiceProvider::ApplyInsert(const Record& record,
   rid_of_id_[record.id] = rid;
   signature_ = std::move(new_sig);
   epoch_ = new_epoch;
+  answer_cache_.InvalidateAll();
   return Status::OK();
 }
 
@@ -154,6 +159,7 @@ Status TomServiceProvider::ApplyDelete(RecordId id,
   rid_of_id_.erase(it);
   signature_ = std::move(new_sig);
   epoch_ = new_epoch;
+  answer_cache_.InvalidateAll();
   return Status::OK();
 }
 
@@ -185,7 +191,7 @@ Result<TomServiceProvider::QueryResponse> TomServiceProvider::ExecuteRange(
   return response;
 }
 
-Result<TomServiceProvider::PlanResponse> TomServiceProvider::ExecutePlan(
+Result<TomServiceProvider::PlanResponse> TomServiceProvider::ComputePlan(
     const dbms::QueryRequest& request) const {
   SAE_ASSIGN_OR_RETURN(QueryResponse response,
                        ExecuteRange(request.lo, request.hi));
@@ -193,6 +199,47 @@ Result<TomServiceProvider::PlanResponse> TomServiceProvider::ExecutePlan(
   plan.answer = dbms::EvaluateAnswer(request, response.results);
   plan.witness = std::move(response.results);
   plan.vo = std::move(response.vo);
+  return plan;
+}
+
+Result<TomServiceProvider::PlanResponse> TomServiceProvider::ExecutePlan(
+    const dbms::QueryRequest& request) const {
+  if (!answer_cache_.enabled()) return ComputePlan(request);
+  AnswerCache::Key key = AnswerCache::Key::For(request, epoch_);
+  if (auto hit = answer_cache_.Lookup(key)) {
+    SAE_ASSIGN_OR_RETURN(QueryAnswerMessage msg,
+                         DeserializeQueryAnswer(hit->answer_msg, codec_));
+    PlanResponse plan;
+    plan.answer = std::move(msg.answer);
+    plan.witness = std::move(msg.witness);
+    SAE_ASSIGN_OR_RETURN(
+        plan.vo, mbtree::VerificationObject::Deserialize(hit->proof_msg));
+    return plan;
+  }
+  SAE_ASSIGN_OR_RETURN(PlanResponse plan, ComputePlan(request));
+  CachedAnswer entry;
+  entry.answer_msg =
+      SerializeQueryAnswer(plan.answer, plan.witness, key.epoch, codec_);
+  entry.proof_msg = plan.vo.Serialize();
+  answer_cache_.Insert(key, std::move(entry));
+  return plan;
+}
+
+Result<TomServiceProvider::PlanResponse>
+TomServiceProvider::ExecutePoisonedPlan(const dbms::QueryRequest& request,
+                                        uint64_t seed) const {
+  SAE_ASSIGN_OR_RETURN(PlanResponse plan, ComputePlan(request));
+  plan.witness =
+      ApplyAttack(plan.witness, AttackMode::kTamperPayload, codec_, seed);
+  plan.answer = dbms::EvaluateAnswer(request, plan.witness);
+  if (answer_cache_.enabled()) {
+    AnswerCache::Key key = AnswerCache::Key::For(request, epoch_);
+    CachedAnswer entry;
+    entry.answer_msg =
+        SerializeQueryAnswer(plan.answer, plan.witness, key.epoch, codec_);
+    entry.proof_msg = plan.vo.Serialize();
+    answer_cache_.Insert(key, std::move(entry));
+  }
   return plan;
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/answer_cache.h"
 #include "crypto/rsa.h"
 #include "dbms/query.h"
 #include "mbtree/mb_tree.h"
@@ -87,6 +88,10 @@ struct TomServiceProviderOptions {
   size_t index_pool_pages = 1024;
   size_t heap_pool_pages = 1024;
   mbtree::MbTreeOptions mb_options;
+  /// Epoch-keyed cache of serialized (answer, VO) responses; invalidated
+  /// wholesale whenever a new signature/epoch is installed. Never trusted —
+  /// clients verify hits like misses.
+  AnswerCacheOptions answer_cache;
 };
 
 /// TOM's service provider: ADS-augmented DBMS answering queries with VOs.
@@ -111,6 +116,7 @@ class TomServiceProvider {
   void SetSignature(crypto::RsaSignature sig, uint64_t epoch) {
     signature_ = std::move(sig);
     epoch_ = epoch;
+    answer_cache_.InvalidateAll();
   }
 
   /// The epoch the mirrored ADS reflects.
@@ -135,10 +141,21 @@ class TomServiceProvider {
 
   /// Executes any verified-plan operator: range scan + VO as in
   /// ExecuteRange, answer derived with the shared rule
-  /// (dbms::EvaluateAnswer). Thread-safety matches ExecuteRange.
+  /// (dbms::EvaluateAnswer). With the answer cache enabled, a repeat of
+  /// (request, epoch) replays the serialized answer + VO bit-for-bit.
+  /// Thread-safety matches ExecuteRange.
   Result<PlanResponse> ExecutePlan(const dbms::QueryRequest& request) const;
 
+  /// Adversary hook (security tests): computes the honest plan, tampers a
+  /// witness record, poisons the answer cache with the tampered bytes, and
+  /// returns the tampered plan — so the lie both ships now and persists in
+  /// the cache for later queries (until a signature install flushes it).
+  Result<PlanResponse> ExecutePoisonedPlan(const dbms::QueryRequest& request,
+                                           uint64_t seed) const;
+
   const mbtree::MbTree& ads() const { return *mb_; }
+
+  AnswerCacheStats answer_cache_stats() const { return answer_cache_.stats(); }
 
   /// Snapshots of the pools' global counters; diff two snapshots to measure
   /// the work in between (replaces the racy reset-then-read pattern).
@@ -164,6 +181,10 @@ class TomServiceProvider {
   }
 
  private:
+  /// Computes the plan without consulting the cache (the control path the
+  /// parity harness compares against).
+  Result<PlanResponse> ComputePlan(const dbms::QueryRequest& request) const;
+
   Options options_;
   RecordCodec codec_;
   storage::InMemoryPageStore index_store_;
@@ -176,6 +197,8 @@ class TomServiceProvider {
   std::map<RecordId, storage::Rid> rid_of_id_;
   crypto::RsaSignature signature_;
   uint64_t epoch_ = 0;
+  // mutable: const queries fill the cache; AnswerCache locks internally.
+  mutable AnswerCache answer_cache_;
 };
 
 /// TOM's client-side verifier.

@@ -5,6 +5,8 @@
 
 #include "core/trusted_entity.h"
 
+#include <algorithm>
+
 #include "util/macros.h"
 
 namespace sae::core {
@@ -12,13 +14,15 @@ namespace sae::core {
 TrustedEntity::TrustedEntity(const Options& options)
     : options_(options),
       codec_(options.record_size),
-      pool_(&store_, options.pool_pages) {
+      pool_(&store_, options.pool_pages),
+      vt_cache_(options.vt_cache) {
   auto tree = xbtree::XbTree::Create(&pool_, options_.xb_options);
   SAE_CHECK(tree.ok());
   xb_ = std::move(tree).ValueOrDie();
 }
 
 Status TrustedEntity::LoadDataset(const std::vector<Record>& sorted) {
+  vt_cache_.InvalidateAll();
   std::vector<xbtree::XbTuple> tuples;
   tuples.reserve(sorted.size());
   std::vector<uint8_t> scratch(codec_.record_size());
@@ -33,6 +37,7 @@ Status TrustedEntity::LoadDataset(const std::vector<Record>& sorted) {
 }
 
 Status TrustedEntity::InsertRecord(const Record& record) {
+  vt_cache_.InvalidateAll();
   std::vector<uint8_t> bytes = codec_.Serialize(record);
   crypto::Digest digest =
       crypto::ComputeDigest(bytes.data(), bytes.size(), options_.scheme);
@@ -40,13 +45,31 @@ Status TrustedEntity::InsertRecord(const Record& record) {
 }
 
 Status TrustedEntity::DeleteRecord(Key key, RecordId id) {
+  vt_cache_.InvalidateAll();
   return xb_->Delete(key, id);
 }
 
 Result<VerificationToken> TrustedEntity::GenerateVt(Key lo, Key hi) const {
   VerificationToken vt;
   vt.epoch = epoch();
+  AnswerCache::Key key;
+  key.lo = lo;
+  key.hi = hi;
+  key.epoch = vt.epoch;
+  if (vt_cache_.enabled()) {
+    if (auto hit = vt_cache_.Lookup(key)) {
+      SAE_CHECK(hit->answer_msg.size() == crypto::Digest::kSize);
+      std::copy(hit->answer_msg.begin(), hit->answer_msg.end(),
+                vt.digest.bytes.begin());
+      return vt;
+    }
+  }
   SAE_ASSIGN_OR_RETURN(vt.digest, xb_->GenerateVT(lo, hi));
+  if (vt_cache_.enabled()) {
+    CachedAnswer entry;
+    entry.answer_msg.assign(vt.digest.bytes.begin(), vt.digest.bytes.end());
+    vt_cache_.Insert(key, std::move(entry));
+  }
   return vt;
 }
 

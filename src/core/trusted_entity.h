@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/answer_cache.h"
 #include "core/epoch.h"
 #include "crypto/digest.h"
 #include "dbms/query.h"
@@ -33,6 +34,10 @@ struct TrustedEntityOptions {
   crypto::HashScheme scheme = crypto::HashScheme::kSha1;
   size_t pool_pages = 1024;
   xbtree::XbTreeOptions xb_options;
+  /// Epoch-keyed memo of generated tokens: a repeat of (range, epoch) skips
+  /// the two tree traversals. The TE is trusted, so this is purely a perf
+  /// knob — but the parity harness still proves hits bit-identical.
+  AnswerCacheOptions vt_cache;
 };
 
 /// SAE's trusted entity. Owns its (simulated-disk) storage.
@@ -71,10 +76,13 @@ class TrustedEntity {
   /// without a DataOwner stay at epoch 0 and their tokens carry that.
   void SetEpoch(uint64_t epoch) {
     epoch_.store(epoch, std::memory_order_release);
+    vt_cache_.InvalidateAll();
   }
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   const xbtree::XbTree& xb_tree() const { return *xb_; }
+
+  AnswerCacheStats vt_cache_stats() const { return vt_cache_.stats(); }
 
   /// Snapshot of the pool's global counters; diff two snapshots to measure
   /// the work in between (replaces the racy reset-then-read pattern).
@@ -99,6 +107,8 @@ class TrustedEntity {
   mutable storage::BufferPool pool_;
   std::unique_ptr<xbtree::XbTree> xb_;
   std::atomic<uint64_t> epoch_{0};
+  // mutable: const token generation fills the memo; it locks internally.
+  mutable AnswerCache vt_cache_;
 };
 
 }  // namespace sae::core

@@ -58,8 +58,10 @@ Result<std::unique_ptr<MbTree>> MbTree::Create(BufferPool* pool,
   SAE_CHECK(max_leaf >= 2 && max_leaf <= DefaultMaxLeaf());
   SAE_CHECK(max_internal >= 2 && max_internal <= DefaultMaxInternal());
 
-  auto tree = std::unique_ptr<MbTree>(
-      new MbTree(pool, max_leaf, max_internal, options.scheme));
+  auto tree = std::unique_ptr<MbTree>(new MbTree(
+      pool, max_leaf, max_internal, options.scheme,
+      storage::NodeCacheOptions{options.hot_cache_levels,
+                                options.hot_cache_entries}));
   Node root;
   root.is_leaf = true;
   SAE_ASSIGN_OR_RETURN(tree->root_, tree->NewNode(root));
@@ -114,7 +116,15 @@ Result<MbTree::Node> MbTree::LoadNode(PageId id) const {
   return node;
 }
 
+Result<std::shared_ptr<const MbTree::Node>> MbTree::LoadNodeCached(
+    PageId id, size_t depth) const {
+  if (auto hit = node_cache_.Lookup(id, depth)) return hit;
+  SAE_ASSIGN_OR_RETURN(Node node, LoadNode(id));
+  return node_cache_.Insert(id, depth, std::move(node));
+}
+
 Status MbTree::StoreNode(PageId id, const Node& node) {
+  node_cache_.Invalidate(id);
   SAE_ASSIGN_OR_RETURN(auto ref, pool_->Fetch(id));
   storage::Page& page = ref.Mutable();
   page.Zero();
@@ -267,6 +277,7 @@ Status MbTree::Delete(Key key, Rid rid) {
       PageId old = root_;
       root_ = root.children[0];
       root_digest_ = root.digests[0];
+      node_cache_.Invalidate(old);
       SAE_RETURN_NOT_OK(pool_->Free(old));
       --node_count_;
       --height_;
@@ -400,6 +411,7 @@ Status MbTree::FixUnderflow(Node* parent, size_t child_idx) {
                           child.digests.end());
     }
     SAE_RETURN_NOT_OK(StoreNode(left_page, left));
+    node_cache_.Invalidate(child_page);
     SAE_RETURN_NOT_OK(pool_->Free(child_page));
     --node_count_;
     parent->keys.erase(parent->keys.begin() + child_idx - 1);
@@ -427,6 +439,7 @@ Status MbTree::FixUnderflow(Node* parent, size_t child_idx) {
                          right.digests.end());
   }
   SAE_RETURN_NOT_OK(StoreNode(child_page, child));
+  node_cache_.Invalidate(right_page);
   SAE_RETURN_NOT_OK(pool_->Free(right_page));
   --node_count_;
   parent->keys.erase(parent->keys.begin() + child_idx);
@@ -449,6 +462,7 @@ Status MbTree::BulkLoad(const std::vector<MbEntry>& sorted, double fill) {
     }
   }
   if (sorted.empty()) return Status::OK();
+  node_cache_.Clear();
 
   size_t min_leaf = std::max<size_t>(1, max_leaf_ / 2);
   size_t leaf_target = std::max<size_t>(
@@ -531,61 +545,67 @@ Status MbTree::BulkLoad(const std::vector<MbEntry>& sorted, double fill) {
 Status MbTree::RangeSearch(Key lo, Key hi, std::vector<MbEntry>* out) const {
   if (lo > hi) return Status::InvalidArgument("lo > hi");
   PageId page = root_;
+  size_t depth = 0;
   for (;;) {
-    SAE_ASSIGN_OR_RETURN(Node node, LoadNode(page));
-    if (node.is_leaf) break;
-    size_t idx = std::lower_bound(node.keys.begin(), node.keys.end(), lo) -
-                 node.keys.begin();
-    page = node.children[idx];
+    SAE_ASSIGN_OR_RETURN(auto node, LoadNodeCached(page, depth));
+    if (node->is_leaf) break;
+    size_t idx = std::lower_bound(node->keys.begin(), node->keys.end(), lo) -
+                 node->keys.begin();
+    page = node->children[idx];
+    ++depth;
   }
   while (page != storage::kInvalidPageId) {
-    SAE_ASSIGN_OR_RETURN(Node leaf, LoadNode(page));
-    size_t pos = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), lo) -
-                 leaf.keys.begin();
-    for (; pos < leaf.keys.size(); ++pos) {
-      if (leaf.keys[pos] > hi) return Status::OK();
-      out->push_back(MbEntry{leaf.keys[pos], leaf.rids[pos],
-                             leaf.digests[pos]});
+    SAE_ASSIGN_OR_RETURN(auto leaf, LoadNodeCached(page, depth));
+    size_t pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+                 leaf->keys.begin();
+    for (; pos < leaf->keys.size(); ++pos) {
+      if (leaf->keys[pos] > hi) return Status::OK();
+      out->push_back(MbEntry{leaf->keys[pos], leaf->rids[pos],
+                             leaf->digests[pos]});
     }
-    page = leaf.next;
+    page = leaf->next;
   }
   return Status::OK();
 }
 
 Result<std::optional<MbEntry>> MbTree::PredecessorRec(PageId page,
+                                                      size_t depth,
                                                       Key lo) const {
-  SAE_ASSIGN_OR_RETURN(Node node, LoadNode(page));
-  if (node.is_leaf) {
-    size_t pos = std::lower_bound(node.keys.begin(), node.keys.end(), lo) -
-                 node.keys.begin();
+  SAE_ASSIGN_OR_RETURN(auto node, LoadNodeCached(page, depth));
+  if (node->is_leaf) {
+    size_t pos = std::lower_bound(node->keys.begin(), node->keys.end(), lo) -
+                 node->keys.begin();
     if (pos == 0) return std::optional<MbEntry>();
-    return std::optional<MbEntry>(
-        MbEntry{node.keys[pos - 1], node.rids[pos - 1], node.digests[pos - 1]});
+    return std::optional<MbEntry>(MbEntry{node->keys[pos - 1],
+                                          node->rids[pos - 1],
+                                          node->digests[pos - 1]});
   }
-  size_t idx = std::lower_bound(node.keys.begin(), node.keys.end(), lo) -
-               node.keys.begin();
+  size_t idx = std::lower_bound(node->keys.begin(), node->keys.end(), lo) -
+               node->keys.begin();
   for (size_t i = idx + 1; i-- > 0;) {
-    SAE_ASSIGN_OR_RETURN(auto r, PredecessorRec(node.children[i], lo));
+    SAE_ASSIGN_OR_RETURN(auto r,
+                         PredecessorRec(node->children[i], depth + 1, lo));
     if (r.has_value()) return r;
     if (i == 0) break;
   }
   return std::optional<MbEntry>();
 }
 
-Result<std::optional<MbEntry>> MbTree::SuccessorRec(PageId page,
+Result<std::optional<MbEntry>> MbTree::SuccessorRec(PageId page, size_t depth,
                                                     Key hi) const {
-  SAE_ASSIGN_OR_RETURN(Node node, LoadNode(page));
-  if (node.is_leaf) {
-    size_t pos = std::upper_bound(node.keys.begin(), node.keys.end(), hi) -
-                 node.keys.begin();
-    if (pos == node.keys.size()) return std::optional<MbEntry>();
+  SAE_ASSIGN_OR_RETURN(auto node, LoadNodeCached(page, depth));
+  if (node->is_leaf) {
+    size_t pos = std::upper_bound(node->keys.begin(), node->keys.end(), hi) -
+                 node->keys.begin();
+    if (pos == node->keys.size()) return std::optional<MbEntry>();
     return std::optional<MbEntry>(
-        MbEntry{node.keys[pos], node.rids[pos], node.digests[pos]});
+        MbEntry{node->keys[pos], node->rids[pos], node->digests[pos]});
   }
-  size_t idx = std::upper_bound(node.keys.begin(), node.keys.end(), hi) -
-               node.keys.begin();
-  for (size_t i = idx; i < node.children.size(); ++i) {
-    SAE_ASSIGN_OR_RETURN(auto r, SuccessorRec(node.children[i], hi));
+  size_t idx = std::upper_bound(node->keys.begin(), node->keys.end(), hi) -
+               node->keys.begin();
+  for (size_t i = idx; i < node->children.size(); ++i) {
+    SAE_ASSIGN_OR_RETURN(auto r, SuccessorRec(node->children[i], depth + 1,
+                                              hi));
     if (r.has_value()) return r;
   }
   return std::optional<MbEntry>();
@@ -593,18 +613,19 @@ Result<std::optional<MbEntry>> MbTree::SuccessorRec(PageId page,
 
 Result<std::optional<MbEntry>> MbTree::Predecessor(Key lo) const {
   if (lo == 0) return std::optional<MbEntry>();
-  return PredecessorRec(root_, lo);
+  return PredecessorRec(root_, 0, lo);
 }
 
 Result<std::optional<MbEntry>> MbTree::Successor(Key hi) const {
-  return SuccessorRec(root_, hi);
+  return SuccessorRec(root_, 0, hi);
 }
 
-Status MbTree::BuildVoRec(PageId page, Key lo, Key hi,
+Status MbTree::BuildVoRec(PageId page, size_t depth, Key lo, Key hi,
                           const std::optional<MbEntry>& left_boundary,
                           const std::optional<MbEntry>& right_boundary,
                           const RecordFetcher& fetch, VoNode* out) const {
-  SAE_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+  SAE_ASSIGN_OR_RETURN(auto node_ptr, LoadNodeCached(page, depth));
+  const Node& node = *node_ptr;
   out->is_leaf = node.is_leaf;
 
   // The span that must be expanded (not hidden behind digests): from the
@@ -647,8 +668,9 @@ Status MbTree::BuildVoRec(PageId page, Key lo, Key hi,
     } else {
       item.type = VoItem::Type::kChild;
       item.child = std::make_unique<VoNode>();
-      SAE_RETURN_NOT_OK(BuildVoRec(node.children[i], lo, hi, left_boundary,
-                                   right_boundary, fetch, item.child.get()));
+      SAE_RETURN_NOT_OK(BuildVoRec(node.children[i], depth + 1, lo, hi,
+                                   left_boundary, right_boundary, fetch,
+                                   item.child.get()));
     }
     out->items.push_back(std::move(item));
   }
@@ -661,8 +683,8 @@ Result<VerificationObject> MbTree::BuildVo(Key lo, Key hi,
   SAE_ASSIGN_OR_RETURN(auto left_boundary, Predecessor(lo));
   SAE_ASSIGN_OR_RETURN(auto right_boundary, Successor(hi));
   VerificationObject vo;
-  SAE_RETURN_NOT_OK(BuildVoRec(root_, lo, hi, left_boundary, right_boundary,
-                               fetch, &vo.root));
+  SAE_RETURN_NOT_OK(BuildVoRec(root_, 0, lo, hi, left_boundary,
+                               right_boundary, fetch, &vo.root));
   return vo;
 }
 

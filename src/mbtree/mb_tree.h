@@ -28,6 +28,7 @@
 #include "mbtree/vo.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
+#include "storage/node_cache.h"
 #include "storage/record.h"
 #include "util/codec.h"
 #include "util/status.h"
@@ -51,6 +52,12 @@ struct MbTreeOptions {
   size_t max_leaf_entries = 0;
   size_t max_internal_keys = 0;
   crypto::HashScheme scheme = crypto::HashScheme::kSha1;
+  /// Hot-level digest cache: parsed nodes at depth < hot_cache_levels are
+  /// memoized and invalidated precisely along every update path, so
+  /// steady-state traversals only parse (and hash over) the leaf frontier.
+  /// 0 disables the cache entirely.
+  size_t hot_cache_levels = 2;
+  size_t hot_cache_entries = 1024;
 };
 
 /// Merkle B+-tree. Same structural behaviour as btree::BPlusTree plus digest
@@ -94,6 +101,12 @@ class MbTree {
   size_t max_leaf_entries() const { return max_leaf_; }
   size_t max_internal_keys() const { return max_internal_; }
 
+  /// Hot-level node cache counters (hits/misses/invalidations/evictions);
+  /// snapshot by value, diff to measure a span.
+  storage::NodeCacheStats digest_cache_stats() const {
+    return node_cache_.stats();
+  }
+
   /// Structural + digest-consistency check. Test hook; O(n).
   Status Validate() const;
 
@@ -117,13 +130,19 @@ class MbTree {
   };
 
   MbTree(BufferPool* pool, size_t max_leaf, size_t max_internal,
-         crypto::HashScheme scheme)
+         crypto::HashScheme scheme,
+         const storage::NodeCacheOptions& cache_options = {})
       : pool_(pool),
         max_leaf_(max_leaf),
         max_internal_(max_internal),
-        scheme_(scheme) {}
+        scheme_(scheme),
+        node_cache_(cache_options) {}
 
   Result<Node> LoadNode(PageId id) const;
+  /// Depth-aware load: serves hot levels (depth < hot_cache_levels, root at
+  /// depth 0) from the digest cache, filling it on miss.
+  Result<std::shared_ptr<const Node>> LoadNodeCached(PageId id,
+                                                     size_t depth) const;
   Status StoreNode(PageId id, const Node& node);
   Result<PageId> NewNode(const Node& node);
 
@@ -149,10 +168,12 @@ class MbTree {
 
   Result<std::optional<MbEntry>> Predecessor(Key lo) const;
   Result<std::optional<MbEntry>> Successor(Key hi) const;
-  Result<std::optional<MbEntry>> PredecessorRec(PageId page, Key lo) const;
-  Result<std::optional<MbEntry>> SuccessorRec(PageId page, Key hi) const;
+  Result<std::optional<MbEntry>> PredecessorRec(PageId page, size_t depth,
+                                                Key lo) const;
+  Result<std::optional<MbEntry>> SuccessorRec(PageId page, size_t depth,
+                                              Key hi) const;
 
-  Status BuildVoRec(PageId page, Key lo, Key hi,
+  Status BuildVoRec(PageId page, size_t depth, Key lo, Key hi,
                     const std::optional<MbEntry>& left_boundary,
                     const std::optional<MbEntry>& right_boundary,
                     const RecordFetcher& fetch, VoNode* out) const;
@@ -171,6 +192,7 @@ class MbTree {
   size_t entry_count_ = 0;
   size_t node_count_ = 0;
   size_t height_ = 1;
+  mutable storage::HotNodeCache<Node> node_cache_;
 };
 
 }  // namespace sae::mbtree

@@ -242,12 +242,7 @@ Status VerifyVO(const VerificationObject& vo, storage::Key lo,
   // pre-update snapshot is internally consistent and would pass every
   // check below against its own (old) signature — only the epoch exposes
   // it. Checked first so staleness is reported distinctly.
-  if (vo.epoch < current_epoch) {
-    return Status::StaleEpoch("VO epoch lags the published epoch");
-  }
-  if (vo.epoch > current_epoch) {
-    return Status::VerificationFailure("VO claims a future epoch");
-  }
+  SAE_RETURN_NOT_OK(CheckVoFreshness(vo, current_epoch));
 
   // 1. Results must be sorted by key and inside [lo, hi].
   for (size_t i = 0; i < results.size(); ++i) {
@@ -360,6 +355,16 @@ Status VerifyVO(const VerificationObject& vo, storage::Key lo,
   return crypto::RsaVerifyDigest(
       owner_key, crypto::EpochStampedDigest(root_digest, vo.epoch, scheme),
       vo.signature);
+}
+
+Status CheckVoFreshness(const VerificationObject& vo, uint64_t current_epoch) {
+  if (vo.epoch < current_epoch) {
+    return Status::StaleEpoch("VO epoch lags the published epoch");
+  }
+  if (vo.epoch > current_epoch) {
+    return Status::VerificationFailure("VO claims a future epoch");
+  }
+  return Status::OK();
 }
 
 }  // namespace sae::mbtree

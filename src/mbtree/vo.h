@@ -92,6 +92,12 @@ Status VerifyVO(const VerificationObject& vo, storage::Key lo,
                 crypto::HashScheme scheme = crypto::HashScheme::kSha1,
                 uint64_t current_epoch = 0);
 
+/// VerifyVO's freshness gate on its own: the VO's epoch against the latest
+/// published one. Everything else VerifyVO checks is a pure function of
+/// (vo, lo, hi, results) — which is what lets core::TomClientMemo memoize
+/// it — while this gate must run fresh on every query.
+Status CheckVoFreshness(const VerificationObject& vo, uint64_t current_epoch);
+
 }  // namespace sae::mbtree
 
 #endif  // SAE_MBTREE_VO_H_

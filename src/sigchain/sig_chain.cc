@@ -323,30 +323,19 @@ Result<SigChainSp::QueryResponse> SigChainSp::ExecuteRange(Key lo, Key hi) {
 
 // --- client ----------------------------------------------------------------------
 
-Status SigChainClient::Verify(Key lo, Key hi,
-                              const std::vector<Record>& results,
-                              const SigChainVo& vo,
-                              const crypto::RsaPublicKey& owner_key,
-                              const RecordCodec& codec,
-                              crypto::HashScheme scheme,
-                              uint64_t current_epoch) {
-  // 0. Freshness gate: the epoch token must speak for the latest published
-  // epoch and carry the DO's signature over it. Checked before everything
-  // else so a replayed pre-update VO reports as staleness.
-  if (vo.epoch < current_epoch) {
-    return Status::StaleEpoch("sig-chain VO epoch lags the published epoch");
-  }
-  if (vo.epoch > current_epoch) {
-    return Status::VerificationFailure("sig-chain VO claims a future epoch");
-  }
-  if (current_epoch > 0) {
-    Status token_ok = crypto::RsaVerifyDigest(
-        owner_key, EpochTokenDigest(vo.epoch, scheme), vo.epoch_sig);
-    if (!token_ok.ok()) {
-      return Status::VerificationFailure(
-          "sig-chain VO epoch token signature invalid");
-    }
-  }
+namespace {
+
+// Everything in SigChainClient::Verify except RSA: the freshness epoch
+// comparison, range/order/boundary structure, and the chain-digest
+// reconstruction. On OK fills `chain` with the signed chain digests (empty
+// means an empty table — nothing signed, nothing left to check). Split out
+// so VerifyBatch can run the cheap checks per item and amortize the
+// big-number work across the batch.
+Status CheckStructure(Key lo, Key hi, const std::vector<Record>& results,
+                      const SigChainVo& vo, const RecordCodec& codec,
+                      crypto::HashScheme scheme,
+                      std::vector<crypto::Digest>* chain) {
+  chain->clear();
 
   // 1. Results sorted and in range.
   for (size_t i = 0; i < results.size(); ++i) {
@@ -408,12 +397,57 @@ Status SigChainClient::Verify(Key lo, Key hi,
                : Status::VerificationFailure("results from an empty table");
   }
 
-  // 4. Chain hashes for every signed position, then the condensed check.
-  std::vector<crypto::Digest> chain;
-  chain.reserve(ds.size() - 2);
+  // 4. Chain hashes for every signed position.
+  chain->reserve(ds.size() - 2);
   for (size_t k = 1; k + 1 < ds.size(); ++k) {
-    chain.push_back(ChainDigest(ds[k - 1], ds[k], ds[k + 1], scheme));
+    chain->push_back(ChainDigest(ds[k - 1], ds[k], ds[k + 1], scheme));
   }
+  return Status::OK();
+}
+
+// The freshness gate shared by Verify and VerifyBatch: the epoch token must
+// speak for the latest published epoch. The RSA token check itself is left
+// to the caller (VerifyBatch memoizes it per distinct token).
+Status CheckEpochClaim(const SigChainVo& vo, uint64_t current_epoch) {
+  if (vo.epoch < current_epoch) {
+    return Status::StaleEpoch("sig-chain VO epoch lags the published epoch");
+  }
+  if (vo.epoch > current_epoch) {
+    return Status::VerificationFailure("sig-chain VO claims a future epoch");
+  }
+  return Status::OK();
+}
+
+Status VerifyEpochToken(const crypto::RsaPublicKey& owner_key,
+                        const SigChainVo& vo, crypto::HashScheme scheme) {
+  Status token_ok = crypto::RsaVerifyDigest(
+      owner_key, EpochTokenDigest(vo.epoch, scheme), vo.epoch_sig);
+  if (!token_ok.ok()) {
+    return Status::VerificationFailure(
+        "sig-chain VO epoch token signature invalid");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SigChainClient::Verify(Key lo, Key hi,
+                              const std::vector<Record>& results,
+                              const SigChainVo& vo,
+                              const crypto::RsaPublicKey& owner_key,
+                              const RecordCodec& codec,
+                              crypto::HashScheme scheme,
+                              uint64_t current_epoch) {
+  // 0. Freshness gate, checked before everything else so a replayed
+  // pre-update VO reports as staleness.
+  SAE_RETURN_NOT_OK(CheckEpochClaim(vo, current_epoch));
+  if (current_epoch > 0) {
+    SAE_RETURN_NOT_OK(VerifyEpochToken(owner_key, vo, scheme));
+  }
+  std::vector<crypto::Digest> chain;
+  SAE_RETURN_NOT_OK(
+      CheckStructure(lo, hi, results, vo, codec, scheme, &chain));
+  if (chain.empty()) return Status::OK();  // empty table: nothing signed
   return VerifyCondensed(owner_key, chain, vo.condensed);
 }
 
@@ -428,6 +462,121 @@ Status SigChainClient::VerifyAnswer(const dbms::QueryRequest& request,
   SAE_RETURN_NOT_OK(Verify(request.lo, request.hi, witness, vo, owner_key,
                            codec, scheme, current_epoch));
   return dbms::CheckAnswer(request, witness, claimed);
+}
+
+std::vector<Status> SigChainClient::VerifyBatch(
+    const std::vector<BatchItem>& items,
+    const crypto::RsaPublicKey& owner_key, const RecordCodec& codec,
+    crypto::HashScheme scheme, uint64_t current_epoch, uint64_t rng_seed) {
+  std::vector<Status> verdicts(items.size(), Status::OK());
+
+  // Phase 1 — per-item cheap checks. Items that survive queue their chain
+  // digests for the amortized big-number phase.
+  struct Pending {
+    size_t index;
+    std::vector<crypto::Digest> chain;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(items.size());
+  // Epoch-token memo: one RsaVerifyDigest per distinct token signature
+  // (vo.epoch already proven == current_epoch by the claim check, so the
+  // signature bytes alone key the memo).
+  std::map<crypto::RsaSignature, Status> token_memo;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    Status st = CheckEpochClaim(item.vo, current_epoch);
+    if (st.ok() && current_epoch > 0) {
+      auto memo = token_memo.find(item.vo.epoch_sig);
+      if (memo == token_memo.end()) {
+        memo = token_memo
+                   .emplace(item.vo.epoch_sig,
+                            VerifyEpochToken(owner_key, item.vo, scheme))
+                   .first;
+      }
+      st = memo->second;
+    }
+    std::vector<crypto::Digest> chain;
+    if (st.ok()) {
+      st = CheckStructure(item.request.lo, item.request.hi, item.witness,
+                          item.vo, codec, scheme, &chain);
+    }
+    if (st.ok()) {
+      st = dbms::CheckAnswer(item.request, item.witness, item.claimed);
+    }
+    if (!st.ok()) {
+      verdicts[i] = std::move(st);
+    } else if (!chain.empty()) {
+      pending.push_back(Pending{i, std::move(chain)});
+    }  // empty chain = empty table: nothing signed, verdict stays OK
+  }
+  if (pending.empty()) return verdicts;
+
+  // Phase 2 — randomized combined condensed check: with fresh 16-bit
+  // exponents r_i, (prod sigma_i^{r_i})^e == prod M_i^{r_i} (mod n) where
+  // M_i is the product of the item's encoded chain messages. One modexp
+  // with the public exponent replaces one per item, and the two r_i-power
+  // products are computed with shared squarings (Straus interleaving:
+  // 16 squarings total + ~8 multiplies per item, instead of a full modexp
+  // per item).
+  Rng rng(rng_seed);
+  std::vector<crypto::BigInt> sigmas;
+  std::vector<crypto::BigInt> msgs;
+  std::vector<uint32_t> exps;
+  std::vector<Pending> combinable;
+  combinable.reserve(pending.size());
+  for (Pending& p : pending) {
+    const SigChainVo& vo = items[p.index].vo;
+    // Malformed signatures fail their own check immediately; folding them
+    // in would only poison the combination.
+    if (vo.condensed.size() != owner_key.ModulusBytes()) {
+      verdicts[p.index] =
+          Status::VerificationFailure("condensed signature length");
+      continue;
+    }
+    crypto::BigInt sigma =
+        crypto::BigInt::FromBytes(vo.condensed.data(), vo.condensed.size());
+    if (sigma >= owner_key.n) {
+      verdicts[p.index] =
+          Status::VerificationFailure("condensed signature out of range");
+      continue;
+    }
+    crypto::BigInt msg(1);
+    for (const crypto::Digest& digest : p.chain) {
+      msg = crypto::BigInt::Mod(
+          crypto::BigInt::Mul(msg, EncodedMessage(digest, owner_key)),
+          owner_key.n);
+    }
+    sigmas.push_back(std::move(sigma));
+    msgs.push_back(std::move(msg));
+    exps.push_back(uint32_t(1 + (rng.Next() & 0xFFFF)));
+    combinable.push_back(std::move(p));
+  }
+  if (combinable.empty()) return verdicts;
+  auto multi_exp = [&owner_key](const std::vector<crypto::BigInt>& bases,
+                                const std::vector<uint32_t>& exponents) {
+    crypto::BigInt acc(1);
+    for (int bit = 16; bit >= 0; --bit) {  // exponents are <= 2^16
+      acc = crypto::BigInt::Mod(crypto::BigInt::Mul(acc, acc), owner_key.n);
+      for (size_t i = 0; i < bases.size(); ++i) {
+        if ((exponents[i] >> bit) & 1u) {
+          acc = crypto::BigInt::Mod(crypto::BigInt::Mul(acc, bases[i]),
+                                    owner_key.n);
+        }
+      }
+    }
+    return acc;
+  };
+  if (crypto::BigInt::ModPow(multi_exp(sigmas, exps), owner_key.e,
+                             owner_key.n) == multi_exp(msgs, exps)) {
+    return verdicts;  // whole batch accepted by the combined check
+  }
+  // Phase 3 — the combination failed: re-check each item on its own so the
+  // verdicts attribute the exact offenders (identical to unbatched).
+  for (const Pending& p : combinable) {
+    verdicts[p.index] =
+        VerifyCondensed(owner_key, p.chain, items[p.index].vo.condensed);
+  }
+  return verdicts;
 }
 
 Status VerifyComposite(Key lo, Key hi,

@@ -1,0 +1,144 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// HotNodeCache: a thread-safe memo of *parsed* tree nodes for the top K
+// levels of a disk-based tree. The buffer-pool ablation shows the upper
+// levels of the MB-/XB-trees cache perfectly — but even a pool hit still
+// pays page parsing on every traversal. This cache keeps the decoded Node
+// structs (digests included) for depths < hot_levels, so steady-state
+// queries hash only the leaf frontier.
+//
+// Invalidation contract (what keeps a cached digest from going stale):
+//   * every StoreNode on a mutation path invalidates its page id, and every
+//     freed page is invalidated before reuse — precise, along the update
+//     path only;
+//   * Clear() drops everything (bulk load, snapshot re-attach).
+// Mutations hold the owning system's writer lock, so the cache only ever
+// sees reader-reader concurrency plus exclusive writers; one internal mutex
+// suffices. Entries are handed out as shared_ptr<const NodeT> so a reader
+// keeps its node alive even if a capacity eviction races in.
+
+#ifndef SAE_STORAGE_NODE_CACHE_H_
+#define SAE_STORAGE_NODE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "storage/page.h"
+
+namespace sae::storage {
+
+/// Counters of one HotNodeCache. Snapshot by value and diff two snapshots
+/// to measure the work in between (same pattern as BufferPool::Stats).
+struct NodeCacheStats {
+  uint64_t hits = 0;           ///< cacheable-depth lookups served from cache
+  uint64_t misses = 0;         ///< cacheable-depth lookups that fell through
+  uint64_t invalidations = 0;  ///< entries dropped by Invalidate/Clear
+  uint64_t evictions = 0;      ///< entries dropped for capacity
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+
+  friend NodeCacheStats operator-(NodeCacheStats a, const NodeCacheStats& b) {
+    a.hits -= b.hits;
+    a.misses -= b.misses;
+    a.invalidations -= b.invalidations;
+    a.evictions -= b.evictions;
+    return a;
+  }
+  NodeCacheStats& operator+=(const NodeCacheStats& b) {
+    hits += b.hits;
+    misses += b.misses;
+    invalidations += b.invalidations;
+    evictions += b.evictions;
+    return *this;
+  }
+};
+
+struct NodeCacheOptions {
+  size_t hot_levels = 2;     ///< cache nodes at depth < hot_levels (0 = off)
+  size_t max_entries = 1024; ///< capacity backstop (hot sets are tiny)
+};
+
+template <typename NodeT>
+class HotNodeCache {
+ public:
+  using Options = NodeCacheOptions;
+
+  explicit HotNodeCache(const Options& options = {}) : options_(options) {}
+
+  bool enabled() const {
+    return options_.hot_levels > 0 && options_.max_entries > 0;
+  }
+  /// Root is depth 0; only the top hot_levels levels are worth memoizing.
+  bool Caches(size_t depth) const {
+    return enabled() && depth < options_.hot_levels;
+  }
+
+  /// nullptr on miss or uncacheable depth.
+  std::shared_ptr<const NodeT> Lookup(PageId id, size_t depth) const {
+    if (!Caches(depth)) return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return it->second;
+  }
+
+  /// Takes ownership of `node` and returns a shared holder for the caller's
+  /// own use; the cache keeps a reference only for cacheable depths.
+  std::shared_ptr<const NodeT> Insert(PageId id, size_t depth, NodeT node) {
+    auto holder = std::make_shared<const NodeT>(std::move(node));
+    if (!Caches(depth)) return holder;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.count(id) == 0 && map_.size() >= options_.max_entries) {
+      // Any victim works: the hot-level set is far below capacity in
+      // practice, and correctness never depends on what is cached.
+      map_.erase(map_.begin());
+      ++stats_.evictions;
+    }
+    map_[id] = holder;
+    return holder;
+  }
+
+  /// Precise invalidation — call for every page a mutation rewrites/frees.
+  void Invalidate(PageId id) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.erase(id) > 0) ++stats_.invalidations;
+  }
+
+  /// Wholesale invalidation (bulk load, snapshot re-attach).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.invalidations += map_.size();
+    map_.clear();
+  }
+
+  NodeCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<PageId, std::shared_ptr<const NodeT>> map_;
+  mutable NodeCacheStats stats_;
+};
+
+}  // namespace sae::storage
+
+#endif  // SAE_STORAGE_NODE_CACHE_H_

@@ -56,8 +56,10 @@ Result<std::unique_ptr<XbTree>> XbTree::Create(BufferPool* pool,
             kChunkHeaderSize + per_chunk * kDupTupleSize <=
                 storage::kPageSize - kSlabHeaderSize);
 
-  auto tree =
-      std::unique_ptr<XbTree>(new XbTree(pool, max_entries, per_chunk));
+  auto tree = std::unique_ptr<XbTree>(new XbTree(
+      pool, max_entries, per_chunk,
+      storage::NodeCacheOptions{options.hot_cache_levels,
+                                options.hot_cache_entries}));
   SAE_CHECK(tree->ChunksPerPage() <= 256);  // slot must fit in 8 bits
   Node root;
   root.is_leaf = true;
@@ -93,7 +95,15 @@ Result<XbTree::Node> XbTree::LoadNode(PageId id) const {
   return node;
 }
 
+Result<std::shared_ptr<const XbTree::Node>> XbTree::LoadNodeCached(
+    PageId id, size_t depth) const {
+  if (auto hit = node_cache_.Lookup(id, depth)) return hit;
+  SAE_ASSIGN_OR_RETURN(Node node, LoadNode(id));
+  return node_cache_.Insert(id, depth, std::move(node));
+}
+
 Status XbTree::StoreNode(PageId id, const Node& node) {
+  node_cache_.Invalidate(id);
   SAE_CHECK(node.entries.size() <= DefaultMaxEntries());
   SAE_ASSIGN_OR_RETURN(auto ref, pool_->Fetch(id));
   storage::Page& page = ref.Mutable();
@@ -132,12 +142,13 @@ crypto::Digest XbTree::SubtreeXor(const Node& node) {
   return x;
 }
 
-Result<crypto::Digest> XbTree::EntryDupXor(const Entry& entry) const {
+Result<crypto::Digest> XbTree::EntryDupXor(const Entry& entry,
+                                           size_t child_depth) const {
   if (entry.child == storage::kInvalidPageId) {
     return entry.x;  // leaf entry: X is exactly the duplicate-chain XOR
   }
-  SAE_ASSIGN_OR_RETURN(Node child, LoadNode(entry.child));
-  return entry.x ^ SubtreeXor(child);
+  SAE_ASSIGN_OR_RETURN(auto child, LoadNodeCached(entry.child, child_depth));
+  return entry.x ^ SubtreeXor(*child);
 }
 
 // --- duplicate chunks (slab allocator) ----------------------------------------
@@ -400,6 +411,7 @@ Status XbTree::Delete(Key key, RecordId id) {
     if (!root.is_leaf && root.entries.empty()) {
       PageId old = root_;
       root_ = root.child0;
+      node_cache_.Invalidate(old);
       SAE_RETURN_NOT_OK(pool_->Free(old));
       --node_count_;
       --height_;
@@ -607,6 +619,7 @@ Status XbTree::FixUnderflow(Node* parent, size_t child_slot) {
 
     parent->entries.erase(parent->entries.begin() + child_slot - 1);
     SAE_RETURN_NOT_OK(StoreNode(left_page, left));
+    node_cache_.Invalidate(child_page);
     SAE_RETURN_NOT_OK(pool_->Free(child_page));
     --node_count_;
     return Status::OK();
@@ -631,6 +644,7 @@ Status XbTree::FixUnderflow(Node* parent, size_t child_slot) {
 
   parent->entries.erase(parent->entries.begin() + child_slot);
   SAE_RETURN_NOT_OK(StoreNode(child_page, child));
+  node_cache_.Invalidate(right_page);
   SAE_RETURN_NOT_OK(pool_->Free(right_page));
   --node_count_;
   return Status::OK();
@@ -638,9 +652,10 @@ Status XbTree::FixUnderflow(Node* parent, size_t child_slot) {
 
 // --- GenerateVT (paper Fig. 4) ----------------------------------------------
 
-Status XbTree::GenerateVTRec(PageId page, Key ql, Key qu,
+Status XbTree::GenerateVTRec(PageId page, size_t depth, Key ql, Key qu,
                              crypto::Digest* vt) const {
-  SAE_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+  SAE_ASSIGN_OR_RETURN(auto node_ptr, LoadNodeCached(page, depth));
+  const Node& node = *node_ptr;
   size_t f = node.entries.size() + 1;  // conceptual entries incl. the anchor
 
   for (size_t i = 0; i < f; ++i) {
@@ -662,7 +677,7 @@ Status XbTree::GenerateVTRec(PageId page, Key ql, Key qu,
     } else if (ql_le_sk && qu >= sk) {
       // Lines 4-5: only the key itself qualifies; add its chain XOR.
       SAE_ASSIGN_OR_RETURN(crypto::Digest lxor,
-                           EntryDupXor(node.entries[i - 1]));
+                           EntryDupXor(node.entries[i - 1], depth + 1));
       *vt ^= lxor;
     }
 
@@ -680,7 +695,7 @@ Status XbTree::GenerateVTRec(PageId page, Key ql, Key qu,
       ql_inside = qu_inside = true;
     }
     if ((ql_inside || qu_inside) && child != storage::kInvalidPageId) {
-      SAE_RETURN_NOT_OK(GenerateVTRec(child, ql, qu, vt));
+      SAE_RETURN_NOT_OK(GenerateVTRec(child, depth + 1, ql, qu, vt));
     }
   }
   return Status::OK();
@@ -689,7 +704,7 @@ Status XbTree::GenerateVTRec(PageId page, Key ql, Key qu,
 Result<crypto::Digest> XbTree::GenerateVT(Key ql, Key qu) const {
   if (ql > qu) return Status::InvalidArgument("ql > qu");
   crypto::Digest vt;
-  SAE_RETURN_NOT_OK(GenerateVTRec(root_, ql, qu, &vt));
+  SAE_RETURN_NOT_OK(GenerateVTRec(root_, 0, ql, qu, &vt));
   return vt;
 }
 
@@ -705,6 +720,7 @@ Status XbTree::BulkLoad(const std::vector<XbTuple>& sorted) {
     }
   }
   if (sorted.empty()) return Status::OK();
+  node_cache_.Clear();
 
   // Group tuples by distinct key, writing the duplicate chains.
   struct KeyedItem {

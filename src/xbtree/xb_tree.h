@@ -39,6 +39,7 @@
 
 #include "crypto/digest.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
 #include "storage/record.h"
 #include "util/codec.h"
 #include "util/status.h"
@@ -61,6 +62,11 @@ struct XbTuple {
 struct XbTreeOptions {
   size_t max_entries = 0;       ///< keyed entries per node (default 126)
   size_t tuples_per_chunk = 0;  ///< tuples per duplicate chunk (default 2)
+  /// Hot-level digest cache: parsed nodes at depth < hot_cache_levels are
+  /// memoized and invalidated precisely along every update path, so
+  /// steady-state VT generation parses only the leaf frontier. 0 disables.
+  size_t hot_cache_levels = 2;
+  size_t hot_cache_entries = 1024;
 };
 
 /// Disk-based XOR B-tree. Const methods (GenerateVT, Validate) are safe to
@@ -101,6 +107,12 @@ class XbTree {
   size_t max_entries() const { return max_entries_; }
   size_t tuples_per_chunk() const { return tuples_per_chunk_; }
 
+  /// Hot-level node cache counters (hits/misses/invalidations/evictions);
+  /// snapshot by value, diff to measure a span.
+  storage::NodeCacheStats digest_cache_stats() const {
+    return node_cache_.stats();
+  }
+
   /// Recomputes every X value and duplicate chain from scratch and compares
   /// against the stored aggregates. Test hook; O(n).
   Status Validate() const;
@@ -133,12 +145,18 @@ class XbTree {
     std::vector<Entry> entries;
   };
 
-  XbTree(BufferPool* pool, size_t max_entries, size_t tuples_per_chunk)
+  XbTree(BufferPool* pool, size_t max_entries, size_t tuples_per_chunk,
+         const storage::NodeCacheOptions& cache_options = {})
       : pool_(pool),
         max_entries_(max_entries),
-        tuples_per_chunk_(tuples_per_chunk) {}
+        tuples_per_chunk_(tuples_per_chunk),
+        node_cache_(cache_options) {}
 
   Result<Node> LoadNode(PageId id) const;
+  /// Depth-aware load: serves hot levels (depth < hot_cache_levels, root at
+  /// depth 0) from the digest cache, filling it on miss.
+  Result<std::shared_ptr<const Node>> LoadNodeCached(PageId id,
+                                                     size_t depth) const;
   Status StoreNode(PageId id, const Node& node);
   Result<PageId> NewNode(const Node& node);
 
@@ -146,8 +164,10 @@ class XbTree {
   static crypto::Digest SubtreeXor(const Node& node);
 
   // XOR of the digests in an entry's duplicate chain, derived as
-  // X ^ SubtreeXor(child) (one child load for internal entries).
-  Result<crypto::Digest> EntryDupXor(const Entry& entry) const;
+  // X ^ SubtreeXor(child) (one child load for internal entries;
+  // `child_depth` is that child's depth for the hot-level cache).
+  Result<crypto::Digest> EntryDupXor(const Entry& entry,
+                                     size_t child_depth) const;
 
   // Duplicate-chunk slab helpers.
   size_t ChunkBytes() const { return 8 + tuples_per_chunk_ * 28; }
@@ -188,7 +208,7 @@ class XbTree {
   // child_slot: 0 = anchor child, i >= 1 = entries[i-1].child.
   Status FixUnderflow(Node* parent, size_t child_slot);
 
-  Status GenerateVTRec(PageId page, Key ql, Key qu,
+  Status GenerateVTRec(PageId page, size_t depth, Key ql, Key qu,
                        crypto::Digest* vt) const;
 
   Status ValidateRec(PageId page, size_t depth,
@@ -208,6 +228,7 @@ class XbTree {
   size_t height_ = 1;
   std::vector<PageId> slab_pages_;     // all slab pages, in allocation order
   std::vector<ChunkRef> free_chunks_;  // recycled chunk slots
+  mutable storage::HotNodeCache<Node> node_cache_;
 };
 
 }  // namespace sae::xbtree

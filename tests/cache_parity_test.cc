@@ -1,0 +1,527 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The caching layer's differential parity harness plus unit tests for the
+// caches themselves. The contract under test: every verified-path cache
+// (hot-level tree digests, SP answer cache, TE token memo) is a pure
+// memoization — a cached system must be BIT-IDENTICAL to an uncached one
+// on every observable: status codes, claimed epochs, answers, witnesses,
+// serialized proof bytes. The harness runs 1000+ randomized
+// (query, update, attack) schedules against cached/uncached system pairs
+// across both models, both hash schemes and all seven plan operators.
+//
+// kPoisonedCache is deliberately excluded from the random attack pool: a
+// poisoned entry persists for later honest queries by design, so cached
+// and uncached systems diverge — that behavior is pinned down by targeted
+// tests in security_test.cc instead.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/answer_cache.h"
+#include "core/messages.h"
+#include "core/system.h"
+#include "storage/node_cache.h"
+#include "util/random.h"
+
+namespace sae::core {
+namespace {
+
+constexpr size_t kRecSize = 64;
+constexpr Key kDomain = 20000;
+
+// --- AnswerCache unit tests --------------------------------------------------
+
+AnswerCache::Key ScanKey(Key lo, Key hi, uint64_t epoch) {
+  AnswerCache::Key key;
+  key.lo = lo;
+  key.hi = hi;
+  key.epoch = epoch;
+  return key;
+}
+
+CachedAnswer Blob(uint8_t fill) {
+  CachedAnswer entry;
+  entry.answer_msg.assign(4, fill);
+  return entry;
+}
+
+TEST(AnswerCacheTest, HitReturnsInsertedBytes) {
+  AnswerCache cache({true, 8});
+  EXPECT_EQ(cache.Lookup(ScanKey(1, 2, 1)), nullptr);
+  cache.Insert(ScanKey(1, 2, 1), Blob(0xAB));
+  auto hit = cache.Lookup(ScanKey(1, 2, 1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->answer_msg, std::vector<uint8_t>(4, 0xAB));
+  AnswerCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(AnswerCacheTest, EpochIsPartOfTheKey) {
+  AnswerCache cache({true, 8});
+  cache.Insert(ScanKey(1, 2, 1), Blob(0x01));
+  EXPECT_EQ(cache.Lookup(ScanKey(1, 2, 2)), nullptr);
+  EXPECT_NE(cache.Lookup(ScanKey(1, 2, 1)), nullptr);
+}
+
+TEST(AnswerCacheTest, OperatorAndLimitArePartOfTheKey) {
+  AnswerCache cache({true, 8});
+  dbms::QueryRequest scan = dbms::QueryRequest::Scan(5, 9);
+  dbms::QueryRequest count = dbms::QueryRequest::Count(5, 9);
+  dbms::QueryRequest top3 = dbms::QueryRequest::TopK(5, 9, 3);
+  dbms::QueryRequest top4 = dbms::QueryRequest::TopK(5, 9, 4);
+  cache.Insert(AnswerCache::Key::For(scan, 1), Blob(0x01));
+  EXPECT_EQ(cache.Lookup(AnswerCache::Key::For(count, 1)), nullptr);
+  EXPECT_EQ(cache.Lookup(AnswerCache::Key::For(top3, 1)), nullptr);
+  cache.Insert(AnswerCache::Key::For(top3, 1), Blob(0x03));
+  EXPECT_EQ(cache.Lookup(AnswerCache::Key::For(top4, 1)), nullptr);
+  EXPECT_NE(cache.Lookup(AnswerCache::Key::For(scan, 1)), nullptr);
+}
+
+TEST(AnswerCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  AnswerCache cache({true, 2});
+  cache.Insert(ScanKey(1, 1, 1), Blob(1));
+  cache.Insert(ScanKey(2, 2, 1), Blob(2));
+  // Touch key 1 so key 2 becomes the LRU victim.
+  EXPECT_NE(cache.Lookup(ScanKey(1, 1, 1)), nullptr);
+  cache.Insert(ScanKey(3, 3, 1), Blob(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(ScanKey(2, 2, 1)), nullptr);
+  EXPECT_NE(cache.Lookup(ScanKey(1, 1, 1)), nullptr);
+  EXPECT_NE(cache.Lookup(ScanKey(3, 3, 1)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(AnswerCacheTest, InvalidateAllEmptiesAndCounts) {
+  AnswerCache cache({true, 8});
+  cache.Insert(ScanKey(1, 1, 1), Blob(1));
+  cache.Insert(ScanKey(2, 2, 1), Blob(2));
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(ScanKey(1, 1, 1)), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(AnswerCacheTest, DisabledCacheStoresNothing) {
+  AnswerCache cache(AnswerCacheOptions::Disabled());
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(ScanKey(1, 1, 1), Blob(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(ScanKey(1, 1, 1)), nullptr);
+}
+
+// --- HotNodeCache unit tests -------------------------------------------------
+
+struct FakeNode {
+  int payload = 0;
+};
+
+TEST(HotNodeCacheTest, CachesOnlyHotLevels) {
+  storage::HotNodeCache<FakeNode> cache({/*hot_levels=*/2, 16});
+  EXPECT_NE(cache.Insert(1, 0, FakeNode{10}), nullptr);  // root: cached
+  EXPECT_NE(cache.Insert(2, 1, FakeNode{20}), nullptr);  // level 1: cached
+  EXPECT_NE(cache.Insert(3, 2, FakeNode{30}), nullptr);  // leaf: pass-through
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0)->payload, 10);
+  EXPECT_EQ(cache.Lookup(3, 2), nullptr);
+}
+
+TEST(HotNodeCacheTest, InvalidateDropsOneClearDropsAll) {
+  storage::HotNodeCache<FakeNode> cache({2, 16});
+  cache.Insert(1, 0, FakeNode{10});
+  cache.Insert(2, 1, FakeNode{20});
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(2, 1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GE(cache.stats().invalidations, 2u);
+}
+
+TEST(HotNodeCacheTest, ZeroLevelsDisablesCaching) {
+  storage::HotNodeCache<FakeNode> cache({0, 16});
+  EXPECT_NE(cache.Insert(1, 0, FakeNode{10}), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+}
+
+TEST(HotNodeCacheTest, EvictsAtCapacity) {
+  storage::HotNodeCache<FakeNode> cache({4, 2});
+  cache.Insert(1, 0, FakeNode{1});
+  cache.Insert(2, 1, FakeNode{2});
+  cache.Insert(3, 1, FakeNode{3});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// --- System-level cache effectiveness ----------------------------------------
+
+SaeSystem::Options SmallSaeOptions(crypto::HashScheme scheme) {
+  SaeSystem::Options o;
+  o.record_size = kRecSize;
+  o.scheme = scheme;
+  o.sp_index_pool_pages = 256;
+  o.sp_heap_pool_pages = 256;
+  o.te_pool_pages = 256;
+  o.xb_options.max_entries = 16;  // low fanout: real depth at small n
+  return o;
+}
+
+TomSystem::Options SmallTomOptions(crypto::HashScheme scheme) {
+  TomSystem::Options o;
+  o.record_size = kRecSize;
+  o.scheme = scheme;
+  o.rsa_modulus_bits = 512;  // fast for tests
+  o.do_pool_pages = 256;
+  o.sp_index_pool_pages = 256;
+  o.sp_heap_pool_pages = 256;
+  o.mb_options.max_leaf_entries = 8;
+  o.mb_options.max_internal_keys = 8;
+  return o;
+}
+
+std::vector<Record> MakeDataset(size_t n, Rng* rng, uint64_t* next_id) {
+  storage::RecordCodec codec(kRecSize);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(
+        codec.MakeRecord((*next_id)++, Key(rng->NextBounded(kDomain))));
+  }
+  return records;
+}
+
+TEST(CacheEffectivenessTest, SaeRepeatQueryHitsEveryCache) {
+  SaeSystem system(SmallSaeOptions(crypto::HashScheme::kSha1));
+  Rng rng(7);
+  uint64_t next_id = 1;
+  ASSERT_TRUE(system.Load(MakeDataset(400, &rng, &next_id)).ok());
+
+  dbms::QueryRequest request = dbms::QueryRequest::Scan(1000, 5000);
+  ASSERT_TRUE(system.Query(request).value().verification.ok());
+  SaeCacheStats before = system.cache_stats();
+  ASSERT_TRUE(system.Query(request).value().verification.ok());
+  SaeCacheStats delta = system.cache_stats();
+  EXPECT_GT(delta.sp_answer.hits, before.sp_answer.hits);
+  EXPECT_GT(delta.te_vt.hits, before.te_vt.hits);
+
+  // An update invalidates the answer caches and the touched hot nodes.
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(999999, 2500)).ok());
+  SaeCacheStats after_update = system.cache_stats();
+  EXPECT_GT(after_update.sp_answer.invalidations,
+            delta.sp_answer.invalidations);
+  EXPECT_GT(after_update.te_vt.invalidations, delta.te_vt.invalidations);
+  EXPECT_GT(after_update.te_digest.invalidations,
+            delta.te_digest.invalidations);
+  // Post-update queries verify and refill.
+  auto outcome = system.Query(request).value();
+  EXPECT_TRUE(outcome.verification.ok());
+}
+
+TEST(CacheEffectivenessTest, TomRepeatQueryHitsAnswerAndDigestCaches) {
+  TomSystem system(SmallTomOptions(crypto::HashScheme::kSha1));
+  Rng rng(8);
+  uint64_t next_id = 1;
+  ASSERT_TRUE(system.Load(MakeDataset(400, &rng, &next_id)).ok());
+
+  dbms::QueryRequest request = dbms::QueryRequest::Count(1000, 9000);
+  ASSERT_TRUE(system.Query(request).value().verification.ok());
+  TomCacheStats before = system.cache_stats();
+  ASSERT_TRUE(system.Query(request).value().verification.ok());
+  TomCacheStats delta = system.cache_stats();
+  EXPECT_GT(delta.sp_answer.hits, before.sp_answer.hits);
+
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(999999, 4000)).ok());
+  TomCacheStats after = system.cache_stats();
+  EXPECT_GT(after.sp_answer.invalidations, delta.sp_answer.invalidations);
+  EXPECT_GT(after.sp_digest.invalidations, delta.sp_digest.invalidations);
+  EXPECT_TRUE(system.Query(request).value().verification.ok());
+}
+
+TEST(CacheEffectivenessTest, DisabledCachesStayEmpty) {
+  SaeSystem system(SmallSaeOptions(crypto::HashScheme::kSha1).DisableCaches());
+  Rng rng(9);
+  uint64_t next_id = 1;
+  ASSERT_TRUE(system.Load(MakeDataset(200, &rng, &next_id)).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(system.Query(100, 8000).value().verification.ok());
+  }
+  SaeCacheStats stats = system.cache_stats();
+  EXPECT_EQ(stats.sp_answer.hits, 0u);
+  EXPECT_EQ(stats.sp_answer.insertions, 0u);
+  EXPECT_EQ(stats.te_vt.hits, 0u);
+  EXPECT_EQ(stats.te_digest.hits, 0u);
+}
+
+// --- The differential parity harness -----------------------------------------
+
+// Attacks eligible for random schedules: every mode whose observable
+// behavior is a pure function of (system state, request, seed) — which is
+// all of them except kPoisonedCache (persistent cache damage, see header
+// comment) and kNone (drawn separately).
+constexpr AttackMode kParityAttacks[] = {
+    AttackMode::kDropOne,         AttackMode::kDropAll,
+    AttackMode::kInjectFake,      AttackMode::kTamperPayload,
+    AttackMode::kTamperKey,       AttackMode::kDuplicateOne,
+    AttackMode::kReplayStaleRoot, AttackMode::kStaleVt,
+    AttackMode::kStaleCacheReplay, AttackMode::kWrongCount,
+    AttackMode::kWrongSum,        AttackMode::kTruncatedTopK,
+};
+
+// One randomized operation: either an update or an (operator, range,
+// attack) query. Drawing is shared by the SAE and TOM schedules so both
+// models face the same distribution.
+struct ScheduleOp {
+  bool is_insert = false;
+  bool is_delete = false;
+  Record record;                // for inserts
+  RecordId delete_id = 0;       // for deletes
+  dbms::QueryRequest request;   // for queries
+  AttackMode attack = AttackMode::kNone;
+};
+
+class ScheduleGen {
+ public:
+  ScheduleGen(uint64_t seed, uint64_t* next_id)
+      : rng_(seed), codec_(kRecSize), next_id_(next_id) {}
+
+  ScheduleOp Next(std::vector<RecordId>* live_ids) {
+    ScheduleOp op;
+    uint64_t roll = rng_.NextBounded(100);
+    if (roll < 10) {  // insert
+      op.is_insert = true;
+      op.record =
+          codec_.MakeRecord((*next_id_)++, Key(rng_.NextBounded(kDomain)));
+      live_ids->push_back(op.record.id);
+      return op;
+    }
+    if (roll < 18 && !live_ids->empty()) {  // delete
+      op.is_delete = true;
+      size_t pick = rng_.NextBounded(live_ids->size());
+      op.delete_id = (*live_ids)[pick];
+      live_ids->erase(live_ids->begin() + ptrdiff_t(pick));
+      return op;
+    }
+    // Query: half the time replay a previously issued request so answer
+    // caches actually hit; otherwise draw a fresh one.
+    if (!issued_.empty() && rng_.NextBounded(2) == 0) {
+      op.request = issued_[rng_.NextBounded(issued_.size())];
+    } else {
+      op.request = FreshRequest();
+      issued_.push_back(op.request);
+    }
+    if (rng_.NextBounded(100) < 15) {
+      op.attack = kParityAttacks[rng_.NextBounded(
+          sizeof(kParityAttacks) / sizeof(kParityAttacks[0]))];
+    }
+    return op;
+  }
+
+ private:
+  dbms::QueryRequest FreshRequest() {
+    Key lo = Key(rng_.NextBounded(kDomain));
+    Key hi = lo + Key(rng_.NextBounded(kDomain / 4)) + 1;
+    switch (rng_.NextBounded(7)) {
+      case 0: return dbms::QueryRequest::Scan(lo, hi);
+      case 1: return dbms::QueryRequest::Point(lo);
+      case 2: return dbms::QueryRequest::Count(lo, hi);
+      case 3: return dbms::QueryRequest::Sum(lo, hi);
+      case 4: return dbms::QueryRequest::Min(lo, hi);
+      case 5: return dbms::QueryRequest::Max(lo, hi);
+      default:
+        return dbms::QueryRequest::TopK(lo, hi,
+                                        uint32_t(rng_.NextBounded(10)) + 1);
+    }
+  }
+
+  Rng rng_;
+  storage::RecordCodec codec_;
+  uint64_t* next_id_;
+  std::vector<dbms::QueryRequest> issued_;
+};
+
+// Runs one schedule against a cached/uncached SAE pair; every outcome must
+// be observably identical down to the serialized bytes.
+void RunSaeSchedule(crypto::HashScheme scheme, uint64_t seed,
+                    AnswerCacheStats* answer_hits_acc,
+                    storage::NodeCacheStats* digest_hits_acc) {
+  Rng setup(seed);
+  uint64_t next_id = 1;
+  size_t n = 160 + setup.NextBounded(240);
+  std::vector<Record> dataset;
+  {
+    Rng data_rng(seed ^ 0x9E3779B97F4A7C15ull);
+    dataset = MakeDataset(n, &data_rng, &next_id);
+  }
+  SaeSystem cached(SmallSaeOptions(scheme));
+  SaeSystem uncached(SmallSaeOptions(scheme).DisableCaches());
+  ASSERT_TRUE(cached.Load(dataset).ok());
+  ASSERT_TRUE(uncached.Load(dataset).ok());
+
+  ScheduleGen gen(seed * 2654435761u + 1, &next_id);
+  std::vector<RecordId> live_ids;
+  for (const Record& r : dataset) live_ids.push_back(r.id);
+
+  const RecordCodec& codec = cached.codec();
+  for (int step = 0; step < 16; ++step) {
+    ScheduleOp op = gen.Next(&live_ids);
+    if (op.is_insert) {
+      auto a = cached.InsertVersioned(op.record);
+      auto b = uncached.InsertVersioned(op.record);
+      ASSERT_EQ(a.status().code(), b.status().code());
+      if (a.ok()) {
+      ASSERT_EQ(a.value(), b.value());
+    }
+      continue;
+    }
+    if (op.is_delete) {
+      auto a = cached.DeleteVersioned(op.delete_id);
+      auto b = uncached.DeleteVersioned(op.delete_id);
+      ASSERT_EQ(a.status().code(), b.status().code());
+      if (a.ok()) {
+      ASSERT_EQ(a.value(), b.value());
+    }
+      continue;
+    }
+    auto a = cached.Query(op.request, op.attack);
+    auto b = uncached.Query(op.request, op.attack);
+    ASSERT_EQ(a.status().code(), b.status().code());
+    if (!a.ok()) continue;
+    const auto& ca = a.value();
+    const auto& cb = b.value();
+    ASSERT_EQ(ca.verification.code(), cb.verification.code())
+        << "attack=" << int(op.attack) << " step=" << step << " seed=" << seed;
+    ASSERT_EQ(ca.claimed_epoch, cb.claimed_epoch);
+    ASSERT_EQ(ca.answer, cb.answer);
+    ASSERT_EQ(ca.results, cb.results);
+    // Bit-level: the exact wire bytes of answer+witness and of the token.
+    ASSERT_EQ(SerializeQueryAnswer(ca.answer, ca.results, ca.claimed_epoch,
+                                   codec),
+              SerializeQueryAnswer(cb.answer, cb.results, cb.claimed_epoch,
+                                   codec));
+    ASSERT_EQ(SerializeVt(ca.vt), SerializeVt(cb.vt));
+  }
+  SaeCacheStats stats = cached.cache_stats();
+  *answer_hits_acc += stats.sp_answer;
+  *digest_hits_acc += stats.te_digest;
+  SaeCacheStats off = uncached.cache_stats();
+  ASSERT_EQ(off.sp_answer.insertions, 0u);
+  ASSERT_EQ(off.te_digest.hits, 0u);
+}
+
+void RunTomSchedule(crypto::HashScheme scheme, uint64_t seed,
+                    AnswerCacheStats* answer_hits_acc,
+                    storage::NodeCacheStats* digest_hits_acc) {
+  Rng setup(seed);
+  uint64_t next_id = 1;
+  size_t n = 160 + setup.NextBounded(240);
+  std::vector<Record> dataset;
+  {
+    Rng data_rng(seed ^ 0x9E3779B97F4A7C15ull);
+    dataset = MakeDataset(n, &data_rng, &next_id);
+  }
+  TomSystem cached(SmallTomOptions(scheme));
+  TomSystem uncached(SmallTomOptions(scheme).DisableCaches());
+  ASSERT_TRUE(cached.Load(dataset).ok());
+  ASSERT_TRUE(uncached.Load(dataset).ok());
+
+  ScheduleGen gen(seed * 2654435761u + 1, &next_id);
+  std::vector<RecordId> live_ids;
+  for (const Record& r : dataset) live_ids.push_back(r.id);
+
+  const RecordCodec& codec = cached.codec();
+  for (int step = 0; step < 16; ++step) {
+    ScheduleOp op = gen.Next(&live_ids);
+    if (op.is_insert) {
+      auto a = cached.InsertVersioned(op.record);
+      auto b = uncached.InsertVersioned(op.record);
+      ASSERT_EQ(a.status().code(), b.status().code());
+      if (a.ok()) {
+      ASSERT_EQ(a.value(), b.value());
+    }
+      continue;
+    }
+    if (op.is_delete) {
+      auto a = cached.DeleteVersioned(op.delete_id);
+      auto b = uncached.DeleteVersioned(op.delete_id);
+      ASSERT_EQ(a.status().code(), b.status().code());
+      if (a.ok()) {
+      ASSERT_EQ(a.value(), b.value());
+    }
+      continue;
+    }
+    auto a = cached.Query(op.request, op.attack);
+    auto b = uncached.Query(op.request, op.attack);
+    ASSERT_EQ(a.status().code(), b.status().code());
+    if (!a.ok()) continue;
+    const auto& ca = a.value();
+    const auto& cb = b.value();
+    ASSERT_EQ(ca.verification.code(), cb.verification.code())
+        << "attack=" << int(op.attack) << " step=" << step << " seed=" << seed;
+    ASSERT_EQ(ca.answer, cb.answer);
+    ASSERT_EQ(ca.results, cb.results);
+    ASSERT_EQ(SerializeQueryAnswer(ca.answer, ca.results, ca.vo.epoch, codec),
+              SerializeQueryAnswer(cb.answer, cb.results, cb.vo.epoch, codec));
+    ASSERT_EQ(ca.vo.Serialize(), cb.vo.Serialize());
+  }
+  TomCacheStats stats = cached.cache_stats();
+  *answer_hits_acc += stats.sp_answer;
+  *digest_hits_acc += stats.sp_digest;
+  TomCacheStats off = uncached.cache_stats();
+  ASSERT_EQ(off.sp_answer.insertions, 0u);
+  ASSERT_EQ(off.sp_digest.hits, 0u);
+}
+
+// 2 schemes x 400 SAE schedules + 2 schemes x 110 TOM schedules = 1020
+// randomized differential schedules, each ~16 operations.
+
+class SaeParityTest
+    : public ::testing::TestWithParam<crypto::HashScheme> {};
+
+TEST_P(SaeParityTest, FourHundredRandomSchedulesBitIdentical) {
+  AnswerCacheStats answer_acc;
+  storage::NodeCacheStats digest_acc;
+  for (uint64_t s = 0; s < 400; ++s) {
+    RunSaeSchedule(GetParam(), s + 1, &answer_acc, &digest_acc);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The schedules must actually exercise the caches, or parity is vacuous.
+  EXPECT_GT(answer_acc.hits, 100u);
+  EXPECT_GT(digest_acc.hits, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, SaeParityTest,
+    ::testing::Values(crypto::HashScheme::kSha1, crypto::HashScheme::kSha256Trunc),
+    [](const ::testing::TestParamInfo<crypto::HashScheme>& info) {
+      return info.param == crypto::HashScheme::kSha1 ? "Sha1" : "Sha256Trunc";
+    });
+
+class TomParityTest
+    : public ::testing::TestWithParam<crypto::HashScheme> {};
+
+TEST_P(TomParityTest, HundredTenRandomSchedulesBitIdentical) {
+  AnswerCacheStats answer_acc;
+  storage::NodeCacheStats digest_acc;
+  for (uint64_t s = 0; s < 110; ++s) {
+    RunTomSchedule(GetParam(), s + 1, &answer_acc, &digest_acc);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(answer_acc.hits, 50u);
+  EXPECT_GT(digest_acc.hits, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, TomParityTest,
+    ::testing::Values(crypto::HashScheme::kSha1, crypto::HashScheme::kSha256Trunc),
+    [](const ::testing::TestParamInfo<crypto::HashScheme>& info) {
+      return info.param == crypto::HashScheme::kSha1 ? "Sha1" : "Sha256Trunc";
+    });
+
+}  // namespace
+}  // namespace sae::core

@@ -9,15 +9,18 @@
 
 #include <atomic>
 #include <cstring>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/answer_cache.h"
 #include "core/query_engine.h"
 #include "core/system.h"
 #include "sim/channel.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
 #include "storage/page_store.h"
 
 namespace sae {
@@ -137,7 +140,7 @@ class SaeConcurrencyTest : public ::testing::Test {
  protected:
   SaeConcurrencyTest()
       : system_(SaeSystem::Options{kRecSize, crypto::HashScheme::kSha1, 256,
-                                   256, 256}) {
+                                   256, 256, {}, {}, {}, {}}) {
     SAE_CHECK_OK(system_.Load(SmallDataset(2000)));
   }
 
@@ -275,6 +278,179 @@ TEST(TomConcurrencyTest, ThreadedBatchMatchesSerialRun) {
   }
   EXPECT_EQ(threaded.stats.total.auth_bytes, sum.auth_bytes);
   EXPECT_EQ(threaded.stats.total.sp_index_accesses, sum.sp_index_accesses);
+}
+
+// --- caches: readers hammering, writers invalidating -------------------------
+//
+// The verified-path caches (hot-level node memos, epoch-keyed answer
+// caches) sit on the shared read path, so cache fills race with cache hits
+// and with writer-side invalidation. These tests drive that contention
+// directly; TSan (the CI tsan job runs this binary) checks the locking.
+
+TEST(CacheConcurrencyTest, HotNodeCacheSurvivesMixedLookupInsertInvalidate) {
+  struct FakeNode {
+    uint64_t stamp;
+  };
+  storage::HotNodeCache<FakeNode> cache({/*hot_levels=*/3, 32});
+  constexpr uint32_t kPages = 64;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> corrupt{0};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x9E3779B97F4A7C15ull * (t + 1);
+      for (size_t i = 0; i < 20000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        uint32_t id = uint32_t(state >> 33) % kPages;
+        size_t depth = size_t(state >> 13) % 4;  // some uncacheable
+        auto node = cache.Lookup(storage::PageId(id), depth);
+        if (node == nullptr) {
+          // A fill stores the page id as the stamp, so any reader can
+          // detect a frame mixup or a torn entry.
+          node = cache.Insert(storage::PageId(id), depth, FakeNode{id});
+        }
+        if (node->stamp != id) corrupt.fetch_add(1);
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    uint64_t state = 42;
+    while (!stop.load()) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      cache.Invalidate(storage::PageId(uint32_t(state >> 33) % kPages));
+      if ((state & 0xFF) == 0) cache.Clear();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  invalidator.join();
+
+  EXPECT_EQ(corrupt.load(), 0u);
+  storage::NodeCacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.invalidations, 0u);
+  EXPECT_LE(cache.size(), 32u);
+}
+
+TEST(CacheConcurrencyTest, AnswerCacheReplaysExactBytesUnderInvalidation) {
+  core::AnswerCacheOptions options;
+  options.max_entries = 24;  // below working set: eviction churn too
+  core::AnswerCache cache(options);
+  constexpr uint32_t kRanges = 48;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> corrupt{0};
+  std::atomic<uint64_t> hit_count{0};
+
+  auto key_for = [](uint32_t r) {
+    core::AnswerCache::Key key;
+    key.lo = r * 100;
+    key.hi = r * 100 + 99;
+    key.epoch = 7;
+    return key;
+  };
+  auto bytes_for = [](uint32_t r) {
+    return std::vector<uint8_t>{uint8_t(r), uint8_t(r >> 8), 0xAB};
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0xC0FFEEull * (t + 1);
+      for (size_t i = 0; i < 20000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        uint32_t r = uint32_t(state >> 33) % kRanges;
+        auto hit = cache.Lookup(key_for(r));
+        if (hit == nullptr) {
+          cache.Insert(key_for(r), core::CachedAnswer{bytes_for(r), {}});
+          continue;
+        }
+        hit_count.fetch_add(1);
+        // A hit must replay the exact bytes inserted for this key even if
+        // an InvalidateAll or an eviction races with the lookup.
+        if (hit->answer_msg != bytes_for(r)) corrupt.fetch_add(1);
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      cache.InvalidateAll();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  invalidator.join();
+
+  EXPECT_EQ(corrupt.load(), 0u);
+  core::AnswerCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, hit_count.load());
+  EXPECT_GT(stats.invalidations, 0u);
+  EXPECT_LE(cache.size(), options.max_entries);
+}
+
+// Readers replay a small hot set of verified queries (filling and hitting
+// the SP answer cache, the TE VT memo, and the hot-node digest caches)
+// while a writer inserts records — every insert bumps the epoch, flushes
+// the answer caches, and invalidates digest entries along its update path.
+// Every honest outcome must still verify: a torn cache entry or a stale
+// digest surviving invalidation would surface as a verification failure.
+template <typename System>
+void RunCachedReadersVsWriter(System* system, size_t queries_per_reader) {
+  RecordCodec codec(kRecSize);
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      std::ostringstream err;
+      uint64_t state = 0x5EEDull * (t + 1);
+      for (size_t i = 0; i < queries_per_reader; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        uint32_t lo = uint32_t(state >> 33) % 8 * 2500;  // 8 hot ranges
+        auto outcome = system->ExecuteQuery(lo, lo + 2499);
+        if (!outcome.ok()) {
+          err << "query errored: " << outcome.status().ToString() << "; ";
+        } else if (!outcome.value().verification.ok()) {
+          err << "query [" << lo << "] rejected: "
+              << outcome.value().verification.ToString() << "; ";
+        }
+      }
+      errors[t] = err.str();
+    });
+  }
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < 24; ++i) {
+      SAE_CHECK_OK(
+          system->Insert(codec.MakeRecord(500'000 + i, uint32_t(i * 793))));
+    }
+  });
+  for (auto& thread : readers) thread.join();
+  writer.join();
+  for (const std::string& err : errors) EXPECT_EQ(err, "");
+}
+
+TEST(CacheConcurrencyTest, SaeCachedReadsVerifyDuringWrites) {
+  SaeSystem system(SaeSystem::Options{kRecSize, crypto::HashScheme::kSha1,
+                                      256, 256, 256, {}, {}, {}, {}});
+  SAE_CHECK_OK(system.Load(SmallDataset(2000)));
+  RunCachedReadersVsWriter(&system, 60);
+  core::SaeCacheStats stats = system.cache_stats();
+  EXPECT_GT(stats.sp_answer.hits + stats.te_vt.hits, 0u);
+  EXPECT_GT(stats.sp_answer.invalidations, 0u) << "epoch bumps must flush";
+  EXPECT_GT(stats.te_digest.hits, 0u);
+}
+
+TEST(CacheConcurrencyTest, TomCachedReadsVerifyDuringWrites) {
+  TomSystem::Options options;
+  options.record_size = kRecSize;
+  options.rsa_modulus_bits = 512;  // fast for tests
+  TomSystem system(options);
+  SAE_CHECK_OK(system.Load(SmallDataset(1500)));
+  RunCachedReadersVsWriter(&system, 30);
+  core::TomCacheStats stats = system.cache_stats();
+  EXPECT_GT(stats.sp_answer.hits, 0u);
+  EXPECT_GT(stats.sp_answer.invalidations, 0u) << "epoch bumps must flush";
+  EXPECT_GT(stats.sp_digest.hits + stats.owner_digest.hits, 0u);
 }
 
 }  // namespace

@@ -177,9 +177,9 @@ TEST(AttackTest, EmptyHonestResultStillAttacked) {
 class SaeEntitiesTest : public ::testing::Test {
  protected:
   SaeEntitiesTest()
-      : sp_(ServiceProvider::Options{kRecSize, 256, 256}),
+      : sp_(ServiceProvider::Options{kRecSize, 256, 256, {}}),
         te_(TrustedEntity::Options{kRecSize, crypto::HashScheme::kSha1, 256,
-                                   {}}),
+                                   {}, {}}),
         owner_(kRecSize) {}
 
   void Outsource(size_t n) {
@@ -284,9 +284,9 @@ TEST(TeStorageTest, SmallFractionOfSpAtPaperRecordSize) {
   for (uint64_t id = 1; id <= 2000; ++id) {
     records.push_back(codec.MakeRecord(id, uint32_t(id * 10)));
   }
-  ServiceProvider sp(ServiceProvider::Options{kPaperRecSize, 256, 256});
+  ServiceProvider sp(ServiceProvider::Options{kPaperRecSize, 256, 256, {}});
   TrustedEntity te(TrustedEntity::Options{
-      kPaperRecSize, crypto::HashScheme::kSha1, 256, {}});
+      kPaperRecSize, crypto::HashScheme::kSha1, 256, {}, {}});
   ASSERT_TRUE(sp.LoadDataset(records).ok());
   ASSERT_TRUE(te.LoadDataset(records).ok());
   EXPECT_LT(te.StorageBytes(), sp.StorageBytes() / 4);

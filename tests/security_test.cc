@@ -650,6 +650,215 @@ TEST(SigChainFreshnessTest, StaleEpochTokenRejected) {
   EXPECT_EQ(st.code(), StatusCode::kVerificationFailure);
 }
 
+// --- cache adversaries ---------------------------------------------------------
+//
+// The caching layer's threat model: the SP's answer cache is SP-side state,
+// so a compromised SP can replay entries keyed to dead epochs or poison its
+// own cache with tampered bytes. Neither may ever be accepted — clients
+// verify cache hits exactly like misses ("caching without trusting the
+// cache"). kPoisonedCache is the one attack that outlives its query: the
+// poisoned entry keeps serving tampered bytes to later HONEST queries until
+// an epoch bump flushes the cache, and every one of those must fail too.
+
+class CacheAdversaryTest
+    : public ::testing::TestWithParam<crypto::HashScheme> {};
+
+TEST_P(CacheAdversaryTest, SaeStaleCacheReplayRejected) {
+  core::SaeSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  core::SaeSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(9000, 1234)).ok());
+
+  // Twice: the second replay is served from the stale SP's now-warm answer
+  // cache — a literal cached blob keyed to the dead epoch.
+  for (int i = 0; i < 2; ++i) {
+    auto outcome =
+        system.Query(100, 2500, core::AttackMode::kStaleCacheReplay);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().verification.code(), StatusCode::kStaleEpoch)
+        << outcome.value().verification.ToString();
+  }
+  auto honest = system.Query(100, 2500);
+  ASSERT_TRUE(honest.ok());
+  EXPECT_TRUE(honest.value().verification.ok());
+}
+
+TEST_P(CacheAdversaryTest, TomStaleCacheReplayRejected) {
+  core::TomSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  options.rsa_modulus_bits = 512;  // fast for tests
+  core::TomSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(9000, 1234)).ok());
+
+  for (int i = 0; i < 2; ++i) {
+    auto outcome =
+        system.Query(100, 2500, core::AttackMode::kStaleCacheReplay);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().verification.code(), StatusCode::kStaleEpoch)
+        << outcome.value().verification.ToString();
+  }
+  auto honest = system.Query(100, 2500);
+  ASSERT_TRUE(honest.ok());
+  EXPECT_TRUE(honest.value().verification.ok());
+}
+
+TEST_P(CacheAdversaryTest, SaePoisonedCachePersistsUntilEpochBump) {
+  core::SaeSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  core::SaeSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+  dbms::QueryRequest request = dbms::QueryRequest::Scan(100, 2500);
+
+  // The poisoning query itself ships tampered bytes: rejected.
+  auto poisoned = system.Query(request, core::AttackMode::kPoisonedCache);
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_EQ(poisoned.value().verification.code(),
+            StatusCode::kVerificationFailure);
+
+  // The poison persists: subsequent HONEST queries for the same plan are
+  // served the poisoned cache entry — and every one is still rejected.
+  for (int i = 0; i < 2; ++i) {
+    auto honest = system.Query(request);
+    ASSERT_TRUE(honest.ok());
+    EXPECT_EQ(honest.value().verification.code(),
+              StatusCode::kVerificationFailure)
+        << "poisoned cache entry must never be accepted";
+  }
+  // A different plan misses the poisoned key and verifies.
+  auto other = system.Query(dbms::QueryRequest::Count(100, 2500));
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other.value().verification.ok());
+
+  // An epoch bump flushes the cache; the same plan recovers.
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(9000, 1234)).ok());
+  auto recovered = system.Query(request);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().verification.ok());
+}
+
+TEST_P(CacheAdversaryTest, TomPoisonedCachePersistsUntilEpochBump) {
+  core::TomSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  options.rsa_modulus_bits = 512;  // fast for tests
+  core::TomSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+  dbms::QueryRequest request = dbms::QueryRequest::Scan(100, 2500);
+
+  auto poisoned = system.Query(request, core::AttackMode::kPoisonedCache);
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_EQ(poisoned.value().verification.code(),
+            StatusCode::kVerificationFailure);
+
+  for (int i = 0; i < 2; ++i) {
+    auto honest = system.Query(request);
+    ASSERT_TRUE(honest.ok());
+    EXPECT_EQ(honest.value().verification.code(),
+              StatusCode::kVerificationFailure)
+        << "poisoned cache entry must never be accepted";
+  }
+  auto other = system.Query(dbms::QueryRequest::Count(100, 2500));
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other.value().verification.ok());
+
+  storage::RecordCodec codec(kRecSize);
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(9000, 1234)).ok());
+  auto recovered = system.Query(request);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().verification.ok());
+}
+
+// Poisoning with the cache disabled still tampers the poisoning query
+// itself (and is rejected), but nothing persists — the next honest query
+// is clean. Pins the cache as the only persistence channel.
+TEST_P(CacheAdversaryTest, PoisonWithoutCacheDoesNotPersist) {
+  core::SaeSystem::Options options;
+  options.record_size = kRecSize;
+  options.scheme = GetParam();
+  options.DisableCaches();
+  core::SaeSystem system(options);
+  SAE_CHECK_OK(system.Load(MatrixDataset(300)));
+  dbms::QueryRequest request = dbms::QueryRequest::Scan(100, 2500);
+
+  auto poisoned = system.Query(request, core::AttackMode::kPoisonedCache);
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_EQ(poisoned.value().verification.code(),
+            StatusCode::kVerificationFailure);
+  auto honest = system.Query(request);
+  ASSERT_TRUE(honest.ok());
+  EXPECT_TRUE(honest.value().verification.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothHashSchemes, CacheAdversaryTest,
+                         ::testing::Values(crypto::HashScheme::kSha1,
+                                           crypto::HashScheme::kSha256Trunc));
+
+// The sigchain analog of a stale cache replay: an SP memoizing serialized
+// (answer, VO) blobs replays one captured before the epoch advanced. The
+// replayed blob round-trips perfectly (it IS a genuine old answer) but the
+// epoch gate rejects it — in the single-item path and in VerifyBatch,
+// which must attribute the stale item without contaminating fresh ones.
+TEST(SigChainCacheReplayTest, CachedVoReplayAfterEpochBumpIsStale) {
+  sigchain::SigChainOwner::Options owner_options;
+  owner_options.record_size = kRecSize;
+  owner_options.rsa_modulus_bits = 512;
+  sigchain::SigChainOwner owner(owner_options);
+  sigchain::SigChainSp::Options sp_options;
+  sp_options.record_size = kRecSize;
+  sp_options.signature_bytes = 64;
+  sigchain::SigChainSp sp(sp_options);
+
+  auto records = MatrixDataset(120);
+  auto sigs = owner.SignDataset(records);
+  ASSERT_TRUE(sigs.ok());
+  ASSERT_TRUE(sp.LoadDataset(records, sigs.value(), owner.public_key()).ok());
+  sp.SetEpoch(owner.epoch(), owner.epoch_signature());
+
+  storage::RecordCodec codec(kRecSize);
+  auto response = sp.ExecuteRange(200, 800).ValueOrDie();
+  // The "cache": the serialized VO blob, exactly what an answer cache
+  // would store and replay.
+  std::vector<uint8_t> cached_blob = response.vo.Serialize();
+
+  owner.AdvanceEpoch();  // an update elsewhere bumps the published epoch
+
+  auto replayed = sigchain::SigChainVo::Deserialize(cached_blob);
+  ASSERT_TRUE(replayed.ok());
+  Status st = sigchain::SigChainClient::Verify(
+      200, 800, response.results, replayed.value(), owner.public_key(),
+      codec, crypto::HashScheme::kSha1, owner.epoch());
+  EXPECT_EQ(st.code(), StatusCode::kStaleEpoch);
+
+  // Batch path: one fresh item + the stale cached replay. Exactly the
+  // stale one is flagged.
+  sp.SetEpoch(owner.epoch(), owner.epoch_signature());
+  auto fresh = sp.ExecuteRange(900, 1500).ValueOrDie();
+  std::vector<sigchain::SigChainClient::BatchItem> items(2);
+  items[0].request = dbms::QueryRequest::Scan(900, 1500);
+  items[0].claimed = dbms::EvaluateAnswer(items[0].request, fresh.results);
+  items[0].witness = fresh.results;
+  items[0].vo = fresh.vo;
+  items[1].request = dbms::QueryRequest::Scan(200, 800);
+  items[1].claimed =
+      dbms::EvaluateAnswer(items[1].request, response.results);
+  items[1].witness = response.results;
+  items[1].vo = replayed.value();
+  std::vector<Status> verdicts = sigchain::SigChainClient::VerifyBatch(
+      items, owner.public_key(), codec, crypto::HashScheme::kSha1,
+      owner.epoch());
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_TRUE(verdicts[0].ok()) << verdicts[0].ToString();
+  EXPECT_EQ(verdicts[1].code(), StatusCode::kStaleEpoch);
+}
+
 // --- SAE token properties -------------------------------------------------------
 
 TEST(VtAlgebraTest, DisjointRangesCompose) {

@@ -161,6 +161,134 @@ TEST_F(SigChainTest, SignatureStorageIsPerRecord) {
   EXPECT_GE(sp_.SignatureStorageBytes(), 200u * 64);
 }
 
+// --- batch verification -------------------------------------------------------
+//
+// VerifyBatch must be verdict-identical to per-item VerifyAnswer while
+// paying for the RSA work once: one epoch-token check per distinct token
+// and one public-exponent modexp for the whole batch's condensed
+// signatures (randomized small-exponent combination, per-item fallback on
+// failure for attribution).
+
+class SigChainBatchTest : public SigChainTest {
+ protected:
+  SigChainClient::BatchItem MakeItem(uint32_t lo, uint32_t hi) {
+    auto response = sp_.ExecuteRange(lo, hi).ValueOrDie();
+    SigChainClient::BatchItem item;
+    item.request = dbms::QueryRequest::Scan(lo, hi);
+    item.claimed = dbms::EvaluateAnswer(item.request, response.results);
+    item.witness = std::move(response.results);
+    item.vo = std::move(response.vo);
+    return item;
+  }
+
+  // The unbatched reference verdict for one item.
+  Status Unbatched(const SigChainClient::BatchItem& item) {
+    return SigChainClient::VerifyAnswer(
+        item.request, item.claimed, item.witness, item.vo,
+        owner_.public_key(), codec_, crypto::HashScheme::kSha1,
+        owner_.epoch());
+  }
+};
+
+TEST_F(SigChainBatchTest, HonestBatchAllAcceptedLikeUnbatched) {
+  Load(200);
+  std::vector<SigChainClient::BatchItem> items;
+  items.push_back(MakeItem(100, 600));
+  items.push_back(MakeItem(500, 1500));
+  items.push_back(MakeItem(0, 80));        // touches the low table edge
+  items.push_back(MakeItem(15, 17));       // empty result
+  items.push_back(MakeItem(100, 600));     // duplicate of item 0
+  auto verdicts = SigChainClient::VerifyBatch(
+      items, owner_.public_key(), codec_, crypto::HashScheme::kSha1,
+      owner_.epoch());
+  ASSERT_EQ(verdicts.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(verdicts[i].code(), Unbatched(items[i]).code()) << "item " << i;
+    EXPECT_TRUE(verdicts[i].ok()) << "item " << i << ": "
+                                  << verdicts[i].ToString();
+  }
+}
+
+TEST_F(SigChainBatchTest, TamperedItemAttributedExactly) {
+  Load(200);
+  std::vector<SigChainClient::BatchItem> items;
+  items.push_back(MakeItem(100, 600));
+  items.push_back(MakeItem(500, 1500));
+  items.push_back(MakeItem(800, 2000));
+  // Tamper item 1's witness: its condensed check must fail — and ONLY its.
+  items[1].witness[2].payload[0] ^= 0x5A;
+  items[1].claimed = dbms::EvaluateAnswer(items[1].request, items[1].witness);
+  auto verdicts = SigChainClient::VerifyBatch(
+      items, owner_.public_key(), codec_, crypto::HashScheme::kSha1,
+      owner_.epoch());
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_TRUE(verdicts[0].ok());
+  EXPECT_EQ(verdicts[1].code(), StatusCode::kVerificationFailure);
+  EXPECT_TRUE(verdicts[2].ok());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(verdicts[i].code(), Unbatched(items[i]).code()) << "item " << i;
+  }
+}
+
+TEST_F(SigChainBatchTest, AnswerLieCaughtWithoutTouchingRsa) {
+  Load(150);
+  std::vector<SigChainClient::BatchItem> items;
+  items.push_back(MakeItem(100, 900));
+  items.push_back(MakeItem(100, 900));
+  // Item 1 lies about the derived answer over a genuine witness.
+  items[1].claimed.count += 1;
+  auto verdicts = SigChainClient::VerifyBatch(
+      items, owner_.public_key(), codec_, crypto::HashScheme::kSha1,
+      owner_.epoch());
+  EXPECT_TRUE(verdicts[0].ok());
+  EXPECT_EQ(verdicts[1].code(), StatusCode::kVerificationFailure);
+}
+
+TEST_F(SigChainBatchTest, StaleAndForgedEpochTokensAttributed) {
+  Load(150);
+  std::vector<SigChainClient::BatchItem> items;
+  items.push_back(MakeItem(100, 900));
+  items.push_back(MakeItem(200, 700));
+  items.push_back(MakeItem(300, 800));
+  owner_.AdvanceEpoch();  // published epoch moves to 2
+  sp_.SetEpoch(owner_.epoch(), owner_.epoch_signature());
+  items.push_back(MakeItem(400, 1000));  // fresh at epoch 2
+  // Item 1 forges the fresh epoch onto its old token: signature breaks.
+  items[1].vo.epoch = owner_.epoch();
+  // Item 2 keeps its genuine epoch-1 token: stale.
+  auto verdicts = SigChainClient::VerifyBatch(
+      items, owner_.public_key(), codec_, crypto::HashScheme::kSha1,
+      owner_.epoch());
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_EQ(verdicts[0].code(), StatusCode::kStaleEpoch);
+  EXPECT_EQ(verdicts[1].code(), StatusCode::kVerificationFailure);
+  EXPECT_EQ(verdicts[2].code(), StatusCode::kStaleEpoch);
+  EXPECT_TRUE(verdicts[3].ok()) << verdicts[3].ToString();
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(verdicts[i].code(), Unbatched(items[i]).code()) << "item " << i;
+  }
+}
+
+TEST_F(SigChainBatchTest, EmptyBatchAndDeterministicSeeds) {
+  Load(100);
+  EXPECT_TRUE(SigChainClient::VerifyBatch({}, owner_.public_key(), codec_)
+                  .empty());
+  // Same items + same seed -> identical verdicts; different seeds draw
+  // different combination exponents but must agree on every verdict.
+  std::vector<SigChainClient::BatchItem> items;
+  items.push_back(MakeItem(100, 500));
+  items.push_back(MakeItem(300, 900));
+  items[0].witness.pop_back();  // break completeness of item 0
+  for (uint64_t seed : {1ull, 2ull, 0xFEEDull}) {
+    auto verdicts = SigChainClient::VerifyBatch(
+        items, owner_.public_key(), codec_, crypto::HashScheme::kSha1,
+        owner_.epoch(), seed);
+    EXPECT_EQ(verdicts[0].code(), StatusCode::kVerificationFailure)
+        << "seed " << seed;
+    EXPECT_TRUE(verdicts[1].ok()) << "seed " << seed;
+  }
+}
+
 TEST(CondensedRsaTest, AggregateOfOneEqualsPlainVerify) {
   Rng rng(0xABCD);
   crypto::RsaPrivateKey key = crypto::RsaGenerateKey(&rng, 512);
