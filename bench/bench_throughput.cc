@@ -18,6 +18,7 @@
 
 #include "core/query_engine.h"
 #include "core/sharded_system.h"
+#include "crypto/backend.h"
 #include "fig_common.h"
 #include "sigchain/sig_chain.h"
 #include "workload/queries.h"
@@ -435,8 +436,11 @@ int main() {
   const char* json_path = std::getenv("SAE_BENCH_JSON");
   if (json_path == nullptr) json_path = "BENCH_throughput.json";
   if (FILE* f = std::fopen(json_path, "w")) {
+    const crypto::Backend& backend = crypto::Backend::Instance();
     std::fprintf(f, "{\n  \"bench\": \"throughput\", \"scale\": %.3f,\n",
                  BenchScale());
+    std::fprintf(f, "  \"hash_kernel\": \"%s\", \"modexp_kernel\": \"%s\",\n",
+                 backend.hash_kernel(), backend.modexp_kernel());
     std::fputs(json.c_str(), f);
     std::fputs("}\n", f);
     std::fclose(f);

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+# Copyright (c) saedb authors. Licensed under the MIT license.
+"""Compares two BENCH_throughput.json files and flags q/s regressions.
+
+Usage: check_perf_regression.py BASELINE CURRENT [--threshold 0.20]
+
+Reads the `read_heavy_95_5` section of both files and compares, per model
+(SAE/TOM), the cached and uncached queries/sec. A drop beyond the
+threshold (default 20%) emits a GitHub `::warning::` annotation and makes
+the script exit 2; improvements and small fluctuations are reported but
+pass. With SAE_PERF_GATE_STRICT=1 in the environment the exit code is
+meant to fail the job; otherwise CI runs the gate with continue-on-error
+so a noisy shared runner cannot turn the build red on its own.
+
+Exit codes: 0 ok, 1 usage/parse error, 2 regression beyond threshold.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_models(path):
+    """Returns {model: {metric: qps}} from a BENCH_throughput.json file."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("read_heavy_95_5", []):
+        model = entry.get("model", "?")
+        out[model] = {
+            "qps_cached": float(entry["qps_cached"]),
+            "qps_uncached": float(entry["qps_uncached"]),
+        }
+    # batch_verify.speedup is deliberately NOT compared: it is a ratio of
+    # two implementations, not a throughput — e.g. faster modexp shrinks
+    # it while making both sides faster.
+    return out, doc.get("scale")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional drop that counts as a regression")
+    args = parser.parse_args()
+
+    try:
+        base, base_scale = load_models(args.baseline)
+        cur, cur_scale = load_models(args.current)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"::notice::perf gate skipped: cannot parse inputs ({err})")
+        return 1
+
+    if base_scale != cur_scale:
+        # Different SAE_BENCH_SCALE settings measure different workloads;
+        # comparing them would only produce false alarms.
+        print(f"::notice::perf gate skipped: baseline scale {base_scale} "
+              f"!= current scale {cur_scale}")
+        return 0
+
+    regressed = False
+    for model, metrics in sorted(base.items()):
+        for metric, old in sorted(metrics.items()):
+            new = cur.get(model, {}).get(metric)
+            if new is None or old <= 0:
+                continue
+            delta = (new - old) / old
+            line = (f"{model}.{metric}: {old:.1f} -> {new:.1f} "
+                    f"({delta:+.1%})")
+            if delta < -args.threshold:
+                print(f"::warning title=perf regression::{line} exceeds "
+                      f"the {args.threshold:.0%} drop threshold")
+                regressed = True
+            else:
+                print(f"  {line}")
+
+    if regressed:
+        strict = os.environ.get("SAE_PERF_GATE_STRICT", "") == "1"
+        print(f"perf gate: regression detected "
+              f"({'failing' if strict else 'warning only'})")
+        return 2
+    print("perf gate: no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

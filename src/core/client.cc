@@ -12,11 +12,12 @@ namespace sae::core {
 crypto::Digest Client::ResultXor(const std::vector<Record>& results,
                                  const RecordCodec& codec,
                                  crypto::HashScheme scheme) {
+  // The witness re-hash is the SAE client's dominant cost on cold queries;
+  // DigestRecords batches it through the multi-buffer hash kernels.
   crypto::Digest acc;
-  std::vector<uint8_t> scratch(codec.record_size());
-  for (const Record& record : results) {
-    codec.Serialize(record, scratch.data());
-    acc ^= crypto::ComputeDigest(scratch.data(), scratch.size(), scheme);
+  for (const crypto::Digest& d :
+       storage::DigestRecords(results, codec, scheme)) {
+    acc ^= d;
   }
   return acc;
 }

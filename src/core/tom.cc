@@ -38,16 +38,15 @@ Status TomDataOwner::Resign() {
 }
 
 Status TomDataOwner::LoadDataset(const std::vector<Record>& sorted) {
+  std::vector<crypto::Digest> digests =
+      storage::DigestRecords(sorted, codec_, options_.scheme);
   std::vector<mbtree::MbEntry> entries;
   entries.reserve(sorted.size());
-  std::vector<uint8_t> scratch(codec_.record_size());
-  for (const Record& record : sorted) {
-    codec_.Serialize(record, scratch.data());
-    entries.push_back(mbtree::MbEntry{
-        record.key, storage::Rid(record.id),
-        crypto::ComputeDigest(scratch.data(), scratch.size(),
-                              options_.scheme)});
-    key_of_id_[record.id] = record.key;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    entries.push_back(mbtree::MbEntry{sorted[i].key,
+                                      storage::Rid(sorted[i].id),
+                                      digests[i]});
+    key_of_id_[sorted[i].id] = sorted[i].key;
   }
   SAE_RETURN_NOT_OK(mb_->BulkLoad(entries));
   epoch_ = 1;  // the initial outsourcing is epoch 1
@@ -98,20 +97,20 @@ TomServiceProvider::TomServiceProvider(const Options& options)
 Status TomServiceProvider::LoadDataset(const std::vector<Record>& sorted,
                                        crypto::RsaSignature signature,
                                        uint64_t epoch) {
+  std::vector<crypto::Digest> digests =
+      storage::DigestRecords(sorted, codec_, options_.scheme);
   std::vector<mbtree::MbEntry> entries;
   entries.reserve(sorted.size());
   std::vector<uint8_t> scratch(codec_.record_size());
-  for (const Record& record : sorted) {
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const Record& record = sorted[i];
     if (rid_of_id_.count(record.id) > 0) {
       return Status::InvalidArgument("duplicate record id in dataset");
     }
     codec_.Serialize(record, scratch.data());
     SAE_ASSIGN_OR_RETURN(storage::Rid rid, heap_.Insert(scratch.data()));
     rid_of_id_[record.id] = rid;
-    entries.push_back(mbtree::MbEntry{
-        record.key, rid,
-        crypto::ComputeDigest(scratch.data(), scratch.size(),
-                              options_.scheme)});
+    entries.push_back(mbtree::MbEntry{record.key, rid, digests[i]});
   }
   SAE_RETURN_NOT_OK(mb_->BulkLoad(entries));
   signature_ = std::move(signature);

@@ -23,15 +23,13 @@ TrustedEntity::TrustedEntity(const Options& options)
 
 Status TrustedEntity::LoadDataset(const std::vector<Record>& sorted) {
   vt_cache_.InvalidateAll();
+  std::vector<crypto::Digest> digests =
+      storage::DigestRecords(sorted, codec_, options_.scheme);
   std::vector<xbtree::XbTuple> tuples;
   tuples.reserve(sorted.size());
-  std::vector<uint8_t> scratch(codec_.record_size());
-  for (const Record& record : sorted) {
-    codec_.Serialize(record, scratch.data());
-    tuples.push_back(xbtree::XbTuple{
-        record.key, record.id,
-        crypto::ComputeDigest(scratch.data(), scratch.size(),
-                              options_.scheme)});
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    tuples.push_back(
+        xbtree::XbTuple{sorted[i].key, sorted[i].id, digests[i]});
   }
   return xb_->BulkLoad(tuples);
 }

@@ -1,0 +1,84 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Runtime-dispatched crypto backend facade. The primitive layer ships
+// several implementations of the same functions — portable scalar code
+// (always present), AVX2 8-lane multi-buffer hashing, and SHA-NI
+// single-stream hashing — and this class picks the fastest one the CPU
+// supports at process start. Every backend is bit-identical by
+// construction: accelerated kernels are verified against pinned NIST
+// digests at initialization and are disabled (falling back to scalar) on
+// any mismatch, so golden-pinned digests, VTs, VOs, and signatures can
+// never change with the hardware.
+//
+// Escape hatch: set SAE_FORCE_SCALAR=1 in the environment (or call
+// set_force_scalar) to pin every primitive to the scalar reference path.
+
+#ifndef SAE_CRYPTO_BACKEND_H_
+#define SAE_CRYPTO_BACKEND_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/digest.h"
+
+namespace sae::crypto {
+
+class Backend {
+ public:
+  /// CPU features relevant to the crypto kernels, detected once.
+  struct Features {
+    bool sse41 = false;
+    bool avx2 = false;
+    bool sha_ni = false;
+  };
+
+  /// The process-wide backend (thread-safe lazy init + self-check).
+  static Backend& Instance();
+
+  const Features& features() const { return features_; }
+
+  /// True when every primitive must take the scalar reference path:
+  /// SAE_FORCE_SCALAR=1, set_force_scalar(true), or no usable kernel.
+  bool force_scalar() const {
+    return force_scalar_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: flips dispatch at runtime (used by the parity harness to
+  /// compare backends within one process).
+  void set_force_scalar(bool on) {
+    force_scalar_.store(on, std::memory_order_relaxed);
+  }
+
+  /// True when an accelerated hash kernel is active (not forced scalar,
+  /// feature present, and the init-time self-check passed).
+  bool accelerated_hash() const;
+
+  /// Active kernel names, for logs and bench JSON:
+  /// "sha-ni" | "avx2-x8" | "scalar", and "montgomery" | "scalar".
+  const char* hash_kernel() const;
+  const char* modexp_kernel() const;
+
+  /// One-shot digest under `scheme`; dispatches to SHA-NI when available.
+  Digest HashOne(HashScheme scheme, const void* data, size_t len) const;
+
+  /// Batched digests: out[i] = H(inputs[i]). Bit-identical to calling
+  /// HashOne per input; accelerated path hashes up to 8 equal-length
+  /// inputs per AVX2 pass (or streams each through SHA-NI).
+  void HashMany(HashScheme scheme, const ByteSpan* inputs, size_t count,
+                Digest* out) const;
+
+ private:
+  Backend();
+
+  void SelfCheck();
+
+  Features features_;
+  std::atomic<bool> force_scalar_{false};
+  bool sha_ni_ok_ = false;  // feature present AND self-check passed
+  bool avx2_ok_ = false;
+};
+
+}  // namespace sae::crypto
+
+#endif  // SAE_CRYPTO_BACKEND_H_

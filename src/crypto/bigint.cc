@@ -1,13 +1,15 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
 // Implements BigInt (crypto/bigint.h): schoolbook multiply, Knuth
-// Algorithm D division, square-and-multiply modular exponentiation, and
+// Algorithm D division, Montgomery (CIOS) fixed-window modular
+// exponentiation with a square-and-multiply scalar reference, and
 // Miller-Rabin prime generation for RSA key sizes.
 
 #include "crypto/bigint.h"
 
 #include <algorithm>
 
+#include "crypto/backend.h"
 #include "util/macros.h"
 
 namespace sae::crypto {
@@ -330,6 +332,18 @@ BigInt BigInt::Mod(const BigInt& a, const BigInt& m) {
 
 BigInt BigInt::ModPow(const BigInt& base, const BigInt& exp, const BigInt& m) {
   SAE_CHECK(Compare(m, BigInt(1)) > 0);
+  // Montgomery form needs gcd(R, m) = 1, i.e. an odd modulus — true for
+  // every RSA and sig-chain modulus. Single-limb moduli aren't worth the
+  // domain conversions; SAE_FORCE_SCALAR pins the reference ladder.
+  if (m.IsOdd() && m.limbs_.size() >= 2 && !Backend::Instance().force_scalar()) {
+    return ModPowMont(base, exp, m);
+  }
+  return ModPowScalar(base, exp, m);
+}
+
+BigInt BigInt::ModPowScalar(const BigInt& base, const BigInt& exp,
+                            const BigInt& m) {
+  SAE_CHECK(Compare(m, BigInt(1)) > 0);
   BigInt result(1);
   BigInt b = Mod(base, m);
   size_t bits = exp.BitLength();
@@ -338,6 +352,168 @@ BigInt BigInt::ModPow(const BigInt& base, const BigInt& exp, const BigInt& m) {
     if (exp.Bit(i)) result = Mod(Mul(result, b), m);
   }
   return result;
+}
+
+namespace {
+
+#ifdef __SIZEOF_INT128__
+
+// The Montgomery engine works on 64-bit limbs with unsigned __int128
+// accumulators — half the limb count and a quarter of the multiply count
+// of the 32-bit representation BigInt stores.
+using Limb = uint64_t;
+using Wide = unsigned __int128;
+constexpr int kLimbBits = 64;
+
+// -x^{-1} mod 2^64 for odd x (Newton: precision doubles per step from the
+// 3-bit seed inv = x, since x*x ≡ 1 mod 8).
+Limb NegInvModWord(Limb x) {
+  Limb inv = x;
+  for (int i = 0; i < 5; ++i) inv *= 2u - x * inv;
+  return ~inv + 1u;
+}
+
+// Packs BigInt's 32-bit limbs into K 64-bit limbs (zero-extended).
+std::vector<Limb> PackLimbs(const std::vector<uint32_t>& v, size_t K) {
+  std::vector<Limb> out(K, 0);
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i / 2] |= Limb(v[i]) << (32 * (i % 2));
+  }
+  return out;
+}
+
+// CIOS Montgomery product: out = a * b * R^{-1} mod n with R = 2^(64k).
+// a, b are k-limb values < n; t is k+2 scratch limbs. out may alias a or b
+// (the result lives in t until the final reduce/copy).
+void MontMul(const Limb* a, const Limb* b, const Limb* n, size_t k,
+             Limb n0inv, Limb* t, Limb* out) {
+  std::fill(t, t + k + 2, Limb(0));
+  for (size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    Limb carry = 0;
+    const Limb ai = a[i];
+    for (size_t j = 0; j < k; ++j) {
+      const Wide cur = Wide(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> kLimbBits);
+    }
+    Wide cur = Wide(t[k]) + carry;
+    t[k] = static_cast<Limb>(cur);
+    t[k + 1] += static_cast<Limb>(cur >> kLimbBits);
+
+    // t = (t + (t[0] * n0inv mod 2^64) * n) / 2^64 — one limb retired.
+    const Limb mi = t[0] * n0inv;
+    carry = static_cast<Limb>((Wide(mi) * n[0] + t[0]) >> kLimbBits);
+    for (size_t j = 1; j < k; ++j) {
+      const Wide c2 = Wide(mi) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<Limb>(c2);
+      carry = static_cast<Limb>(c2 >> kLimbBits);
+    }
+    cur = Wide(t[k]) + carry;
+    t[k - 1] = static_cast<Limb>(cur);
+    t[k] = t[k + 1] + static_cast<Limb>(cur >> kLimbBits);
+    t[k + 1] = 0;
+  }
+  // CIOS leaves t < 2n: at most one subtraction.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t j = k; j-- > 0;) {
+      if (t[j] != n[j]) {
+        ge = t[j] > n[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    Limb borrow = 0;
+    for (size_t j = 0; j < k; ++j) {
+      const Wide d = Wide(t[j]) - n[j] - borrow;
+      out[j] = static_cast<Limb>(d);
+      borrow = static_cast<Limb>((d >> kLimbBits) & 1);
+    }
+  } else {
+    std::copy(t, t + k, out);
+  }
+}
+
+#endif  // __SIZEOF_INT128__
+
+}  // namespace
+
+BigInt BigInt::ModPowMont(const BigInt& base, const BigInt& exp,
+                          const BigInt& m) {
+#ifndef __SIZEOF_INT128__
+  return ModPowScalar(base, exp, m);
+#else
+  const size_t bits = exp.BitLength();
+  if (bits == 0) return BigInt(1);  // m > 1 checked by ModPow
+
+  const size_t k = (m.limbs_.size() + 1) / 2;  // 64-bit limb count
+  const std::vector<Limb> n_v = PackLimbs(m.limbs_, k);
+  const Limb* n = n_v.data();
+  const Limb n0inv = NegInvModWord(n[0]);
+
+  // One-time setup via the generic division path: R mod n (the Montgomery
+  // one) and R^2 mod n (the to-domain conversion factor).
+  std::vector<Limb> one_m =
+      PackLimbs(Mod(ShiftLeft(BigInt(1), 64 * k), m).limbs_, k);
+  std::vector<Limb> rr =
+      PackLimbs(Mod(ShiftLeft(BigInt(1), 128 * k), m).limbs_, k);
+  std::vector<Limb> b = PackLimbs(Mod(base, m).limbs_, k);
+
+  std::vector<Limb> t(k + 2);
+  std::vector<Limb> bm(k);
+  MontMul(b.data(), rr.data(), n, k, n0inv, t.data(), bm.data());
+
+  // Fixed window: all w squarings happen per window regardless of bits, and
+  // the table makes the multiply count bits/w instead of popcount(exp).
+  const size_t w = bits >= 512 ? 5 : bits >= 128 ? 4 : bits >= 24 ? 3 : 1;
+  const size_t table_size = size_t(1) << w;
+  std::vector<std::vector<Limb>> table(table_size);
+  table[0] = one_m;
+  table[1] = bm;
+  for (size_t i = 2; i < table_size; ++i) {
+    table[i].resize(k);
+    MontMul(table[i - 1].data(), bm.data(), n, k, n0inv, t.data(),
+            table[i].data());
+  }
+
+  auto window_at = [&](size_t j) {
+    uint32_t v = 0;
+    for (size_t bi = 0; bi < w; ++bi) {
+      const size_t bit = j * w + bi;
+      if (bit < bits && exp.Bit(bit)) v |= uint32_t(1) << bi;
+    }
+    return v;
+  };
+
+  const size_t nwin = (bits + w - 1) / w;
+  std::vector<Limb> acc = table[window_at(nwin - 1)];
+  for (size_t j = nwin - 1; j-- > 0;) {
+    for (size_t s = 0; s < w; ++s) {
+      MontMul(acc.data(), acc.data(), n, k, n0inv, t.data(), acc.data());
+    }
+    const uint32_t d = window_at(j);
+    if (d != 0) {
+      MontMul(acc.data(), table[d].data(), n, k, n0inv, t.data(), acc.data());
+    }
+  }
+
+  // Leave the Montgomery domain: multiply by 1 (not one_m).
+  std::vector<Limb> unit(k, 0);
+  unit[0] = 1;
+  MontMul(acc.data(), unit.data(), n, k, n0inv, t.data(), acc.data());
+
+  BigInt out;
+  out.limbs_.resize(2 * k);
+  for (size_t i = 0; i < k; ++i) {
+    out.limbs_[2 * i] = static_cast<uint32_t>(acc[i]);
+    out.limbs_[2 * i + 1] = static_cast<uint32_t>(acc[i] >> 32);
+  }
+  out.Trim();
+  return out;
+#endif  // __SIZEOF_INT128__
 }
 
 BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {

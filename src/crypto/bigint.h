@@ -2,9 +2,12 @@
 //
 // Arbitrary-precision unsigned integers, sized for RSA (512-2048 bit moduli).
 // 32-bit limbs, little-endian limb order, always normalized (no leading zero
-// limbs). Division is Knuth's Algorithm D; modular exponentiation is
-// square-and-multiply. Performance is adequate for the signature counts the
-// experiments need; clarity and testability are prioritized.
+// limbs). Division is Knuth's Algorithm D. Modular exponentiation with an odd
+// modulus (every RSA/sig-chain call) runs CIOS Montgomery multiplication under
+// a fixed-window ladder — the TOM insert-signing hot path; the plain
+// square-and-multiply reference survives as ModPowScalar, stays the fallback
+// for even moduli and SAE_FORCE_SCALAR, and anchors the differential parity
+// tests (crypto_parity_test) that prove both paths agree bit for bit.
 
 #ifndef SAE_CRYPTO_BIGINT_H_
 #define SAE_CRYPTO_BIGINT_H_
@@ -83,8 +86,15 @@ class BigInt {
   static BigInt ShiftLeft(const BigInt& a, size_t bits);
   static BigInt ShiftRight(const BigInt& a, size_t bits);
 
-  /// (base^exp) mod m. Requires m > 1.
+  /// (base^exp) mod m. Requires m > 1. Odd multi-limb moduli dispatch to
+  /// Montgomery + fixed-window (ModPowMont); everything else — and any
+  /// process with SAE_FORCE_SCALAR set — takes ModPowScalar.
   static BigInt ModPow(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// Square-and-multiply reference implementation of ModPow. Public so the
+  /// parity harness can compare it against the Montgomery path directly.
+  static BigInt ModPowScalar(const BigInt& base, const BigInt& exp,
+                             const BigInt& m);
 
   /// Greatest common divisor.
   static BigInt Gcd(const BigInt& a, const BigInt& b);
@@ -100,6 +110,10 @@ class BigInt {
 
  private:
   void Trim();
+
+  /// Montgomery-domain fixed-window exponentiation. Requires m odd, m > 1.
+  static BigInt ModPowMont(const BigInt& base, const BigInt& exp,
+                           const BigInt& m);
 
   std::vector<uint32_t> limbs_;  // little-endian, normalized
 };

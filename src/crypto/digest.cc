@@ -2,14 +2,15 @@
 //
 // Implements the 20-byte Digest type (crypto/digest.h): hashing records
 // under the selected scheme (SHA-1, or SHA-256 truncated to 20 bytes),
-// XOR folding, and Merkle-style child-digest combination.
+// XOR folding, and Merkle-style child-digest combination. All hashing
+// routes through crypto::Backend, which dispatches to the fastest
+// bit-identical kernel the CPU supports.
 
 #include "crypto/digest.h"
 
 #include <cstring>
 
-#include "crypto/sha1.h"
-#include "crypto/sha256.h"
+#include "crypto/backend.h"
 #include "util/hex.h"
 
 namespace sae::crypto {
@@ -19,47 +20,24 @@ std::string Digest::ToHex() const {
 }
 
 Digest ComputeDigest(const void* data, size_t len, HashScheme scheme) {
-  Digest d;
-  switch (scheme) {
-    case HashScheme::kSha1: {
-      auto h = Sha1::Hash(data, len);
-      std::memcpy(d.bytes.data(), h.data(), Digest::kSize);
-      break;
-    }
-    case HashScheme::kSha256Trunc: {
-      auto h = Sha256::Hash(data, len);
-      std::memcpy(d.bytes.data(), h.data(), Digest::kSize);
-      break;
-    }
-  }
-  return d;
+  return Backend::Instance().HashOne(scheme, data, len);
 }
 
+void ComputeDigests(const ByteSpan* inputs, size_t count, Digest* out,
+                    HashScheme scheme) {
+  Backend::Instance().HashMany(scheme, inputs, count, out);
+}
+
+// Digest is exactly its byte array, so an array of Digests *is* the
+// concatenated preimage H(h_1 || ... || h_f) — one contiguous hash, no
+// per-child Update() buffering. The MB-tree node combiner hits this with
+// fanout-sized arrays on every node recomputation.
+static_assert(sizeof(Digest) == Digest::kSize,
+              "Digest must have no padding: CombineDigests hashes the raw "
+              "array as the concatenation of its elements");
+
 Digest CombineDigests(const Digest* digests, size_t count, HashScheme scheme) {
-  Digest d;
-  switch (scheme) {
-    case HashScheme::kSha1: {
-      Sha1 hasher;
-      for (size_t i = 0; i < count; ++i) {
-        hasher.Update(digests[i].bytes.data(), Digest::kSize);
-      }
-      uint8_t out[Sha1::kDigestSize];
-      hasher.Finish(out);
-      std::memcpy(d.bytes.data(), out, Digest::kSize);
-      break;
-    }
-    case HashScheme::kSha256Trunc: {
-      Sha256 hasher;
-      for (size_t i = 0; i < count; ++i) {
-        hasher.Update(digests[i].bytes.data(), Digest::kSize);
-      }
-      uint8_t out[Sha256::kDigestSize];
-      hasher.Finish(out);
-      std::memcpy(d.bytes.data(), out, Digest::kSize);
-      break;
-    }
-  }
-  return d;
+  return Backend::Instance().HashOne(scheme, digests, count * Digest::kSize);
 }
 
 Digest EpochStampedDigest(const Digest& base, uint64_t epoch,

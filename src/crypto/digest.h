@@ -63,9 +63,22 @@ struct Digest {
   std::string ToHex() const;
 };
 
+/// A borrowed byte range; the unit of batched hashing.
+struct ByteSpan {
+  const void* data = nullptr;
+  size_t len = 0;
+};
+
 /// Hashes `len` bytes under the given scheme.
 Digest ComputeDigest(const void* data, size_t len,
                      HashScheme scheme = HashScheme::kSha1);
+
+/// Batched hashing: out[i] = H(inputs[i]). Bit-identical to calling
+/// ComputeDigest per input, but the accelerated backends hash up to 8
+/// messages per pass — use this in any loop that digests a result set or
+/// a node's records. Dispatches through crypto::Backend.
+void ComputeDigests(const ByteSpan* inputs, size_t count, Digest* out,
+                    HashScheme scheme = HashScheme::kSha1);
 
 /// Digest of the concatenation of `count` digests (Merkle node combiner used
 /// by the MB-tree: h(node) = H(h_1 || h_2 || ... || h_f)).

@@ -2,9 +2,13 @@
 //
 // RSA signatures with EMSA-PKCS#1 v1.5 encoding over SHA-1 digests, the
 // public-key primitive TOM uses to bind the MB-tree root digest to the data
-// owner. Hand-rolled on sae::crypto::BigInt; correctness is what matters for
-// the reproduction (the experiments measure signature size and sign/verify
-// latency, not cryptanalytic strength).
+// owner. Hand-rolled on sae::crypto::BigInt. Signing runs CRT (p/q half-size
+// exponentiations, Garner recombination) on top of BigInt's Montgomery
+// fixed-window ModPow — the TOM insert-signing hot path; the non-CRT
+// square-and-multiply pipeline remains reachable via SAE_FORCE_SCALAR and is
+// what the parity tests diff against. Both paths emit identical signature
+// bytes (s = m^d mod n either way); cryptanalytic strength is out of scope
+// for the reproduction.
 
 #ifndef SAE_CRYPTO_RSA_H_
 #define SAE_CRYPTO_RSA_H_
@@ -28,11 +32,20 @@ struct RsaPublicKey {
   size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
 };
 
-/// RSA private key. Holds the public part too for convenience.
+/// RSA private key. Holds the public part too for convenience. The CRT
+/// fields are an optimization only — when absent (zero), signing falls back
+/// to the direct m^d mod n pipeline with identical output bytes.
 struct RsaPrivateKey {
   BigInt n;
   BigInt e;
   BigInt d;
+  BigInt p;     // prime factor (optional, enables CRT signing)
+  BigInt q;     // prime factor
+  BigInt dp;    // d mod (p-1)
+  BigInt dq;    // d mod (q-1)
+  BigInt qinv;  // q^{-1} mod p
+
+  bool HasCrt() const { return !p.IsZero() && !q.IsZero(); }
 
   RsaPublicKey PublicKey() const { return RsaPublicKey{n, e}; }
 };

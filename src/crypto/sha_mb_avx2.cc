@@ -1,0 +1,211 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// AVX2 8-lane multi-buffer SHA-1 / SHA-256 compression kernels.
+//
+// Eight independent messages are hashed in parallel: lane L lives in
+// 32-bit element L of each ymm register, so one round of vector code
+// performs the same round for all eight messages. The working-variable
+// recurrences are exactly FIPS 180-4; byte order is handled by a
+// per-32-bit-word byte shuffle after gathering each message word.
+//
+// These functions are compiled with per-function target attributes, so
+// this translation unit is safe to build into a baseline-ISA binary;
+// backend.cc only calls them after __builtin_cpu_supports("avx2") and a
+// known-answer self-check both pass.
+
+#include "crypto/kernels.h"
+
+#ifdef SAE_CRYPTO_HAVE_KERNELS
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sae::crypto::internal {
+
+namespace {
+
+#define SAE_AVX2 __attribute__((target("avx2")))
+
+SAE_AVX2 inline __m256i Rotl(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, n), _mm256_srli_epi32(x, 32 - n));
+}
+
+SAE_AVX2 inline __m256i Rotr(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+SAE_AVX2 inline __m256i Xor3(__m256i a, __m256i b, __m256i c) {
+  return _mm256_xor_si256(_mm256_xor_si256(a, b), c);
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// Gathers 32-bit word `off` (byte offset) of each lane's message and
+// byte-swaps every word to big-endian in one shuffle.
+SAE_AVX2 inline __m256i GatherWordBe(const uint8_t* const p[8], size_t off,
+                                     __m256i bswap) {
+  __m256i v = _mm256_set_epi32(
+      static_cast<int>(LoadLe32(p[7] + off)), static_cast<int>(LoadLe32(p[6] + off)),
+      static_cast<int>(LoadLe32(p[5] + off)), static_cast<int>(LoadLe32(p[4] + off)),
+      static_cast<int>(LoadLe32(p[3] + off)), static_cast<int>(LoadLe32(p[2] + off)),
+      static_cast<int>(LoadLe32(p[1] + off)), static_cast<int>(LoadLe32(p[0] + off)));
+  return _mm256_shuffle_epi8(v, bswap);
+}
+
+SAE_AVX2 inline __m256i BswapMask() {
+  return _mm256_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,
+                          3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+}
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+SAE_AVX2 void Sha256X8Blocks(uint32_t* state, const uint8_t* const ptrs[8],
+                             size_t blocks) {
+  const __m256i bswap = BswapMask();
+  __m256i st[8];
+  for (int i = 0; i < 8; ++i) {
+    st[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state + i * 8));
+  }
+  for (size_t blk = 0; blk < blocks; ++blk) {
+    __m256i w[16];
+    const size_t base = blk * 64;
+    for (int i = 0; i < 16; ++i) {
+      w[i] = GatherWordBe(ptrs, base + 4 * static_cast<size_t>(i), bswap);
+    }
+    __m256i a = st[0], b = st[1], c = st[2], d = st[3];
+    __m256i e = st[4], f = st[5], g = st[6], h = st[7];
+    for (int t = 0; t < 64; ++t) {
+      __m256i wt;
+      if (t < 16) {
+        wt = w[t];
+      } else {
+        __m256i w15 = w[(t - 15) & 15];
+        __m256i w2 = w[(t - 2) & 15];
+        __m256i s0 = Xor3(Rotr(w15, 7), Rotr(w15, 18), _mm256_srli_epi32(w15, 3));
+        __m256i s1 = Xor3(Rotr(w2, 17), Rotr(w2, 19), _mm256_srli_epi32(w2, 10));
+        wt = _mm256_add_epi32(_mm256_add_epi32(w[t & 15], s0),
+                              _mm256_add_epi32(w[(t - 7) & 15], s1));
+        w[t & 15] = wt;
+      }
+      __m256i s1e = Xor3(Rotr(e, 6), Rotr(e, 11), Rotr(e, 25));
+      __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f),
+                                    _mm256_andnot_si256(e, g));
+      __m256i t1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(h, s1e),
+                           _mm256_add_epi32(ch, _mm256_set1_epi32(
+                                                    static_cast<int>(kSha256K[t])))),
+          wt);
+      __m256i s0a = Xor3(Rotr(a, 2), Rotr(a, 13), Rotr(a, 22));
+      // maj(a,b,c) = (a & b) | (c & (a | b))
+      __m256i maj = _mm256_or_si256(_mm256_and_si256(a, b),
+                                    _mm256_and_si256(c, _mm256_or_si256(a, b)));
+      __m256i t2 = _mm256_add_epi32(s0a, maj);
+      h = g;
+      g = f;
+      f = e;
+      e = _mm256_add_epi32(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = _mm256_add_epi32(t1, t2);
+    }
+    st[0] = _mm256_add_epi32(st[0], a);
+    st[1] = _mm256_add_epi32(st[1], b);
+    st[2] = _mm256_add_epi32(st[2], c);
+    st[3] = _mm256_add_epi32(st[3], d);
+    st[4] = _mm256_add_epi32(st[4], e);
+    st[5] = _mm256_add_epi32(st[5], f);
+    st[6] = _mm256_add_epi32(st[6], g);
+    st[7] = _mm256_add_epi32(st[7], h);
+  }
+  for (int i = 0; i < 8; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(state + i * 8), st[i]);
+  }
+}
+
+SAE_AVX2 void Sha1X8Blocks(uint32_t* state, const uint8_t* const ptrs[8],
+                           size_t blocks) {
+  const __m256i bswap = BswapMask();
+  __m256i st[5];
+  for (int i = 0; i < 5; ++i) {
+    st[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state + i * 8));
+  }
+  for (size_t blk = 0; blk < blocks; ++blk) {
+    __m256i w[16];
+    const size_t base = blk * 64;
+    for (int i = 0; i < 16; ++i) {
+      w[i] = GatherWordBe(ptrs, base + 4 * static_cast<size_t>(i), bswap);
+    }
+    __m256i a = st[0], b = st[1], c = st[2], d = st[3], e = st[4];
+    for (int t = 0; t < 80; ++t) {
+      __m256i wt;
+      if (t < 16) {
+        wt = w[t];
+      } else {
+        wt = Rotl(Xor3(_mm256_xor_si256(w[(t + 13) & 15], w[(t + 8) & 15]),
+                       w[(t + 2) & 15], w[t & 15]),
+                  1);
+        w[t & 15] = wt;
+      }
+      __m256i f;
+      uint32_t k;
+      if (t < 20) {
+        // ch(b,c,d)
+        f = _mm256_xor_si256(_mm256_and_si256(b, c), _mm256_andnot_si256(b, d));
+        k = 0x5a827999u;
+      } else if (t < 40) {
+        f = Xor3(b, c, d);
+        k = 0x6ed9eba1u;
+      } else if (t < 60) {
+        // maj(b,c,d)
+        f = _mm256_or_si256(_mm256_and_si256(b, c),
+                            _mm256_and_si256(d, _mm256_or_si256(b, c)));
+        k = 0x8f1bbcdcu;
+      } else {
+        f = Xor3(b, c, d);
+        k = 0xca62c1d6u;
+      }
+      __m256i tmp = _mm256_add_epi32(
+          _mm256_add_epi32(Rotl(a, 5), f),
+          _mm256_add_epi32(_mm256_add_epi32(e, wt),
+                           _mm256_set1_epi32(static_cast<int>(k))));
+      e = d;
+      d = c;
+      c = Rotl(b, 30);
+      b = a;
+      a = tmp;
+    }
+    st[0] = _mm256_add_epi32(st[0], a);
+    st[1] = _mm256_add_epi32(st[1], b);
+    st[2] = _mm256_add_epi32(st[2], c);
+    st[3] = _mm256_add_epi32(st[3], d);
+    st[4] = _mm256_add_epi32(st[4], e);
+  }
+  for (int i = 0; i < 5; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(state + i * 8), st[i]);
+  }
+}
+
+#undef SAE_AVX2
+
+}  // namespace sae::crypto::internal
+
+#endif  // SAE_CRYPTO_HAVE_KERNELS

@@ -335,14 +335,11 @@ Status VerifyVO(const VerificationObject& vo, storage::Key lo,
     }
   }
 
-  // 4. Rebuild the root digest and check the owner's signature.
-  std::vector<crypto::Digest> result_digests;
-  result_digests.reserve(results.size());
-  for (const storage::Record& r : results) {
-    std::vector<uint8_t> bytes = codec.Serialize(r);
-    result_digests.push_back(
-        crypto::ComputeDigest(bytes.data(), bytes.size(), scheme));
-  }
+  // 4. Rebuild the root digest and check the owner's signature. The result
+  // re-hash dominates large range verifications; batch it through the
+  // multi-buffer hash kernels.
+  std::vector<crypto::Digest> result_digests =
+      storage::DigestRecords(results, codec, scheme);
   size_t next_result = 0;
   crypto::Digest root_digest;
   SAE_RETURN_NOT_OK(ComputeNodeDigest(vo.root, result_digests, &next_result,

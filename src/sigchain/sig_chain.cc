@@ -169,14 +169,8 @@ Result<std::vector<crypto::RsaSignature>> SigChainOwner::SignDataset(
       return Status::InvalidArgument("records not sorted by key");
     }
   }
-  std::vector<crypto::Digest> digests;
-  digests.reserve(sorted.size());
-  std::vector<uint8_t> scratch(codec_.record_size());
-  for (const Record& r : sorted) {
-    codec_.Serialize(r, scratch.data());
-    digests.push_back(crypto::ComputeDigest(scratch.data(), scratch.size(),
-                                            options_.scheme));
-  }
+  std::vector<crypto::Digest> digests =
+      storage::DigestRecords(sorted, codec_, options_.scheme);
 
   std::vector<crypto::RsaSignature> sigs;
   sigs.reserve(sorted.size());
@@ -371,19 +365,18 @@ Status CheckStructure(Key lo, Key hi, const std::vector<Record>& results,
     return Status::VerificationFailure("missing right boundary");
   }
 
-  // 3. Rebuild the digest sequence outer_left .. outer_right.
+  // 3. Rebuild the digest sequence outer_left .. outer_right, batching the
+  // result re-hash through the multi-buffer hash kernels.
+  std::vector<crypto::Digest> result_digests =
+      storage::DigestRecords(results, codec, scheme);
   std::vector<crypto::Digest> ds;
+  ds.reserve(results.size() + 4);
   ds.push_back(vo.outer_left);
-  std::vector<uint8_t> scratch(codec.record_size());
   if (has_left) {
     ds.push_back(crypto::ComputeDigest(vo.left_boundary.data(),
                                        vo.left_boundary.size(), scheme));
   }
-  for (const Record& r : results) {
-    codec.Serialize(r, scratch.data());
-    ds.push_back(
-        crypto::ComputeDigest(scratch.data(), scratch.size(), scheme));
-  }
+  ds.insert(ds.end(), result_digests.begin(), result_digests.end());
   if (has_right) {
     ds.push_back(crypto::ComputeDigest(vo.right_boundary.data(),
                                        vo.right_boundary.size(), scheme));

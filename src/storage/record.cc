@@ -5,7 +5,7 @@
 
 #include "storage/record.h"
 
-#include <cstring>
+#include <algorithm>\n#include <cstring>
 
 #include "util/codec.h"
 #include "util/macros.h"
@@ -54,6 +54,29 @@ Record RecordCodec::MakeRecord(RecordId id, Key key) const {
     r.payload[i] = static_cast<uint8_t>(x >> 56);
   }
   return r;
+}
+
+std::vector<crypto::Digest> DigestRecords(const std::vector<Record>& records,
+                                          const RecordCodec& codec,
+                                          crypto::HashScheme scheme) {
+  std::vector<crypto::Digest> out(records.size());
+  if (records.empty()) return out;
+  const size_t rs = codec.record_size();
+  // Chunked so the serialize buffer stays L2-resident on big loads while
+  // still giving the 8-lane hash kernels full batches.
+  constexpr size_t kChunk = 1024;
+  const size_t chunk = std::min(records.size(), kChunk);
+  std::vector<uint8_t> buf(chunk * rs);
+  std::vector<crypto::ByteSpan> spans(chunk);
+  for (size_t base = 0; base < records.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, records.size() - base);
+    for (size_t i = 0; i < n; ++i) {
+      codec.Serialize(records[base + i], buf.data() + i * rs);
+      spans[i] = crypto::ByteSpan{buf.data() + i * rs, rs};
+    }
+    crypto::ComputeDigests(spans.data(), n, out.data() + base, scheme);
+  }
+  return out;
 }
 
 }  // namespace sae::storage

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/digest.h"
 #include "util/status.h"
 
 namespace sae::storage {
@@ -64,6 +65,15 @@ class RecordCodec {
  private:
   size_t record_size_;
 };
+
+/// out[i] = H(serialize(records[i])) for every record, digested in batches
+/// through crypto::ComputeDigests so the multi-buffer hash kernels see up to
+/// 8 records per pass. Serialization happens into a chunk-sized contiguous
+/// scratch buffer (cache-resident), not one allocation per record. This is
+/// the shared hot loop of TE/DO dataset loads and client witness re-hashing.
+std::vector<crypto::Digest> DigestRecords(const std::vector<Record>& records,
+                                          const RecordCodec& codec,
+                                          crypto::HashScheme scheme);
 
 }  // namespace sae::storage
 

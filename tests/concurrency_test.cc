@@ -316,7 +316,12 @@ TEST(CacheConcurrencyTest, HotNodeCacheSurvivesMixedLookupInsertInvalidate) {
   }
   std::thread invalidator([&] {
     uint64_t state = 42;
-    while (!stop.load()) {
+    // The minimum sweep count keeps the invalidation assertion below
+    // independent of scheduling: on a loaded single-core host this thread
+    // may first run only after the readers finished and `stop` is set.
+    size_t sweeps = 0;
+    while (!stop.load() || sweeps < 256) {
+      ++sweeps;
       state = state * 6364136223846793005ull + 1442695040888963407ull;
       cache.Invalidate(storage::PageId(uint32_t(state >> 33) % kPages));
       if ((state & 0xFF) == 0) cache.Clear();

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
+#include "crypto/backend.h"
 #include "crypto/bigint.h"
 #include "crypto/digest.h"
 #include "crypto/rsa.h"
@@ -412,6 +414,151 @@ TEST(RsaKeyGenTest, ModulusHasRequestedBits) {
   Rng rng(43);
   RsaPrivateKey key = RsaGenerateKey(&rng, 768);
   EXPECT_EQ(key.n.BitLength(), 768u);
+}
+
+// --- per-backend known-answer tests --------------------------------------------
+//
+// The FIPS vectors above pin the scalar Sha1/Sha256 classes. These pin the
+// dispatched path (Backend::HashOne / HashMany) under BOTH dispatch modes,
+// so a CPU where SHA-NI or AVX2 kernels are active proves them against
+// NIST answers, and a scalar-only CPU still runs the same assertions.
+
+class BackendDispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = Backend::Instance().force_scalar(); }
+  void TearDown() override { Backend::Instance().set_force_scalar(saved_); }
+
+  // Runs `fn` once with accelerated dispatch and once forced scalar.
+  template <typename Fn>
+  void EachBackend(Fn fn) {
+    Backend::Instance().set_force_scalar(false);
+    fn(Backend::Instance().hash_kernel());
+    Backend::Instance().set_force_scalar(true);
+    fn("forced-scalar");
+  }
+
+ private:
+  bool saved_ = false;
+};
+
+TEST_F(BackendDispatchTest, Sha1NistVectors) {
+  // FIPS 180 / RFC 3174 answers through the dispatched one-shot path.
+  const struct {
+    const char* msg;
+    const char* hex;
+  } kVectors[] = {
+      {"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+      {"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+  };
+  EachBackend([&](const char* kernel) {
+    for (const auto& v : kVectors) {
+      Digest d = Backend::Instance().HashOne(HashScheme::kSha1, v.msg,
+                                             std::strlen(v.msg));
+      EXPECT_EQ(HexEncode(d.bytes.data(), d.bytes.size()), v.hex)
+          << "kernel=" << kernel << " msg=\"" << v.msg << "\"";
+    }
+  });
+}
+
+TEST_F(BackendDispatchTest, Sha256NistVectors) {
+  // SHA-256 truncated to the 20-byte Digest: the first 20 bytes of the
+  // NIST answers.
+  const struct {
+    const char* msg;
+    const char* hex40;  // first 40 hex chars of the full SHA-256 digest
+  } kVectors[] = {
+      {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4"},
+      {"abc", "ba7816bf8f01cfea414140de5dae2223b00361a3"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "248d6a61d20638b8e5c026930c3e6039a33ce459"},
+  };
+  EachBackend([&](const char* kernel) {
+    for (const auto& v : kVectors) {
+      Digest d = Backend::Instance().HashOne(HashScheme::kSha256Trunc, v.msg,
+                                             std::strlen(v.msg));
+      EXPECT_EQ(HexEncode(d.bytes.data(), d.bytes.size()), v.hex40)
+          << "kernel=" << kernel << " msg=\"" << v.msg << "\"";
+    }
+  });
+}
+
+TEST_F(BackendDispatchTest, MillionAsThroughBatchedPath) {
+  // The classic 1,000,000 x 'a' vector, shaped as a batch so the
+  // multi-buffer path sees long equal-length inputs alongside it.
+  std::string million(1'000'000, 'a');
+  std::string empty;
+  ByteSpan spans[3] = {{million.data(), million.size()},
+                       {empty.data(), 0},
+                       {million.data(), million.size()}};
+  EachBackend([&](const char* kernel) {
+    Digest out[3];
+    Backend::Instance().HashMany(HashScheme::kSha1, spans, 3, out);
+    EXPECT_EQ(HexEncode(out[0].bytes.data(), out[0].bytes.size()),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f")
+        << "kernel=" << kernel;
+    EXPECT_EQ(HexEncode(out[1].bytes.data(), out[1].bytes.size()),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709")
+        << "kernel=" << kernel;
+    EXPECT_EQ(HexEncode(out[0].bytes.data(), out[0].bytes.size()),
+              HexEncode(out[2].bytes.data(), out[2].bytes.size()));
+  });
+}
+
+// Fixed RSA-1024 PKCS#1 v1.5 vector. The key and the expected signature
+// were derived outside this codebase (deterministic Miller-Rabin primes,
+// pow(m, d, n) in arbitrary-precision integer arithmetic), so these bytes
+// are external truth for the whole sign pipeline — EMSA-PKCS1 framing,
+// CRT split, Montgomery ladder — under both dispatch modes.
+TEST_F(BackendDispatchTest, FixedPkcs1Vector) {
+  RsaPrivateKey key;
+  key.n = BigInt::FromHex(
+      "ba5faaae9c1b2ea619ba5a91522fb4209f8c80a711afb10ed392259e9d97cf163c4f"
+      "c988e590e445135f038261ea177a14d1ed7443bbac0902d4e2ae76e0835c5370b3a0"
+      "8a1d6a127f1d2202ba755f52f021f3a2f0f2a50aefe3051fa7b5a13edfe1ba610297"
+      "2a17612320feec95b8195699c28df9ecd68fae74a3d869989fe5");
+  key.e = BigInt(65537);
+  key.d = BigInt::FromHex(
+      "2b5bfc6a9918ddd678dfd9183c05ab2377db0947551f09d348379516fcd507b1c5a0"
+      "4e63d1fcce8e9f7e1863ea01bb2a84d37e29f164251707989d903749ee6553b6a1e6"
+      "25ee9a069a3a7016ad5a19130774cd661a902c3ffcee8c9a84a83890c60dfeb77120"
+      "5a52c4ebffad6366e3e424705d94ebcf50b7d8bc638ed06372e1");
+  key.p = BigInt::FromHex(
+      "e1efea2842c30ac1ce0ab7ca6d0b3115075dee0718d48b7cdf676b22066d226c2c0c"
+      "dfc742f63e606a9f2552fdd404851d96f448067a4146ec4e753a5f6180d9");
+  key.q = BigInt::FromHex(
+      "d32c1a91f4296dfc84a944fa347397bfce573d9f565324a68a9b0a6214d2233b9046"
+      "12f0ed041378c8e6880c41b20c5089313f3fe6617fa7de0007a4d740afed");
+  key.dp = BigInt::FromHex(
+      "b35833f11d7da12e5215a3eaa5403b07cc3f3d5098df2e9242ebded8b56d2fe3d9db"
+      "a64e8fd2d394c94de6dcc7ebe262a028516452effc9d05bb09c6fa2b7591");
+  key.dq = BigInt::FromHex(
+      "0a60ef895edbae692bc7f9f8e61d0c474407eba26a26b9f5697887411ccedb267147"
+      "d06480f1a3575b60612d6109342bbd226b7e637f453be5e0507fdc88745d");
+  key.qinv = BigInt::FromHex(
+      "5867f46d6d11e8edbc91bfaa2ce6a849af9c88cfa154705082269c961360af212019"
+      "442420eb194982287d7ecec39f6e93c2c77cd806f702a49951892d64b52a");
+  ASSERT_TRUE(key.HasCrt());
+
+  const std::string msg = "saedb fixed vector";
+  const char* kExpectedSig =
+      "33ea00590fe93aaae4c100304ce9dc9679b4a0e73fdaf717444848a41f7e8b64b792"
+      "1c6e080cf83d63777a58ddf37b5a3f166a78aa581d196bf2e496c74a0b9e8996ff1a"
+      "509d7b6a43e84ab37876f51b155229d2d9b009d4e2bcd3d5de81a5c218c6ff95e98a"
+      "b4d6006b480626b4651eb076678c83b35a630f6bce26394b27d4";
+
+  EachBackend([&](const char* kernel) {
+    Digest digest = ComputeDigest(msg.data(), msg.size());
+    EXPECT_EQ(HexEncode(digest.bytes.data(), digest.bytes.size()),
+              "646cfe803374fa4721ad444237b3e9cdc3f93410")
+        << "kernel=" << kernel;
+    RsaSignature sig = RsaSignDigest(key, digest);
+    EXPECT_EQ(HexEncode(sig.data(), sig.size()), kExpectedSig)
+        << "kernel=" << kernel;
+    EXPECT_TRUE(RsaVerifyDigest(key.PublicKey(), digest, sig).ok())
+        << "kernel=" << kernel;
+  });
 }
 
 }  // namespace
