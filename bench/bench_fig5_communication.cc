@@ -15,6 +15,7 @@ int main() {
   PrintHeader("Figure 5: communication overhead (bytes/query) vs n",
               "# dist        n   TE-Client(SAE)   SP-Client(TOM)     ratio");
 
+  BenchJson json("fig5_communication");
   auto queries = MakeQueries();
   for (auto dist :
        {workload::Distribution::kUniform, workload::Distribution::kSkewed}) {
@@ -48,7 +49,9 @@ int main() {
       std::printf("%6s %10zu %16.0f %16.0f %9.1fx\n", DistName(dist), n,
                   sae_avg, tom_avg, tom_avg / sae_avg);
       std::fflush(stdout);
+      json.Row({{"dist", DistName(dist)}, {"n", std::to_string(n)}},
+               {{"sae_vt_bytes", sae_avg}, {"tom_vo_bytes", tom_avg}});
     }
   }
-  return 0;
+  return json.Write();
 }

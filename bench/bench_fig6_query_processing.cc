@@ -23,6 +23,7 @@ int main() {
       "# dist        n  SP(TOM)idx  SP(SAE)idx   red%  SP(TOM)tot  "
       "SP(SAE)tot   red%     TE(SAE)");
 
+  BenchJson json("fig6_query_processing");
   sim::CostModel cost;
   auto queries = MakeQueries();
   for (auto dist :
@@ -70,7 +71,13 @@ int main() {
           100.0 * (tom_idx_ms - sae_idx_ms) / tom_idx_ms, tom_tot_ms,
           sae_tot_ms, 100.0 * (tom_tot_ms - sae_tot_ms) / tom_tot_ms, te_ms);
       std::fflush(stdout);
+      json.Row({{"dist", DistName(dist)}, {"n", std::to_string(n)}},
+               {{"sp_tom_idx_ms", tom_idx_ms},
+                {"sp_sae_idx_ms", sae_idx_ms},
+                {"sp_tom_total_ms", tom_tot_ms},
+                {"sp_sae_total_ms", sae_tot_ms},
+                {"te_sae_ms", te_ms}});
     }
   }
-  return 0;
+  return json.Write();
 }

@@ -15,6 +15,7 @@ int main() {
   PrintHeader("Figure 7: verification time (ms) vs n",
               "# dist        n  Client(SAE)  Client(TOM)  avg|RS|");
 
+  BenchJson json("fig7_verification");
   storage::RecordCodec codec(kRecordSize);
   auto queries = MakeQueries();
   for (auto dist :
@@ -62,7 +63,10 @@ int main() {
       std::printf("%6s %10zu %12.3f %12.3f %8.0f\n", DistName(dist), n,
                   sae_ms / nq, tom_ms / nq, double(total_results) / nq);
       std::fflush(stdout);
+      json.Row({{"dist", DistName(dist)}, {"n", std::to_string(n)}},
+               {{"sae_verify_ms", sae_ms / nq},
+                {"tom_verify_ms", tom_ms / nq}});
     }
   }
-  return 0;
+  return json.Write();
 }

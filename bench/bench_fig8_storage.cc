@@ -15,6 +15,7 @@ int main() {
               "# dist        n     SP(TOM)     SP(SAE)     TE(SAE)  "
               "TOMidx  SAEidx");
 
+  BenchJson json("fig8_storage");
   constexpr double kMb = 1048576.0;
   for (auto dist :
        {workload::Distribution::kUniform, workload::Distribution::kSkewed}) {
@@ -41,7 +42,11 @@ int main() {
                   DistName(dist), n, tom_sp_mb, sae_sp_mb, te_mb, tom_idx_mb,
                   sae_idx_mb);
       std::fflush(stdout);
+      json.Row({{"dist", DistName(dist)}, {"n", std::to_string(n)}},
+               {{"tom_sp_mb", tom_sp_mb},
+                {"sae_sp_mb", sae_sp_mb},
+                {"te_mb", te_mb}});
     }
   }
-  return 0;
+  return json.Write();
 }

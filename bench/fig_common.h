@@ -13,6 +13,8 @@
 #define SAE_BENCH_FIG_COMMON_H_
 
 #include <cstdio>
+#include <initializer_list>
+#include <utility>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -53,6 +55,71 @@ inline std::vector<size_t> Cardinalities() {
 inline const char* DistName(workload::Distribution dist) {
   return dist == workload::Distribution::kUniform ? "UNF" : "SKW";
 }
+
+/// Machine-readable sidecar for the figure benches: collects labeled rows
+/// and writes them as JSON to SAE_BENCH_JSON (default BENCH_<name>.json),
+/// so scripts/check_perf_regression.py can gate the figure metrics, not
+/// just the throughput bench. The gate keys rows on their label fields and
+/// infers metric direction from the name (qps/ops/speedup up, ms/mb/bytes
+/// down), so keep those conventions when naming metrics.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Row(std::initializer_list<std::pair<const char*, std::string>> labels,
+           std::initializer_list<std::pair<const char*, double>> metrics) {
+    std::string row = "    {";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+      if (!first) row += ", ";
+      row += '"';
+      row += key;
+      row += "\": \"";
+      row += value;
+      row += '"';
+      first = false;
+    }
+    char buf[64];
+    for (const auto& [key, value] : metrics) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      if (!first) row += ", ";
+      row += '"';
+      row += key;
+      row += "\": ";
+      row += buf;
+      first = false;
+    }
+    row += '}';
+    rows_.push_back(std::move(row));
+  }
+
+  /// Main-compatible exit code: 0 on success, 1 when the file can't open.
+  int Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* env = std::getenv("SAE_BENCH_JSON")) path = env;
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"scale\": %.4f,\n"
+                 "  \"rows\": [\n",
+                 name_.c_str(), BenchScale());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 inline std::vector<storage::Record> MakeDataset(workload::Distribution dist,
                                                 size_t n) {

@@ -35,12 +35,17 @@ crypto::Digest MultiAttrTrustedEntity::RecordDigest(
 
 Status MultiAttrTrustedEntity::LoadDataset(
     const std::vector<Record>& records) {
+  // One batched digest pass over the dataset, shared by every attribute
+  // index — the digest is attribute-independent, and record-at-a-time
+  // hashing here bypassed the multi-buffer kernels entirely.
+  std::vector<crypto::Digest> digests =
+      storage::DigestRecords(records, codec_, options_.scheme);
   for (AttrIndex& index : indexes_) {
     std::vector<xbtree::XbTuple> tuples;
     tuples.reserve(records.size());
-    for (const Record& record : records) {
-      tuples.push_back(xbtree::XbTuple{index.spec.extractor(record),
-                                       record.id, RecordDigest(record)});
+    for (size_t i = 0; i < records.size(); ++i) {
+      tuples.push_back(xbtree::XbTuple{index.spec.extractor(records[i]),
+                                       records[i].id, digests[i]});
     }
     std::sort(tuples.begin(), tuples.end(),
               [](const xbtree::XbTuple& a, const xbtree::XbTuple& b) {

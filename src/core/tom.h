@@ -122,6 +122,8 @@ class TomServiceProvider {
   /// The epoch the mirrored ADS reflects.
   uint64_t epoch() const { return epoch_; }
 
+  const RecordCodec& codec() const { return codec_; }
+
   struct QueryResponse {
     std::vector<Record> results;          // key order
     mbtree::VerificationObject vo;        // epoch-stamped, signed root

@@ -478,6 +478,26 @@ Status MbTree::BulkLoad(const std::vector<MbEntry>& sorted, double fill) {
   std::vector<LevelEntry> level;
   level.reserve(leaf_sizes.size());
 
+  // One batched hash per tree level: a node's digest preimage is its
+  // child-digest array, so the whole level rides the multi-buffer kernels
+  // (NodeDigest would hash node-at-a-time). Payloads are the nodes' digest
+  // vectors, kept alive until the batch call.
+  std::vector<std::vector<crypto::Digest>> payloads;
+  auto fill_level_digests = [&](std::vector<LevelEntry>* entries) {
+    std::vector<crypto::ByteSpan> spans(payloads.size());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      spans[i] = crypto::ByteSpan{payloads[i].data(),
+                                  payloads[i].size() * crypto::Digest::kSize};
+    }
+    std::vector<crypto::Digest> digests(payloads.size());
+    crypto::ComputeDigests(spans.data(), spans.size(), digests.data(),
+                           scheme_);
+    for (size_t i = 0; i < digests.size(); ++i) {
+      (*entries)[i].digest = digests[i];
+    }
+    payloads.clear();
+  };
+
   size_t offset = 0;
   PageId prev_leaf = storage::kInvalidPageId;
   for (size_t li = 0; li < leaf_sizes.size(); ++li) {
@@ -503,8 +523,10 @@ Status MbTree::BulkLoad(const std::vector<MbEntry>& sorted, double fill) {
       SAE_RETURN_NOT_OK(StoreNode(prev_leaf, prev));
     }
     prev_leaf = page;
-    level.push_back(LevelEntry{leaf.keys.front(), page, NodeDigest(leaf)});
+    level.push_back(LevelEntry{leaf.keys.front(), page, crypto::Digest{}});
+    payloads.push_back(std::move(leaf.digests));
   }
+  fill_level_digests(&level);
 
   height_ = 1;
   size_t min_children = max_internal_ / 2 + 1;
@@ -528,17 +550,18 @@ Status MbTree::BulkLoad(const std::vector<MbEntry>& sorted, double fill) {
       }
       SAE_ASSIGN_OR_RETURN(PageId page, NewNode(internal));
       next_level.push_back(
-          LevelEntry{level[pos].first_key, page, NodeDigest(internal)});
+          LevelEntry{level[pos].first_key, page, crypto::Digest{}});
+      payloads.push_back(std::move(internal.digests));
       pos += gs;
     }
+    fill_level_digests(&next_level);
     level = std::move(next_level);
     ++height_;
   }
 
   root_ = level.front().page;
   entry_count_ = sorted.size();
-  SAE_ASSIGN_OR_RETURN(Node root, LoadNode(root_));
-  root_digest_ = NodeDigest(root);
+  root_digest_ = level.front().digest;
   return Status::OK();
 }
 

@@ -1,0 +1,388 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the party servers (net/server.h): tag-dispatched handlers over
+// the pinned wire messages plus the 0xF0+ control ops.
+
+#include "net/server.h"
+
+#include "core/messages.h"
+#include "mbtree/vo.h"
+
+namespace sae::net {
+
+using storage::Record;
+using storage::RecordCodec;
+
+namespace {
+
+// Pinned message tags (core/messages.cc keeps these private; the values are
+// part of the golden-pinned encodings, so they are as stable as wire bytes
+// can be).
+constexpr uint8_t kTagRecords = 0x01;
+constexpr uint8_t kTagSignature = 0x04;
+constexpr uint8_t kTagDelete = 0x05;
+constexpr uint8_t kTagEpochNotice = 0x06;
+constexpr uint8_t kTagQueryRequest = 0x09;
+
+// The adversary hook's tamper seed: deterministic so a test can predict
+// which witness byte the poisoned plan flips.
+constexpr uint64_t kPoisonSeed = 42;
+
+}  // namespace
+
+std::vector<uint8_t> ControlFrame(uint8_t tag) { return {tag}; }
+
+std::vector<uint8_t> PoisonQueryFrame(const dbms::QueryRequest& request) {
+  std::vector<uint8_t> payload = {kCtlPoisonQuery};
+  std::vector<uint8_t> req = core::SerializeQueryRequest(request);
+  payload.insert(payload.end(), req.begin(), req.end());
+  return payload;
+}
+
+std::vector<uint8_t> ErrorFrame(const Status& status) {
+  std::vector<uint8_t> payload = {kCtlError};
+  const std::string& msg = status.message();
+  payload.insert(payload.end(), msg.begin(), msg.end());
+  return payload;
+}
+
+std::string DecodeErrorFrame(const std::vector<uint8_t>& payload) {
+  if (payload.empty() || payload[0] != kCtlError) return "";
+  return std::string(payload.begin() + 1, payload.end());
+}
+
+// --- SAE service provider -------------------------------------------------------
+
+SpServer::SpServer(core::ServiceProvider* sp, FrameServerOptions options)
+    : sp_(sp),
+      server_(options, [this](std::vector<uint8_t> request,
+                              std::vector<std::vector<uint8_t>>* responses) {
+        return Handle(std::move(request), responses);
+      }) {}
+
+bool SpServer::Handle(std::vector<uint8_t> request,
+                      std::vector<std::vector<uint8_t>>* responses) {
+  const RecordCodec& codec = sp_->table().codec();
+  if (request.empty()) {
+    responses->push_back(ErrorFrame(Status::Corruption("empty frame")));
+    return false;
+  }
+  switch (request[0]) {
+    case kTagQueryRequest: {
+      auto req = core::DeserializeQueryRequest(request);
+      if (!req.ok()) {
+        responses->push_back(ErrorFrame(req.status()));
+        return false;
+      }
+      auto plan = sp_->ExecutePlan(req.value());
+      if (!plan.ok()) {
+        responses->push_back(ErrorFrame(plan.status()));
+        return false;
+      }
+      const auto& result = plan.value();
+      responses->push_back(core::SerializeQueryAnswer(
+          result.answer, result.witness, sp_->epoch(), codec));
+      return false;
+    }
+    case kTagRecords: {
+      auto records = core::DeserializeRecords(request, codec);
+      if (!records.ok()) {
+        responses->push_back(ErrorFrame(records.status()));
+        return false;
+      }
+      Status st;
+      if (!loaded_) {
+        st = sp_->LoadDataset(records.value());
+        loaded_ = st.ok();
+      } else {
+        for (const Record& record : records.value()) {
+          st = sp_->InsertRecord(record);
+          if (!st.ok()) break;
+        }
+      }
+      responses->push_back(st.ok() ? ControlFrame(kCtlAck) : ErrorFrame(st));
+      return false;
+    }
+    case kTagEpochNotice: {
+      auto epoch = core::DeserializeEpochNotice(request);
+      if (!epoch.ok()) {
+        responses->push_back(ErrorFrame(epoch.status()));
+        return false;
+      }
+      sp_->SetEpoch(epoch.value());
+      responses->push_back(ControlFrame(kCtlAck));
+      return false;
+    }
+    case kTagDelete: {
+      auto del = core::DeserializeDelete(request);
+      if (!del.ok()) {
+        responses->push_back(ErrorFrame(del.status()));
+        return false;
+      }
+      Status st = sp_->DeleteRecord(del.value().first);
+      responses->push_back(st.ok() ? ControlFrame(kCtlAck) : ErrorFrame(st));
+      return false;
+    }
+    case kCtlGetEpoch:
+      responses->push_back(core::SerializeEpochNotice(sp_->epoch()));
+      return false;
+    case kCtlPoisonQuery: {
+      std::vector<uint8_t> inner(request.begin() + 1, request.end());
+      auto req = core::DeserializeQueryRequest(inner);
+      if (!req.ok()) {
+        responses->push_back(ErrorFrame(req.status()));
+        return false;
+      }
+      auto plan = sp_->ExecutePoisonedPlan(req.value(), kPoisonSeed);
+      if (!plan.ok()) {
+        responses->push_back(ErrorFrame(plan.status()));
+        return false;
+      }
+      const auto& result = plan.value();
+      responses->push_back(core::SerializeQueryAnswer(
+          result.answer, result.witness, sp_->epoch(), codec));
+      return false;
+    }
+    case kCtlShutdown:
+      responses->push_back(ControlFrame(kCtlAck));
+      return true;
+    default:
+      responses->push_back(
+          ErrorFrame(Status::Corruption("unknown message tag")));
+      return false;
+  }
+}
+
+// --- SAE trusted entity ---------------------------------------------------------
+
+TeServer::TeServer(core::TrustedEntity* te, FrameServerOptions options)
+    : te_(te),
+      server_(options, [this](std::vector<uint8_t> request,
+                              std::vector<std::vector<uint8_t>>* responses) {
+        return Handle(std::move(request), responses);
+      }) {}
+
+bool TeServer::Handle(std::vector<uint8_t> request,
+                      std::vector<std::vector<uint8_t>>* responses) {
+  if (request.empty()) {
+    responses->push_back(ErrorFrame(Status::Corruption("empty frame")));
+    return false;
+  }
+  switch (request[0]) {
+    case kTagQueryRequest: {
+      auto req = core::DeserializeQueryRequest(request);
+      if (!req.ok()) {
+        responses->push_back(ErrorFrame(req.status()));
+        return false;
+      }
+      auto vt = te_->GenerateVt(req.value());
+      if (!vt.ok()) {
+        responses->push_back(ErrorFrame(vt.status()));
+        return false;
+      }
+      responses->push_back(core::SerializeVt(vt.value()));
+      return false;
+    }
+    case kTagRecords: {
+      auto records = core::DeserializeRecords(request, te_->codec());
+      if (!records.ok()) {
+        responses->push_back(ErrorFrame(records.status()));
+        return false;
+      }
+      Status st;
+      if (!loaded_) {
+        st = te_->LoadDataset(records.value());
+        loaded_ = st.ok();
+      } else {
+        for (const Record& record : records.value()) {
+          st = te_->InsertRecord(record);
+          if (!st.ok()) break;
+        }
+      }
+      responses->push_back(st.ok() ? ControlFrame(kCtlAck) : ErrorFrame(st));
+      return false;
+    }
+    case kTagEpochNotice: {
+      auto epoch = core::DeserializeEpochNotice(request);
+      if (!epoch.ok()) {
+        responses->push_back(ErrorFrame(epoch.status()));
+        return false;
+      }
+      te_->SetEpoch(epoch.value());
+      responses->push_back(ControlFrame(kCtlAck));
+      return false;
+    }
+    case kTagDelete: {
+      auto del = core::DeserializeDelete(request);
+      if (!del.ok()) {
+        responses->push_back(ErrorFrame(del.status()));
+        return false;
+      }
+      Status st =
+          te_->DeleteRecord(del.value().second, del.value().first);
+      responses->push_back(st.ok() ? ControlFrame(kCtlAck) : ErrorFrame(st));
+      return false;
+    }
+    case kCtlGetEpoch:
+      responses->push_back(core::SerializeEpochNotice(te_->epoch()));
+      return false;
+    case kCtlShutdown:
+      responses->push_back(ControlFrame(kCtlAck));
+      return true;
+    default:
+      responses->push_back(
+          ErrorFrame(Status::Corruption("unknown message tag")));
+      return false;
+  }
+}
+
+// --- TOM service provider -------------------------------------------------------
+
+TomSpServer::TomSpServer(core::TomServiceProvider* sp,
+                         FrameServerOptions options)
+    : sp_(sp),
+      server_(options, [this](std::vector<uint8_t> request,
+                              std::vector<std::vector<uint8_t>>* responses) {
+        return Handle(std::move(request), responses);
+      }) {}
+
+bool TomSpServer::Handle(std::vector<uint8_t> request,
+                         std::vector<std::vector<uint8_t>>* responses) {
+  const RecordCodec& codec = sp_->codec();
+  if (request.empty()) {
+    responses->push_back(ErrorFrame(Status::Corruption("empty frame")));
+    return false;
+  }
+  switch (request[0]) {
+    case kTagQueryRequest: {
+      auto req = core::DeserializeQueryRequest(request);
+      if (!req.ok()) {
+        responses->push_back(ErrorFrame(req.status()));
+        return false;
+      }
+      auto plan = sp_->ExecutePlan(req.value());
+      if (!plan.ok()) {
+        responses->push_back(ErrorFrame(plan.status()));
+        return false;
+      }
+      const auto& result = plan.value();
+      // Two frames, exactly the two in-process sends: answer then VO.
+      responses->push_back(core::SerializeQueryAnswer(
+          result.answer, result.witness, sp_->epoch(), codec));
+      responses->push_back(result.vo.Serialize());
+      return false;
+    }
+    case kTagRecords: {
+      // The TOM load/update protocol pairs data with the DO's signature:
+      // records (or a delete) are buffered until the Signature frame
+      // commits them with its epoch.
+      auto records = core::DeserializeRecords(request, codec);
+      if (!records.ok()) {
+        responses->push_back(ErrorFrame(records.status()));
+        return false;
+      }
+      pending_records_ = std::move(records).ValueOrDie();
+      has_pending_records_ = true;
+      responses->push_back(ControlFrame(kCtlAck));
+      return false;
+    }
+    case kTagDelete: {
+      auto del = core::DeserializeDelete(request);
+      if (!del.ok()) {
+        responses->push_back(ErrorFrame(del.status()));
+        return false;
+      }
+      pending_delete_ = del.value().first;
+      has_pending_delete_ = true;
+      responses->push_back(ControlFrame(kCtlAck));
+      return false;
+    }
+    case kTagSignature: {
+      auto sig = core::DeserializeSignature(request);
+      if (!sig.ok()) {
+        responses->push_back(ErrorFrame(sig.status()));
+        return false;
+      }
+      auto [signature, epoch] = std::move(sig).ValueOrDie();
+      Status st;
+      if (has_pending_records_ && !loaded_) {
+        st = sp_->LoadDataset(pending_records_, std::move(signature), epoch);
+        loaded_ = st.ok();
+      } else if (has_pending_records_) {
+        for (const Record& record : pending_records_) {
+          st = sp_->ApplyInsert(record, signature, epoch);
+          if (!st.ok()) break;
+        }
+      } else if (has_pending_delete_) {
+        st = sp_->ApplyDelete(pending_delete_, std::move(signature), epoch);
+      } else {
+        sp_->SetSignature(std::move(signature), epoch);
+      }
+      pending_records_.clear();
+      has_pending_records_ = false;
+      has_pending_delete_ = false;
+      responses->push_back(st.ok() ? ControlFrame(kCtlAck) : ErrorFrame(st));
+      return false;
+    }
+    case kCtlGetEpoch:
+      responses->push_back(core::SerializeEpochNotice(sp_->epoch()));
+      return false;
+    case kCtlPoisonQuery: {
+      std::vector<uint8_t> inner(request.begin() + 1, request.end());
+      auto req = core::DeserializeQueryRequest(inner);
+      if (!req.ok()) {
+        responses->push_back(ErrorFrame(req.status()));
+        return false;
+      }
+      auto plan = sp_->ExecutePoisonedPlan(req.value(), kPoisonSeed);
+      if (!plan.ok()) {
+        responses->push_back(ErrorFrame(plan.status()));
+        return false;
+      }
+      const auto& result = plan.value();
+      responses->push_back(core::SerializeQueryAnswer(
+          result.answer, result.witness, sp_->epoch(), codec));
+      responses->push_back(result.vo.Serialize());
+      return false;
+    }
+    case kCtlShutdown:
+      responses->push_back(ControlFrame(kCtlAck));
+      return true;
+    default:
+      responses->push_back(
+          ErrorFrame(Status::Corruption("unknown message tag")));
+      return false;
+  }
+}
+
+// --- data owner epoch endpoint --------------------------------------------------
+
+OwnerServer::OwnerServer(std::function<uint64_t()> epoch_fn,
+                         FrameServerOptions options)
+    : epoch_fn_(std::move(epoch_fn)),
+      server_(options, [this](std::vector<uint8_t> request,
+                              std::vector<std::vector<uint8_t>>* responses) {
+        return Handle(std::move(request), responses);
+      }) {}
+
+bool OwnerServer::Handle(std::vector<uint8_t> request,
+                         std::vector<std::vector<uint8_t>>* responses) {
+  if (request.empty()) {
+    responses->push_back(ErrorFrame(Status::Corruption("empty frame")));
+    return false;
+  }
+  switch (request[0]) {
+    case kCtlGetEpoch:
+      responses->push_back(core::SerializeEpochNotice(epoch_fn_()));
+      return false;
+    case kCtlShutdown:
+      responses->push_back(ControlFrame(kCtlAck));
+      return true;
+    default:
+      responses->push_back(
+          ErrorFrame(Status::Corruption("unknown message tag")));
+      return false;
+  }
+}
+
+}  // namespace sae::net

@@ -1,0 +1,84 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Thin POSIX socket helpers shared by the event-loop server and the pooled
+// blocking client transport: RAII fd ownership, listen/connect on loopback
+// or any interface, and blocking send/receive of whole frames.
+
+#ifndef SAE_NET_SOCKET_H_
+#define SAE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace sae::net {
+
+/// Owning file descriptor; closes on destruction, movable, non-copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A TCP endpoint; loopback by default — the serving tier's deployment unit
+/// is "four parties on one host" until someone points these at real hosts.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Opens a listening TCP socket on `port` (0 picks an ephemeral port) bound
+/// to all interfaces, with SO_REUSEADDR. Returns the fd.
+Result<int> ListenTcp(uint16_t port, int backlog = 511);
+
+/// The locally bound port of a listening socket (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking connect; on success the socket has TCP_NODELAY set (every frame
+/// here is a complete request or response — Nagle only adds latency).
+Result<int> ConnectTcp(const Endpoint& endpoint);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+/// Blocking loop until all `len` bytes are written (handles short writes).
+Status SendAll(int fd, const uint8_t* data, size_t len);
+
+/// Sends one frame (header + payload) blocking.
+Status SendFrame(int fd, const std::vector<uint8_t>& payload);
+
+/// Blocking read of the next complete frame through `decoder` (which holds
+/// any bytes of the following frame that arrived early). Error on EOF,
+/// socket error, or a poisoned stream (oversized declared length).
+Result<std::vector<uint8_t>> RecvFrame(int fd, FrameDecoder* decoder);
+
+}  // namespace sae::net
+
+#endif  // SAE_NET_SOCKET_H_

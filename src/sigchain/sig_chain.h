@@ -55,6 +55,15 @@ crypto::Digest ChainDigest(const crypto::Digest& prev,
                            const crypto::Digest& next,
                            crypto::HashScheme scheme = crypto::HashScheme::kSha1);
 
+/// Every interior chain hash of a contiguous digest sequence at once:
+/// returns out[k-1] = ChainDigest(ds[k-1], ds[k], ds[k+1]) for k in
+/// [1, ds.size()-1). Each 60-byte preimage is a window into the sequence
+/// itself (Digest is padding-free), so the whole chain is one batched
+/// multi-buffer hash call with zero copies. Empty when ds.size() < 3.
+std::vector<crypto::Digest> ChainDigests(
+    const std::vector<crypto::Digest>& ds,
+    crypto::HashScheme scheme = crypto::HashScheme::kSha1);
+
 /// Condensed-RSA: multiplies signatures modulo n so a whole result costs
 /// one signature transmission and one exponentiation to verify.
 crypto::RsaSignature CondenseSignatures(

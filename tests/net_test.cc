@@ -1,0 +1,531 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The serving tier end to end: frame codec (including hostile length
+// prefixes and a split/garbage fuzzer), loopback golden parity — the bytes
+// a socket carries must be byte-identical to the in-process serializations
+// the golden suite pins — and the networked SAE/TOM deployments: wire
+// loading, verified queries for every operator, a poisoning SP that the
+// networked client rejects, staleness detection, and a small concurrency
+// smoke over pooled transports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/client.h"
+#include "core/data_owner.h"
+#include "core/messages.h"
+#include "core/service_provider.h"
+#include "core/tom.h"
+#include "core/trusted_entity.h"
+#include "dbms/query.h"
+#include "mbtree/vo.h"
+#include "net/client_transport.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "util/random.h"
+
+namespace sae {
+namespace {
+
+using dbms::QueryRequest;
+using storage::Record;
+using storage::RecordCodec;
+
+constexpr size_t kRecSize = 64;
+
+std::vector<Record> Dataset(size_t n) {
+  RecordCodec codec(kRecSize);
+  std::vector<Record> out;
+  for (uint64_t id = 1; id <= n; ++id) {
+    out.push_back(codec.MakeRecord(id, uint32_t(id * 10)));
+  }
+  return out;
+}
+
+// --- frame codec ----------------------------------------------------------------
+
+TEST(FrameCodecTest, RoundTripsMultipleFrames) {
+  std::vector<uint8_t> wire;
+  std::vector<std::vector<uint8_t>> payloads = {
+      {}, {0x01}, {0xAA, 0xBB, 0xCC}, std::vector<uint8_t>(1000, 0x5A)};
+  for (const auto& p : payloads) net::AppendFrame(&wire, p.data(), p.size());
+
+  net::FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()));
+  std::vector<uint8_t> frame;
+  for (const auto& expected : payloads) {
+    ASSERT_TRUE(decoder.Next(&frame));
+    EXPECT_EQ(frame, expected);
+  }
+  EXPECT_FALSE(decoder.Next(&frame));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, ByteAtATimeDelivery) {
+  std::vector<uint8_t> payload(257);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = uint8_t(i);
+  std::vector<uint8_t> wire = net::EncodeFrame(payload);
+
+  net::FrameDecoder decoder;
+  std::vector<uint8_t> frame;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(&wire[i], 1));
+    EXPECT_FALSE(decoder.Next(&frame)) << "complete before last byte";
+  }
+  ASSERT_TRUE(decoder.Feed(&wire[wire.size() - 1], 1));
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame, payload);
+}
+
+TEST(FrameCodecTest, TruncatedFrameNeverCompletes) {
+  std::vector<uint8_t> payload(64, 0x7F);
+  std::vector<uint8_t> wire = net::EncodeFrame(payload);
+  net::FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size() - 1));
+  std::vector<uint8_t> frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_EQ(decoder.buffered(), wire.size() - 1);
+}
+
+TEST(FrameCodecTest, LyingLengthPrefixFailsWithoutAllocating) {
+  // A 4 GiB-minus-one declared length against a 1 KiB cap: the decoder must
+  // reject at header-parse time, before reserving payload storage. The
+  // buffered() bound is the observable no-allocation proxy.
+  net::FrameDecoder decoder(/*max_payload=*/1024);
+  std::vector<uint8_t> header = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(decoder.Feed(header.data(), header.size()));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_FALSE(decoder.error().empty());
+  EXPECT_LE(decoder.buffered(), net::kFrameHeaderBytes);
+  // Poisoned decoders stay poisoned: later bytes are refused too.
+  uint8_t more = 0x00;
+  EXPECT_FALSE(decoder.Feed(&more, 1));
+}
+
+TEST(FrameCodecTest, MaxPayloadBoundaryExact) {
+  net::FrameDecoder decoder(/*max_payload=*/8);
+  std::vector<uint8_t> payload(8, 0x11);
+  std::vector<uint8_t> wire = net::EncodeFrame(payload);
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()));
+  std::vector<uint8_t> frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame, payload);
+
+  net::FrameDecoder strict(/*max_payload=*/7);
+  EXPECT_FALSE(strict.Feed(wire.data(), wire.size()));
+  EXPECT_TRUE(strict.failed());
+}
+
+// Fuzz the decoder with random frame sequences cut at random boundaries and
+// with random garbage: decoding must either produce exactly the encoded
+// payloads or fail cleanly, and buffered() must stay bounded by what was
+// fed — never by what a hostile header declared.
+TEST(FrameCodecTest, FuzzSplitAndGarbageStreams) {
+  Rng rng(0x5AE2026);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::vector<uint8_t>> payloads;
+    std::vector<uint8_t> wire;
+    size_t n_frames = rng.NextBounded(4);
+    for (size_t f = 0; f < n_frames; ++f) {
+      std::vector<uint8_t> p(rng.NextBounded(300));
+      for (auto& b : p) b = uint8_t(rng.NextBounded(256));
+      net::AppendFrame(&wire, p.data(), p.size());
+      payloads.push_back(std::move(p));
+    }
+    bool corrupt = round % 3 == 0;
+    if (corrupt && !wire.empty()) {
+      // Flip bytes of one length header to lie about the size.
+      size_t at = 0;  // first frame's header
+      for (size_t i = 0; i < net::kFrameHeaderBytes; ++i) {
+        wire[at + i] = uint8_t(rng.NextBounded(256));
+      }
+    }
+    net::FrameDecoder decoder(/*max_payload=*/4096);
+    size_t fed = 0;
+    bool poisoned = false;
+    while (fed < wire.size() && !poisoned) {
+      size_t chunk = 1 + rng.NextBounded(37);
+      chunk = std::min(chunk, wire.size() - fed);
+      if (!decoder.Feed(wire.data() + fed, chunk)) poisoned = true;
+      fed += chunk;
+      ASSERT_LE(decoder.buffered(), fed) << "buffered more than was fed";
+    }
+    std::vector<uint8_t> frame;
+    size_t got = 0;
+    while (decoder.Next(&frame)) {
+      if (!corrupt) {
+        ASSERT_LT(got, payloads.size());
+        EXPECT_EQ(frame, payloads[got]);
+      }
+      ++got;
+    }
+    if (!corrupt) {
+      EXPECT_FALSE(poisoned);
+      EXPECT_EQ(got, payloads.size());
+    }
+  }
+}
+
+// --- loopback golden parity -----------------------------------------------------
+
+// Every pinned wire message, shipped through a real socket + frame server
+// and back: the received bytes must equal the in-process serialization
+// exactly. This is the gate that makes the golden pins cover the network
+// path too.
+TEST(LoopbackGoldenTest, SocketBytesMatchInProcessSerializations) {
+  net::FrameServer echo({}, [](std::vector<uint8_t> request,
+                               std::vector<std::vector<uint8_t>>* responses) {
+    responses->push_back(std::move(request));
+    return false;
+  });
+  ASSERT_TRUE(echo.Start().ok());
+
+  RecordCodec codec(kRecSize);
+  Record r1 = codec.MakeRecord(7, 42);
+  Record r2 = codec.MakeRecord(8, 43);
+  core::VerificationToken vt;
+  vt.epoch = 0x0102030405060708ull;
+  for (size_t i = 0; i < crypto::Digest::kSize; ++i) {
+    vt.digest.bytes[i] = uint8_t(i);
+  }
+  dbms::QueryAnswer answer;
+  answer.op = dbms::QueryOp::kCount;
+  answer.count = 2;
+  crypto::RsaSignature sig = {0xDE, 0xAD, 0xBE, 0xEF};
+
+  std::vector<std::vector<uint8_t>> pinned = {
+      core::SerializeRecords({r1, r2}, codec),
+      core::SerializeQuery(10, 99),
+      core::SerializeQueryRequest(QueryRequest::TopK(10, 99, 3)),
+      core::SerializeQueryAnswer(answer, {r1, r2}, 5, codec),
+      core::SerializeVt(vt),
+      core::SerializeResults({r1}, 5, codec),
+      core::SerializeEpochNotice(0x0807060504030201ull),
+      core::SerializeDelete(7, 42),
+      core::SerializeShardEpochs({1, 2, 3}),
+      core::SerializeSignature(sig, 9),
+  };
+
+  net::ClientTransport transport({.port = echo.port()});
+  for (const auto& bytes : pinned) {
+    ASSERT_FALSE(bytes.empty());
+    auto response = transport.Call(bytes);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value(), bytes)
+        << "socket altered pinned message with tag 0x" << std::hex
+        << int(bytes[0]);
+  }
+  EXPECT_EQ(echo.frames_served(), pinned.size());
+  echo.Stop();
+}
+
+// A connection that ships a lying length prefix is dropped and counted,
+// while a well-formed connection keeps working.
+TEST(LoopbackGoldenTest, ServerDropsLyingLengthPrefix) {
+  net::FrameServer echo({}, [](std::vector<uint8_t> request,
+                               std::vector<std::vector<uint8_t>>* responses) {
+    responses->push_back(std::move(request));
+    return false;
+  });
+  ASSERT_TRUE(echo.Start().ok());
+
+  auto fd = net::ConnectTcp({.port = echo.port()});
+  ASSERT_TRUE(fd.ok());
+  net::UniqueFd conn(fd.value());
+  std::vector<uint8_t> hostile = {0xFF, 0xFF, 0xFF, 0xFF, 0x00};
+  ASSERT_TRUE(net::SendAll(conn.get(), hostile.data(), hostile.size()).ok());
+  net::FrameDecoder decoder;
+  auto reply = net::RecvFrame(conn.get(), &decoder);
+  EXPECT_FALSE(reply.ok());  // server dropped us without answering
+
+  // The server survives and still echoes for honest clients.
+  net::ClientTransport transport({.port = echo.port()});
+  std::vector<uint8_t> ping = {0x42};
+  auto response = transport.Call(ping);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value(), ping);
+  EXPECT_GE(echo.protocol_errors(), 1u);
+  echo.Stop();
+}
+
+// --- networked SAE deployment ---------------------------------------------------
+
+class NetServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sp_ = std::make_unique<core::ServiceProvider>(
+        core::ServiceProviderOptions{.record_size = kRecSize});
+    te_ = std::make_unique<core::TrustedEntity>(
+        core::TrustedEntityOptions{.record_size = kRecSize});
+    sp_server_ = std::make_unique<net::SpServer>(sp_.get());
+    te_server_ = std::make_unique<net::TeServer>(te_.get());
+    ASSERT_TRUE(sp_server_->Start().ok());
+    ASSERT_TRUE(te_server_->Start().ok());
+
+    // Wire-load both parties the way a networked DO would: a Records frame
+    // then the epoch notice.
+    RecordCodec codec(kRecSize);
+    dataset_ = Dataset(100);
+    net::ClientTransport sp_link({.port = sp_server_->port()});
+    net::ClientTransport te_link({.port = te_server_->port()});
+    std::vector<uint8_t> records = core::SerializeRecords(dataset_, codec);
+    std::vector<uint8_t> notice = core::SerializeEpochNotice(1);
+    ASSERT_TRUE(net::CallExpectAck(&sp_link, records).ok());
+    ASSERT_TRUE(net::CallExpectAck(&te_link, records).ok());
+    ASSERT_TRUE(net::CallExpectAck(&sp_link, notice).ok());
+    ASSERT_TRUE(net::CallExpectAck(&te_link, notice).ok());
+    published_epoch_ = 1;
+
+    owner_server_ = std::make_unique<net::OwnerServer>(
+        [this] { return published_epoch_.load(); });
+    ASSERT_TRUE(owner_server_->Start().ok());
+
+    client_ = std::make_unique<net::NetSaeClient>(net::NetSaeClientOptions{
+        .sp = {.port = sp_server_->port()},
+        .te = {.port = te_server_->port()},
+        .owner = {.port = owner_server_->port()},
+        .record_size = kRecSize});
+  }
+
+  void TearDown() override {
+    sp_server_->Stop();
+    te_server_->Stop();
+    owner_server_->Stop();
+  }
+
+  std::unique_ptr<core::ServiceProvider> sp_;
+  std::unique_ptr<core::TrustedEntity> te_;
+  std::unique_ptr<net::SpServer> sp_server_;
+  std::unique_ptr<net::TeServer> te_server_;
+  std::unique_ptr<net::OwnerServer> owner_server_;
+  std::unique_ptr<net::NetSaeClient> client_;
+  std::vector<Record> dataset_;
+  std::atomic<uint64_t> published_epoch_{0};
+};
+
+TEST_F(NetServingTest, AllOperatorsVerifyAgainstOracle) {
+  std::vector<QueryRequest> requests = {
+      QueryRequest::Scan(100, 400),  QueryRequest::Point(250),
+      QueryRequest::Count(100, 400), QueryRequest::Sum(100, 400),
+      QueryRequest::Min(100, 400),   QueryRequest::Max(100, 400),
+      QueryRequest::TopK(100, 400, 5)};
+  for (const QueryRequest& request : requests) {
+    auto verified = client_->Query(request);
+    ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+    // The witness is the oracle range; spot-check it.
+    std::vector<Record> oracle;
+    for (const Record& r : dataset_) {
+      if (r.key >= request.lo && r.key <= request.hi) oracle.push_back(r);
+    }
+    EXPECT_EQ(verified.value().witness, oracle);
+    EXPECT_EQ(verified.value().claimed_epoch, 1u);
+    EXPECT_EQ(verified.value().published_epoch, 1u);
+  }
+}
+
+// The networked response must be the exact bytes the in-process protocol
+// would have produced for the same plan.
+TEST_F(NetServingTest, ResponseBytesMatchInProcessSerialization) {
+  QueryRequest request = QueryRequest::Scan(100, 400);
+  net::ClientTransport sp_link({.port = sp_server_->port()});
+  auto wire = sp_link.Call(core::SerializeQueryRequest(request));
+  ASSERT_TRUE(wire.ok());
+
+  auto plan = sp_->ExecutePlan(request);
+  ASSERT_TRUE(plan.ok());
+  std::vector<uint8_t> in_process = core::SerializeQueryAnswer(
+      plan.value().answer, plan.value().witness, sp_->epoch(),
+      sp_->table().codec());
+  EXPECT_EQ(wire.value(), in_process);
+}
+
+TEST_F(NetServingTest, PoisonedPlanRejected) {
+  auto verified = client_->QueryPoisoned(QueryRequest::Scan(100, 400));
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.status().code(), StatusCode::kVerificationFailure)
+      << verified.status().ToString();
+}
+
+TEST_F(NetServingTest, StaleSpDetected) {
+  // An update reaches the TE and the DO publishes epoch 2, but the SP
+  // never applies it: its claimed epoch lags and the client reports
+  // staleness, not corruption.
+  RecordCodec codec(kRecSize);
+  Record extra = codec.MakeRecord(101, 105);
+  net::ClientTransport te_link({.port = te_server_->port()});
+  ASSERT_TRUE(
+      net::CallExpectAck(&te_link, core::SerializeRecords({extra}, codec))
+          .ok());
+  ASSERT_TRUE(
+      net::CallExpectAck(&te_link, core::SerializeEpochNotice(2)).ok());
+  published_epoch_ = 2;
+
+  auto verified = client_->Query(QueryRequest::Scan(100, 400));
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.status().code(), StatusCode::kStaleEpoch)
+      << verified.status().ToString();
+
+  // Once the SP catches up, the same query verifies again.
+  net::ClientTransport sp_link({.port = sp_server_->port()});
+  ASSERT_TRUE(
+      net::CallExpectAck(&sp_link, core::SerializeRecords({extra}, codec))
+          .ok());
+  ASSERT_TRUE(
+      net::CallExpectAck(&sp_link, core::SerializeEpochNotice(2)).ok());
+  auto fresh = client_->Query(QueryRequest::Scan(100, 400));
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh.value().published_epoch, 2u);
+}
+
+TEST_F(NetServingTest, WireInsertAndDeleteRoundTrip) {
+  RecordCodec codec(kRecSize);
+  Record extra = codec.MakeRecord(200, 123);
+  net::ClientTransport sp_link({.port = sp_server_->port()});
+  net::ClientTransport te_link({.port = te_server_->port()});
+  std::vector<uint8_t> records = core::SerializeRecords({extra}, codec);
+  std::vector<uint8_t> notice = core::SerializeEpochNotice(2);
+  ASSERT_TRUE(net::CallExpectAck(&sp_link, records).ok());
+  ASSERT_TRUE(net::CallExpectAck(&te_link, records).ok());
+  ASSERT_TRUE(net::CallExpectAck(&sp_link, notice).ok());
+  ASSERT_TRUE(net::CallExpectAck(&te_link, notice).ok());
+  published_epoch_ = 2;
+
+  auto verified = client_->Query(QueryRequest::Point(123));
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  ASSERT_EQ(verified.value().witness.size(), 1u);
+  EXPECT_EQ(verified.value().witness[0], extra);
+
+  std::vector<uint8_t> del = core::SerializeDelete(extra.id, extra.key);
+  std::vector<uint8_t> notice3 = core::SerializeEpochNotice(3);
+  ASSERT_TRUE(net::CallExpectAck(&sp_link, del).ok());
+  ASSERT_TRUE(net::CallExpectAck(&te_link, del).ok());
+  ASSERT_TRUE(net::CallExpectAck(&sp_link, notice3).ok());
+  ASSERT_TRUE(net::CallExpectAck(&te_link, notice3).ok());
+  published_epoch_ = 3;
+
+  auto gone = client_->Query(QueryRequest::Point(123));
+  ASSERT_TRUE(gone.ok()) << gone.status().ToString();
+  EXPECT_TRUE(gone.value().witness.empty());
+}
+
+TEST_F(NetServingTest, ConcurrentClientsAllVerify) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      // Each thread drives its own pooled client (its own connections).
+      net::NetSaeClient client(net::NetSaeClientOptions{
+          .sp = {.port = sp_server_->port()},
+          .te = {.port = te_server_->port()},
+          .owner = {.port = owner_server_->port()},
+          .record_size = kRecSize});
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        uint32_t lo = uint32_t((t * 37 + q * 13) % 900);
+        auto verified = client.Query(QueryRequest::Scan(lo, lo + 100));
+        if (!verified.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(sp_server_->frame_server().connections_accepted(),
+            uint64_t(kThreads));
+}
+
+// --- networked TOM deployment ---------------------------------------------------
+
+class TomNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    owner_ = std::make_unique<core::TomDataOwner>(
+        core::TomDataOwnerOptions{.record_size = kRecSize});
+    sp_ = std::make_unique<core::TomServiceProvider>(
+        core::TomServiceProviderOptions{.record_size = kRecSize});
+    dataset_ = Dataset(100);
+    ASSERT_TRUE(owner_->LoadDataset(dataset_).ok());
+
+    sp_server_ = std::make_unique<net::TomSpServer>(sp_.get());
+    ASSERT_TRUE(sp_server_->Start().ok());
+    owner_server_ = std::make_unique<net::OwnerServer>(
+        [this] { return owner_->epoch(); });
+    ASSERT_TRUE(owner_server_->Start().ok());
+
+    // Wire-load: records frame, then the committing signature frame.
+    RecordCodec codec(kRecSize);
+    net::ClientTransport sp_link({.port = sp_server_->port()});
+    ASSERT_TRUE(
+        net::CallExpectAck(&sp_link, core::SerializeRecords(dataset_, codec))
+            .ok());
+    ASSERT_TRUE(net::CallExpectAck(
+                    &sp_link, core::SerializeSignature(owner_->signature(),
+                                                       owner_->epoch()))
+                    .ok());
+
+    client_ = std::make_unique<net::NetTomClient>(net::NetTomClientOptions{
+        .sp = {.port = sp_server_->port()},
+        .owner = {.port = owner_server_->port()},
+        .owner_key = owner_->public_key(),
+        .record_size = kRecSize});
+  }
+
+  void TearDown() override {
+    sp_server_->Stop();
+    owner_server_->Stop();
+  }
+
+  std::unique_ptr<core::TomDataOwner> owner_;
+  std::unique_ptr<core::TomServiceProvider> sp_;
+  std::unique_ptr<net::TomSpServer> sp_server_;
+  std::unique_ptr<net::OwnerServer> owner_server_;
+  std::unique_ptr<net::NetTomClient> client_;
+  std::vector<Record> dataset_;
+};
+
+TEST_F(TomNetTest, OperatorsVerifyOverTheWire) {
+  std::vector<QueryRequest> requests = {
+      QueryRequest::Scan(100, 400), QueryRequest::Count(100, 400),
+      QueryRequest::Sum(100, 400), QueryRequest::TopK(100, 400, 5)};
+  for (const QueryRequest& request : requests) {
+    auto verified = client_->Query(request);
+    ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+    EXPECT_EQ(verified.value().vo_epoch, owner_->epoch());
+  }
+}
+
+TEST_F(TomNetTest, PoisonedPlanRejected) {
+  auto verified = client_->QueryPoisoned(QueryRequest::Scan(100, 400));
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.status().code(), StatusCode::kVerificationFailure)
+      << verified.status().ToString();
+}
+
+TEST_F(TomNetTest, WireInsertCommitsWithSignature) {
+  RecordCodec codec(kRecSize);
+  Record extra = codec.MakeRecord(101, 105);
+  ASSERT_TRUE(owner_->InsertRecord(extra).ok());
+
+  net::ClientTransport sp_link({.port = sp_server_->port()});
+  ASSERT_TRUE(
+      net::CallExpectAck(&sp_link, core::SerializeRecords({extra}, codec))
+          .ok());
+  ASSERT_TRUE(net::CallExpectAck(
+                  &sp_link, core::SerializeSignature(owner_->signature(),
+                                                     owner_->epoch()))
+                  .ok());
+
+  auto verified = client_->Query(QueryRequest::Point(105));
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  ASSERT_EQ(verified.value().witness.size(), 1u);
+  EXPECT_EQ(verified.value().witness[0], extra);
+}
+
+}  // namespace
+}  // namespace sae
