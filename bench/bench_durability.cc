@@ -1,0 +1,194 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Durability bench: what crash safety costs and what recovery costs.
+// Three sections, all over a storage::FaultFs (an in-memory Vfs), so the
+// numbers isolate the durability PROTOCOL — WAL encode + checksum + sync
+// ordering, snapshot serialization — from the host device's fsync
+// latency, and stay deterministic across CI runners:
+//
+//   1. wal_overhead — a 90/10 query/update schedule on the SAE system,
+//      durability off vs on; the ratio is the write-path tax of
+//      sync-before-apply.
+//   2. recovery    — Recover() wall time as a function of the WAL tail
+//      length replayed (snapshot cadence disabled past the baseline).
+//   3. cadence     — the snapshot_interval trade: update throughput
+//      (checkpoint I/O amortized over updates) against the recovery time
+//      the resulting WAL tail costs.
+//
+// Emits BENCH_durability.json (BenchJson) for
+// scripts/check_perf_regression.py; SAE_BENCH_SCALE scales the op counts.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fig_common.h"
+#include "storage/fault_fs.h"
+
+namespace sae::bench {
+namespace {
+
+using core::SaeSystem;
+using storage::FaultFs;
+
+constexpr uint32_t kExtent = uint32_t(kDomainMax * kQueryExtent);
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SaeSystem::Options Options(FaultFs* fs, uint64_t snapshot_interval) {
+  SaeSystem::Options options;
+  options.record_size = kRecordSize;
+  if (fs != nullptr) {
+    options.durability.enabled = true;
+    options.durability.dir = "/db";
+    options.durability.vfs = fs;
+    options.durability.snapshot_interval = snapshot_interval;
+  }
+  return options;
+}
+
+/// Runs `ops` operations, every 10th an insert (the paper's read-mostly
+/// serving mix), and returns ops/second. Queries verify end to end, so
+/// both configurations pay the identical read-path cost and the delta is
+/// purely the write path.
+double RunMixedSchedule(SaeSystem* system, size_t ops, uint64_t* next_id) {
+  const storage::RecordCodec& codec = system->codec();
+  // Warm the caches and the lazily built query paths before the clock
+  // starts, so the off/on delta is the write path and not first-touch cost.
+  for (int i = 0; i < 20; ++i) {
+    uint32_t lo = uint32_t(i) * (kDomainMax / 32);
+    auto outcome = system->Query(lo, lo + kExtent);
+    SAE_CHECK_OK(outcome.status());
+  }
+  Rng rng(0xD0BE5);
+  double start = NowMs();
+  for (size_t i = 0; i < ops; ++i) {
+    if (i % 10 == 9) {
+      uint32_t key = uint32_t(rng.Next() % kDomainMax);
+      SAE_CHECK_OK(system->Insert(codec.MakeRecord((*next_id)++, key)));
+    } else {
+      uint32_t lo = uint32_t(rng.Next() % (kDomainMax - kExtent));
+      auto outcome = system->Query(lo, lo + kExtent);
+      SAE_CHECK_OK(outcome.status());
+      SAE_CHECK_OK(outcome.value().verification);
+    }
+  }
+  double elapsed_ms = NowMs() - start;
+  return elapsed_ms > 0 ? double(ops) * 1000.0 / elapsed_ms : 0.0;
+}
+
+}  // namespace
+}  // namespace sae::bench
+
+int main() {
+  using namespace sae;
+  using namespace sae::bench;
+
+  double scale = BenchScale();
+  const size_t n = size_t(20'000 * scale) < 2000 ? 2000
+                                                 : size_t(20'000 * scale);
+  const size_t mixed_ops = size_t(2'000 * scale) < 200
+                               ? 200
+                               : size_t(2'000 * scale);
+  auto records = MakeDataset(workload::Distribution::kUniform, n);
+
+  BenchJson json("durability");
+  PrintHeader("durability: WAL overhead, recovery time, cadence trade",
+              "# section config metric");
+
+  // --- 1. WAL overhead on the 90/10 mix -----------------------------------
+  {
+    uint64_t next_id = n + 1;
+    SaeSystem volatile_system(Options(nullptr, 0));
+    SAE_CHECK_OK(volatile_system.Load(records));
+    double off_ops = RunMixedSchedule(&volatile_system, mixed_ops, &next_id);
+
+    FaultFs fs;
+    next_id = n + 1;
+    SaeSystem durable_system(Options(&fs, 64));
+    SAE_CHECK_OK(durable_system.Load(records));
+    double on_ops = RunMixedSchedule(&durable_system, mixed_ops, &next_id);
+
+    double overhead_pct =
+        on_ops > 0 ? (off_ops / on_ops - 1.0) * 100.0 : 0.0;
+    std::printf("wal_overhead durability=off  %10.0f ops/s\n", off_ops);
+    std::printf("wal_overhead durability=on   %10.0f ops/s  (+%.1f%% cost)\n",
+                on_ops, overhead_pct);
+    json.Row({{"section", "wal_overhead"}, {"config", "durability_off"}},
+             {{"ops_per_sec", off_ops}});
+    json.Row({{"section", "wal_overhead"}, {"config", "durability_on"}},
+             {{"ops_per_sec", on_ops}});
+  }
+
+  // --- 2. recovery time vs WAL tail length --------------------------------
+  // snapshot_interval=0: only the baseline snapshot exists, so recovery
+  // replays exactly `tail` records.
+  for (size_t tail : {size_t(0), size_t(64), size_t(256), size_t(1024)}) {
+    FaultFs fs;
+    uint64_t next_id = n + 1;
+    {
+      SaeSystem system(Options(&fs, 0));
+      SAE_CHECK_OK(system.Load(records));
+      const storage::RecordCodec& codec = system.codec();
+      for (size_t i = 0; i < tail; ++i) {
+        SAE_CHECK_OK(system.Insert(
+            codec.MakeRecord(next_id++, uint32_t(i % kDomainMax))));
+      }
+    }
+    fs.DropVolatile();
+    double start = NowMs();
+    auto recovered = SaeSystem::Recover(Options(&fs, 0));
+    double recovery_ms = NowMs() - start;
+    SAE_CHECK_OK(recovered.status());
+    SAE_CHECK(recovered.value()->epoch() == 1 + tail);
+    std::printf("recovery tail=%-5zu %8.2f ms\n", tail, recovery_ms);
+    json.Row({{"section", "recovery"},
+              {"wal_records", std::to_string(tail)}},
+             {{"recovery_ms", recovery_ms}});
+  }
+
+  // --- 3. snapshot cadence sweep ------------------------------------------
+  // Smaller intervals checkpoint more (slower updates) but leave a shorter
+  // WAL tail (faster recovery); the sweep quantifies both ends.
+  const size_t cadence_updates =
+      size_t(512 * scale) < 128 ? 128 : size_t(512 * scale);
+  for (uint64_t interval : {uint64_t(4), uint64_t(16), uint64_t(64),
+                            uint64_t(256)}) {
+    FaultFs fs;
+    uint64_t next_id = n + 1;
+    double update_ops;
+    {
+      SaeSystem system(Options(&fs, interval));
+      SAE_CHECK_OK(system.Load(records));
+      const storage::RecordCodec& codec = system.codec();
+      double start = NowMs();
+      for (size_t i = 0; i < cadence_updates; ++i) {
+        SAE_CHECK_OK(system.Insert(
+            codec.MakeRecord(next_id++, uint32_t(i % kDomainMax))));
+      }
+      double elapsed_ms = NowMs() - start;
+      update_ops = elapsed_ms > 0
+                       ? double(cadence_updates) * 1000.0 / elapsed_ms
+                       : 0.0;
+    }
+    fs.DropVolatile();
+    double start = NowMs();
+    auto recovered = SaeSystem::Recover(Options(&fs, interval));
+    double recovery_ms = NowMs() - start;
+    SAE_CHECK_OK(recovered.status());
+    SAE_CHECK(recovered.value()->epoch() == 1 + cadence_updates);
+    std::printf("cadence interval=%-4llu %10.0f updates/s  recovery %.2f ms\n",
+                (unsigned long long)interval, update_ops, recovery_ms);
+    json.Row({{"section", "cadence"},
+              {"snapshot_interval", std::to_string(interval)}},
+             {{"update_ops_per_sec", update_ops},
+              {"recovery_ms", recovery_ms}});
+  }
+
+  return json.Write();
+}

@@ -1,91 +1,160 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
-// Persistence demo: the SP stores the outsourced table in page files on
-// disk, snapshots its metadata, "crashes", and reopens without the data
-// owner re-shipping anything — queries still verify against the TE.
+// Crash-recovery demo on the durability subsystem (epoch snapshots + WAL,
+// core/durability.h). The SP runs with durability enabled over a
+// crash-injection file system (storage::FaultFs), gets killed mid-update
+// by a simulated power loss, recovers from the snapshot + WAL tail, and
+// serves verifying queries again at the exact epoch it had made durable.
+// The finale is the rollback adversary: restoring the SP from an OLDER
+// disk image recovers fine — the state is genuine, just old — but the
+// unmodified client freshness gate rejects its answers as kStaleEpoch.
 //
-//   $ ./examples/restartable_sp [workdir]
+//   $ ./examples/example_restartable_sp
+//
+// Exit codes: 0 ok; 1 setup failed; 2 the armed crash did not fire;
+// 3 recovery failed; 4 a recovered query failed verification; 5 the
+// recovered epoch is wrong; 6 the rollback was NOT rejected.
 
 #include <cstdio>
-#include <string>
+#include <memory>
+#include <vector>
 
-#include "core/client.h"
-#include "core/trusted_entity.h"
-#include "dbms/table.h"
-#include "storage/page_store.h"
-#include "util/codec.h"
+#include "core/system.h"
+#include "storage/fault_fs.h"
 #include "workload/dataset.h"
 
 using namespace sae;
 
 namespace {
+
 constexpr size_t kRecSize = 256;
 constexpr size_t kCardinality = 5000;
+constexpr uint32_t kDomainMax = 100000;
+
+core::SaeSystemOptions DurableOptions(storage::FaultFs* fs) {
+  core::SaeSystemOptions options;
+  options.record_size = kRecSize;
+  options.durability.enabled = true;
+  options.durability.dir = "/sp";          // paths live inside the FaultFs
+  options.durability.vfs = fs;
+  options.durability.snapshot_interval = 8;  // checkpoint every 8 updates
+  return options;
+}
+
+bool QueryAndVerify(core::SaeSystem* system, uint32_t lo, uint32_t hi) {
+  auto outcome = system->Query(lo, hi);
+  if (!outcome.ok()) {
+    std::printf("  query [%u, %u] failed: %s\n", lo, hi,
+                outcome.status().ToString().c_str());
+    return false;
+  }
+  std::printf("  query [%u, %u]: %zu results, epoch %llu, verification %s\n",
+              lo, hi, outcome.value().results.size(),
+              (unsigned long long)outcome.value().claimed_epoch,
+              outcome.value().verification.ToString().c_str());
+  return outcome.value().verification.ok();
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::string dir = argc > 1 ? argv[1] : "/tmp";
-  std::string index_path = dir + "/saedb_example_index.db";
-  std::string heap_path = dir + "/saedb_example_heap.db";
-  std::remove(index_path.c_str());
-  std::remove(heap_path.c_str());
-
+int main() {
   workload::DatasetSpec spec;
   spec.cardinality = kCardinality;
   spec.record_size = kRecSize;
-  spec.domain_max = 100000;
+  spec.domain_max = kDomainMax;
   auto records = workload::GenerateDataset(spec);
+  storage::RecordCodec codec(kRecSize);
 
-  // The TE is an independent party: it stays up across SP restarts.
-  core::TrustedEntity te(core::TrustedEntity::Options{
-      kRecSize, crypto::HashScheme::kSha1, 1024, {}, {}});
-  if (!te.LoadDataset(records).ok()) return 1;
-
-  ByteWriter snapshot;
+  // --- session 1: durable SP ingests and takes updates ---------------------
+  storage::FaultFs fs;
+  std::unique_ptr<storage::FaultFs> old_disk_image;
+  uint64_t durable_epoch = 0;
   {
-    // --- SP session 1: ingest and persist -------------------------------
-    auto index_store = storage::FilePageStore::Create(index_path).ValueOrDie();
-    auto heap_store = storage::FilePageStore::Create(heap_path).ValueOrDie();
-    storage::BufferPool index_pool(index_store.get(), 256);
-    storage::BufferPool heap_pool(heap_store.get(), 256);
-    auto table =
-        dbms::Table::Create(&index_pool, &heap_pool, kRecSize).ValueOrDie();
-    if (!table->BulkLoad(records).ok()) return 1;
-    table->WriteSnapshot(&snapshot);
-    if (!index_pool.FlushAll().ok() || !heap_pool.FlushAll().ok()) return 1;
-    std::printf("session 1: ingested %zu records into %s (+ index)\n",
-                table->size(), heap_path.c_str());
-  }  // SP process "crashes" here; only the files + snapshot bytes survive.
+    core::SaeSystem system(DurableOptions(&fs));
+    if (!system.Load(records).ok()) return 1;
+    std::printf(
+        "session 1: loaded %zu records, epoch %llu, baseline snapshot on "
+        "disk\n",
+        records.size(), (unsigned long long)system.epoch());
 
-  {
-    // --- SP session 2: reopen and serve ---------------------------------
-    auto index_store = storage::FilePageStore::Open(index_path).ValueOrDie();
-    auto heap_store = storage::FilePageStore::Open(heap_path).ValueOrDie();
-    storage::BufferPool index_pool(index_store.get(), 256);
-    storage::BufferPool heap_pool(heap_store.get(), 256);
-    ByteReader reader(snapshot.bytes().data(), snapshot.size());
-    auto table =
-        dbms::Table::OpenSnapshot(&index_pool, &heap_pool, &reader)
-            .ValueOrDie();
-    std::printf("session 2: reopened table with %zu records\n",
-                table->size());
-
-    storage::RecordCodec codec(kRecSize);
-    for (auto [lo, hi] : {std::pair<uint32_t, uint32_t>{20000, 25000},
-                          std::pair<uint32_t, uint32_t>{0, 3000}}) {
-      std::vector<storage::Record> results;
-      if (!table->RangeQuery(lo, hi, &results).ok()) return 1;
-      auto vt = te.GenerateVt(lo, hi);
-      if (!vt.ok()) return 1;
-      Status verdict = core::Client::VerifyResult(results, vt.value(), codec);
-      std::printf("  query [%u, %u]: %zu results, verification %s\n", lo, hi,
-                  results.size(), verdict.ToString().c_str());
-      if (!verdict.ok()) return 1;
+    // A dozen updates: each appends + syncs one WAL record BEFORE the
+    // in-memory auth state mutates.
+    for (uint64_t i = 0; i < 12; ++i) {
+      auto record = codec.MakeRecord(kCardinality + 1 + i,
+                                     kDomainMax + 10 + uint32_t(i));
+      if (!system.Insert(record).ok()) return 1;
     }
-  }
+    durable_epoch = system.epoch();
 
-  std::remove(index_path.c_str());
-  std::remove(heap_path.c_str());
-  std::printf("the SP restarted without the DO re-shipping the dataset\n");
+    // The rollback adversary images the disk NOW (all 12 updates durable)…
+    old_disk_image = fs.Clone();
+
+    // …the SP keeps going, then the power dies mid-update: the next WAL
+    // sync fails and every operation after it sees dead storage.
+    if (!system.Insert(codec.MakeRecord(kCardinality + 100,
+                                        kDomainMax + 100))
+             .ok()) {
+      return 1;
+    }
+    durable_epoch = system.epoch();
+    fs.CrashAtSyncPoint(1);  // the very next durability barrier fails
+    Status st =
+        system.Insert(codec.MakeRecord(kCardinality + 101, kDomainMax + 101));
+    if (st.ok() || !fs.crashed()) return 2;
+    std::printf(
+        "session 1: power lost mid-update (%s); %llu bytes of volatile "
+        "state destroyed\n",
+        st.ToString().c_str(), (unsigned long long)fs.volatile_bytes());
+  }
+  fs.DropVolatile();  // the process is gone; only durable bytes remain
+
+  // --- session 2: recover and serve ----------------------------------------
+  auto recovered = core::SaeSystem::Recover(DurableOptions(&fs));
+  if (!recovered.ok()) {
+    std::printf("recovery failed: %s\n",
+                recovered.status().ToString().c_str());
+    return 3;
+  }
+  core::SaeSystem& sp = *recovered.value();
+  std::printf(
+      "session 2: recovered from snapshot + WAL tail at epoch %llu "
+      "(wal %llu bytes)\n",
+      (unsigned long long)sp.epoch(),
+      (unsigned long long)sp.durability()->wal_bytes());
+  if (sp.epoch() != durable_epoch) return 5;  // lost a durable update!
+
+  if (!QueryAndVerify(&sp, 20000, 25000)) return 4;
+  if (!QueryAndVerify(&sp, 0, 3000)) return 4;
+  // The in-flight update died before its WAL record became durable, so it
+  // never happened — and the recovered SP takes new updates normally.
+  if (!sp.Insert(codec.MakeRecord(kCardinality + 200, kDomainMax + 200))
+           .ok()) {
+    return 4;
+  }
+  const uint64_t live_epoch = sp.epoch();
+
+  // --- the rollback adversary ----------------------------------------------
+  // Restore the SP from the older disk image. Recovery succeeds — the
+  // image is internally consistent — but the epoch it can prove is stale,
+  // and the client, holding the live published epoch, refuses the answer.
+  auto rolled_back = core::SaeSystem::Recover(
+      DurableOptions(old_disk_image.get()));
+  if (!rolled_back.ok()) return 3;
+  auto outcome = rolled_back.value()->Query(20000, 25000);
+  if (!outcome.ok()) return 6;
+  Status verdict = core::Client::VerifyAnswer(
+      outcome.value().request, outcome.value().answer,
+      outcome.value().results, outcome.value().vt,
+      outcome.value().claimed_epoch, live_epoch, codec);
+  std::printf(
+      "rollback adversary: served epoch %llu against live epoch %llu -> "
+      "%s\n",
+      (unsigned long long)outcome.value().claimed_epoch,
+      (unsigned long long)live_epoch, verdict.ToString().c_str());
+  if (verdict.code() != StatusCode::kStaleEpoch) return 6;
+
+  std::printf(
+      "the SP crashed, recovered every durable update, and the rolled-back "
+      "replica was caught by the freshness gate\n");
   return 0;
 }

@@ -50,6 +50,20 @@ class DataOwner {
   /// Guarded by the owning system's reader-writer lock under concurrency.
   uint64_t epoch() const { return epoch_; }
 
+  /// Whether `id` is in the master copy — the write-ahead path pre-validates
+  /// updates with this before logging them, so the WAL never records an
+  /// update the apply would reject.
+  bool HasRecord(RecordId id) const { return master_.count(id) > 0; }
+
+  /// Recovery: rewinds the epoch to `epoch` (the snapshot's) after a
+  /// fresh re-outsourcing of the snapshot dataset, re-announcing it to
+  /// both parties. No data moves; WAL replay advances from here.
+  void RestoreEpoch(uint64_t epoch, ServiceProvider* sp, TrustedEntity* te) {
+    epoch_ = epoch;
+    sp->SetEpoch(epoch);
+    te->SetEpoch(epoch);
+  }
+
   const RecordCodec& codec() const { return codec_; }
 
  private:

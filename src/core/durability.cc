@@ -1,0 +1,194 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the durability subsystem (core/durability.h): WAL-record and
+// snapshot-payload codecs plus the DurabilityManager open/log/checkpoint
+// life cycle.
+
+#include "core/durability.h"
+
+#include "util/codec.h"
+
+namespace sae::core {
+
+namespace {
+
+constexpr const char* kWalName = "wal";
+
+void PutRecord(ByteWriter* w, const Record& record) {
+  w->PutU64(record.id);
+  w->PutU32(record.key);
+  w->PutU32(uint32_t(record.payload.size()));
+  w->PutBytes(record.payload.data(), record.payload.size());
+}
+
+bool GetRecord(ByteReader* r, Record* out) {
+  out->id = r->GetU64();
+  out->key = r->GetU32();
+  uint32_t len = r->GetU32();
+  if (r->failed() || len > r->remaining()) return false;
+  out->payload.resize(len);
+  return len == 0 || r->GetBytes(out->payload.data(), len);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWalUpdate(const WalUpdate& update) {
+  ByteWriter w;
+  w.PutU8(update.op);
+  w.PutU64(update.epoch);
+  if (update.op == WalUpdate::kInsert) {
+    PutRecord(&w, update.record);
+  } else {
+    w.PutU64(update.id);
+  }
+  return w.Release();
+}
+
+Result<WalUpdate> DecodeWalUpdate(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  WalUpdate update;
+  update.op = r.GetU8();
+  update.epoch = r.GetU64();
+  if (update.op == WalUpdate::kInsert) {
+    if (!GetRecord(&r, &update.record)) {
+      return Status::Corruption("wal insert record does not decode");
+    }
+  } else if (update.op == WalUpdate::kDelete) {
+    update.id = r.GetU64();
+  } else {
+    return Status::Corruption("wal record has unknown op");
+  }
+  if (r.failed() || r.remaining() != 0 || update.epoch == 0) {
+    return Status::Corruption("wal record does not decode");
+  }
+  return update;
+}
+
+std::vector<uint8_t> EncodeSnapshotState(const SnapshotState& state) {
+  ByteWriter w;
+  w.PutU8(state.model);
+  w.PutU32(state.record_size);
+  w.PutU8(uint8_t(state.scheme));
+  w.PutU32(uint32_t(state.records.size()));
+  for (const Record& record : state.records) PutRecord(&w, record);
+  w.PutU32(uint32_t(state.signature.size()));
+  w.PutBytes(state.signature.data(), state.signature.size());
+  return w.Release();
+}
+
+Result<SnapshotState> DecodeSnapshotState(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  SnapshotState state;
+  state.model = r.GetU8();
+  state.record_size = r.GetU32();
+  uint8_t scheme = r.GetU8();
+  uint32_t count = r.GetU32();
+  if (state.model != SnapshotState::kSae && state.model != SnapshotState::kTom) {
+    return Status::Corruption("snapshot has unknown model tag");
+  }
+  if (scheme > uint8_t(crypto::HashScheme::kSha256Trunc)) {
+    return Status::Corruption("snapshot has unknown hash scheme");
+  }
+  state.scheme = crypto::HashScheme(scheme);
+  state.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Record record;
+    if (!GetRecord(&r, &record)) {
+      return Status::Corruption("snapshot record does not decode");
+    }
+    state.records.push_back(std::move(record));
+  }
+  uint32_t sig_len = r.GetU32();
+  if (r.failed() || sig_len > r.remaining()) {
+    return Status::Corruption("snapshot signature does not decode");
+  }
+  state.signature.resize(sig_len);
+  if (sig_len > 0 && !r.GetBytes(state.signature.data(), sig_len)) {
+    return Status::Corruption("snapshot signature does not decode");
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("snapshot payload has trailing bytes");
+  }
+  return state;
+}
+
+DurabilityManager::DurabilityManager(const DurabilityOptions& options,
+                                     storage::Vfs* vfs)
+    : options_(options),
+      vfs_(vfs),
+      snapshots_(vfs, options.dir, options.keep_snapshots) {}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    const DurabilityOptions& options) {
+  if (!options.enabled || options.dir.empty()) {
+    return Status::InvalidArgument("durability needs enabled=true and a dir");
+  }
+  storage::Vfs* vfs =
+      options.vfs != nullptr ? options.vfs : storage::Vfs::Default();
+  SAE_RETURN_NOT_OK(vfs->MkDir(options.dir));
+  auto mgr = std::unique_ptr<DurabilityManager>(
+      new DurabilityManager(options, vfs));
+
+  auto latest = mgr->snapshots_.LoadLatest();
+  if (latest.ok()) {
+    SAE_ASSIGN_OR_RETURN(SnapshotState state,
+                         DecodeSnapshotState(latest.value().payload));
+    mgr->recovered_.has_snapshot = true;
+    mgr->recovered_.snapshot_epoch = latest.value().epoch;
+    mgr->recovered_.snapshot_fell_back = latest.value().fell_back;
+    mgr->recovered_.snapshot = std::move(state);
+  } else if (latest.status().code() != StatusCode::kNotFound) {
+    return latest.status();
+  }
+
+  // Open the WAL: the checksum scan already cut any torn tail; a crc-valid
+  // record that fails to DECODE also ends the replayable prefix (it cannot
+  // have been written by LogUpdate), so truncate there too — never crash
+  // on garbage, never replay past it.
+  storage::WalContents contents;
+  SAE_ASSIGN_OR_RETURN(
+      mgr->wal_,
+      storage::WriteAheadLog::Open(vfs, options.dir + "/" + kWalName,
+                                   &contents));
+  mgr->recovered_.wal_truncated = contents.torn_tail;
+  uint64_t valid_offset = 0;
+  for (const std::vector<uint8_t>& payload : contents.records) {
+    auto update = DecodeWalUpdate(payload);
+    if (!update.ok()) {
+      mgr->recovered_.wal_truncated = true;
+      SAE_RETURN_NOT_OK(mgr->wal_->TruncateTo(valid_offset));
+      break;
+    }
+    mgr->recovered_.wal_tail.push_back(std::move(update.value()));
+    valid_offset += storage::kWalRecordHeader + payload.size();
+  }
+  return mgr;
+}
+
+Status DurabilityManager::LogUpdate(const WalUpdate& update) {
+  last_append_offset_ = wal_->size_bytes();
+  return wal_->Append(EncodeWalUpdate(update));
+}
+
+Status DurabilityManager::UndoFailedUpdate() {
+  return wal_->TruncateTo(last_append_offset_);
+}
+
+bool DurabilityManager::ShouldSnapshot() {
+  if (options_.snapshot_interval == 0) return false;
+  return ++updates_since_snapshot_ >= options_.snapshot_interval;
+}
+
+Status DurabilityManager::WriteSnapshot(uint64_t epoch,
+                                        const SnapshotState& state) {
+  SAE_RETURN_NOT_OK(snapshots_.Write(epoch, EncodeSnapshotState(state)));
+  // The snapshot is durable under its final name; every logged update is
+  // now redundant. A crash between the rename and this reset replays
+  // records with epoch <= snapshot epoch, which recovery skips.
+  SAE_RETURN_NOT_OK(wal_->Reset());
+  updates_since_snapshot_ = 0;
+  return Status::OK();
+}
+
+}  // namespace sae::core

@@ -1,0 +1,147 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// The durability subsystem the systems (core/system.h) plug into: WAL
+// record and snapshot payload formats plus the DurabilityManager that owns
+// a system's on-disk state (one directory: a `wal` file and `snap-<epoch>`
+// snapshots, storage/wal.h + storage/snapshot.h).
+//
+// Write-ahead contract: RunUpdate validates the op against the owner,
+// appends the WAL record — stamped with the POST-update epoch — and syncs
+// it durable, and only then mutates the in-memory authentication state.
+// An update whose record reached the disk is recoverable; one whose record
+// did not never happened. Snapshots checkpoint the full system state every
+// `snapshot_interval` updates so the WAL (and recovery replay) stays short.
+//
+// Recovery (SaeSystem::Recover / TomSystem::Recover) inverts this: load
+// the newest valid snapshot, replay the WAL records with epoch > snapshot
+// epoch through the normal owner paths, truncate whatever garbage follows
+// the valid prefix, and republish. The recovered epoch is provable — TOM
+// re-signs and cross-checks the persisted root signature — and clients
+// verify it as live traffic; a rollback to an older durable state yields
+// an older epoch that the unmodified client freshness gate rejects as
+// kStaleEpoch.
+
+#ifndef SAE_CORE_DURABILITY_H_
+#define SAE_CORE_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "storage/record.h"
+#include "storage/snapshot.h"
+#include "storage/vfs.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace sae::core {
+
+using storage::Key;
+using storage::Record;
+using storage::RecordId;
+
+/// Durability knobs of one system. Disabled by default — the simulation
+/// harness and the figure benches run purely in memory.
+struct DurabilityOptions {
+  bool enabled = false;
+  /// Directory holding this system's `wal` file and `snap-*` snapshots.
+  std::string dir;
+  /// File-system seam; nullptr = the real POSIX Vfs. Tests inject a
+  /// storage::FaultFs here to crash at exact sync points.
+  storage::Vfs* vfs = nullptr;
+  /// Updates between snapshots (0 = snapshot only at load). Small values
+  /// bound replay length at the price of checkpoint I/O — the cadence
+  /// sweep in bench_durability quantifies the trade.
+  uint64_t snapshot_interval = 64;
+  /// Snapshots kept by GC; >= 2 keeps a fallback behind a corrupt newest.
+  size_t keep_snapshots = 2;
+};
+
+/// One logged update, WAL payload <-> in-memory form. `epoch` is the epoch
+/// the update published (owner epoch after applying).
+struct WalUpdate {
+  enum Op : uint8_t { kInsert = 1, kDelete = 2 };
+  uint8_t op = kInsert;
+  uint64_t epoch = 0;
+  Record record;   // kInsert: the inserted record
+  RecordId id = 0; // kDelete: the deleted id
+};
+
+std::vector<uint8_t> EncodeWalUpdate(const WalUpdate& update);
+Result<WalUpdate> DecodeWalUpdate(const std::vector<uint8_t>& payload);
+
+/// The checkpointed system state a snapshot payload carries. Records are
+/// the full dataset in key order; TOM also persists the epoch-stamped root
+/// signature, which recovery cross-checks against a fresh re-signing.
+struct SnapshotState {
+  enum Model : uint8_t { kSae = 1, kTom = 2 };
+  uint8_t model = kSae;
+  uint32_t record_size = 0;
+  crypto::HashScheme scheme = crypto::HashScheme::kSha1;
+  std::vector<Record> records;
+  std::vector<uint8_t> signature;  // TOM root signature; empty for SAE
+};
+
+std::vector<uint8_t> EncodeSnapshotState(const SnapshotState& state);
+Result<SnapshotState> DecodeSnapshotState(const std::vector<uint8_t>& payload);
+
+/// Owns a system's durable state: the WAL append handle, the snapshot
+/// store, and the cadence counter. Opened at Load (fresh directory) or at
+/// Recover (existing directory — `recovered()` then exposes what the disk
+/// held). Calls are made under the owning system's writer lock.
+class DurabilityManager {
+ public:
+  /// What recovery found on disk: the newest valid snapshot (if any) and
+  /// the decoded WAL tail. Opening truncates the WAL to its valid prefix —
+  /// torn or corrupt records (checksum, length lie, or a crc-valid record
+  /// that fails to decode) end the prefix and are cut off, never replayed.
+  struct Recovered {
+    bool has_snapshot = false;
+    uint64_t snapshot_epoch = 0;
+    bool snapshot_fell_back = false;
+    SnapshotState snapshot;
+    std::vector<WalUpdate> wal_tail;
+    bool wal_truncated = false;  // garbage was cut from the log
+  };
+
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const DurabilityOptions& options);
+
+  const Recovered& recovered() const { return recovered_; }
+
+  /// Appends + syncs one update record (one sync point). The durability
+  /// commit point: returns OK iff the update is recoverable.
+  Status LogUpdate(const WalUpdate& update);
+
+  /// Rolls the WAL back over the last LogUpdate after the in-memory apply
+  /// failed, so the log never claims an update that did not happen.
+  Status UndoFailedUpdate();
+
+  /// Counts one applied update; true when the snapshot cadence is due.
+  bool ShouldSnapshot();
+
+  /// Checkpoints `state` under `epoch` (temp-write + sync + rename; two
+  /// sync points), then empties the WAL (one more) — its records are now
+  /// redundant. Resets the cadence counter.
+  Status WriteSnapshot(uint64_t epoch, const SnapshotState& state);
+
+  uint64_t wal_bytes() const { return wal_->size_bytes(); }
+  const DurabilityOptions& options() const { return options_; }
+
+ private:
+  DurabilityManager(const DurabilityOptions& options, storage::Vfs* vfs);
+
+  DurabilityOptions options_;
+  storage::Vfs* vfs_;
+  storage::SnapshotStore snapshots_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  Recovered recovered_;
+  uint64_t updates_since_snapshot_ = 0;
+  uint64_t last_append_offset_ = 0;
+};
+
+}  // namespace sae::core
+
+#endif  // SAE_CORE_DURABILITY_H_

@@ -7,12 +7,48 @@
 
 #include "core/sharded_system.h"
 
+#include <limits>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "util/macros.h"
 
 namespace sae::core {
+
+namespace {
+
+/// Per-shard durability directory: one WAL + snapshot lineage per shard.
+std::string ShardDurabilityDir(const std::string& dir, size_t shard) {
+  return dir + "/shard-" + std::to_string(shard);
+}
+
+/// `options.base` with the durability directory rebased for shard `s` (a
+/// no-op when durability is off).
+template <typename Base>
+typename Base::Options ShardOptions(
+    const typename ShardedSystem<Base>::Options& options, size_t s) {
+  typename Base::Options base = options.base;
+  if (base.durability.enabled) {
+    base.durability.dir = ShardDurabilityDir(base.durability.dir, s);
+  }
+  return base;
+}
+
+/// The recovered dataset of one shard, for rebuilding the id -> key
+/// routing directory.
+std::vector<Record> RecoveredRecords(SaeSystem* shard) {
+  return shard->owner().SortedDataset();
+}
+Result<std::vector<Record>> RecoveredRecords(TomSystem* shard) {
+  SAE_ASSIGN_OR_RETURN(TomServiceProvider::QueryResponse response,
+                       shard->sp().ExecuteRange(
+                           std::numeric_limits<Key>::min(),
+                           std::numeric_limits<Key>::max()));
+  return std::move(response.results);
+}
+
+}  // namespace
 
 template <typename Base>
 ShardedSystem<Base>::ShardedSystem(ShardRouter router, const Options& options)
@@ -21,8 +57,37 @@ ShardedSystem<Base>::ShardedSystem(ShardRouter router, const Options& options)
       fanout_(QueryEngineOptions{options.fanout_workers}) {
   shards_.reserve(router_.num_shards());
   for (size_t s = 0; s < router_.num_shards(); ++s) {
-    shards_.push_back(std::make_unique<Base>(options_.base));
+    shards_.push_back(
+        std::make_unique<Base>(ShardOptions<Base>(options_, s)));
   }
+}
+
+template <typename Base>
+Result<std::unique_ptr<ShardedSystem<Base>>> ShardedSystem<Base>::Recover(
+    ShardRouter router, const Options& options) {
+  if (!options.base.durability.enabled) {
+    return Status::InvalidArgument("recovery needs durability enabled");
+  }
+  auto system =
+      std::make_unique<ShardedSystem<Base>>(std::move(router), options);
+  std::lock_guard<std::mutex> lock(system->directory_mu_);
+  for (size_t s = 0; s < system->shards_.size(); ++s) {
+    SAE_ASSIGN_OR_RETURN(system->shards_[s],
+                         Base::Recover(ShardOptions<Base>(options, s)));
+    SAE_ASSIGN_OR_RETURN(std::vector<Record> records,
+                         Result<std::vector<Record>>(
+                             RecoveredRecords(system->shards_[s].get())));
+    for (const Record& record : records) {
+      if (!system->directory_.emplace(record.id, record.key).second) {
+        return Status::Corruption(
+            "record id recovered on more than one shard");
+      }
+      if (system->router_.ShardOf(record.key) != s) {
+        return Status::Corruption("recovered record violates the fences");
+      }
+    }
+  }
+  return system;
 }
 
 template <typename Base>

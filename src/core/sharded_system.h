@@ -97,8 +97,20 @@ class ShardedSystem {
   explicit ShardedSystem(ShardRouter router, const Options& options = {});
 
   /// Partitions the dataset along the fences and loads every shard (empty
-  /// shards load an empty dataset and still publish epoch 1).
+  /// shards load an empty dataset and still publish epoch 1). With
+  /// durability enabled, each shard persists under its own subdirectory
+  /// `<dir>/shard-<s>` — one WAL + snapshot lineage per shard, matching
+  /// the per-shard epoch independence.
   Status Load(const std::vector<Record>& records);
+
+  /// Rebuilds every shard from its `<dir>/shard-<s>` durability directory
+  /// (Base::Recover per shard) and reconstructs the id -> key routing
+  /// directory from the recovered datasets. Fails if ANY shard cannot
+  /// recover — a partially recovered deployment would serve torn
+  /// cross-shard answers, which is exactly what kShardEpochSkew exists to
+  /// prevent.
+  static Result<std::unique_ptr<ShardedSystem<Base>>> Recover(
+      ShardRouter router, const Options& options);
 
   /// One shard's contribution to a composite answer.
   struct Slice {

@@ -57,10 +57,78 @@ SaeSystem::SaeSystem(const Options& options)
 
 Status SaeSystem::Load(const std::vector<Record>& records) {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  SAE_RETURN_NOT_OK(LoadLocked(records));
+  if (options_.durability.enabled) {
+    SAE_ASSIGN_OR_RETURN(durability_,
+                         DurabilityManager::Open(options_.durability));
+    // The epoch-1 baseline: until this snapshot is durable, a crash means
+    // re-outsourcing from the DO's master copy (Recover -> kNotFound).
+    SAE_RETURN_NOT_OK(WriteSnapshotLocked());
+  }
+  return Status::OK();
+}
+
+Status SaeSystem::LoadLocked(const std::vector<Record>& records) {
   SAE_RETURN_NOT_OK(owner_.SetDataset(records));
   SAE_RETURN_NOT_OK(owner_.Outsource(&sp_, &te_, &do_sp_, &do_te_));
   published_epoch_.store(owner_.epoch(), std::memory_order_release);
   return Status::OK();
+}
+
+Status SaeSystem::WriteSnapshotLocked() {
+  SnapshotState state;
+  state.model = SnapshotState::kSae;
+  state.record_size = uint32_t(options_.record_size);
+  state.scheme = options_.scheme;
+  state.records = owner_.SortedDataset();
+  return durability_->WriteSnapshot(owner_.epoch(), state);
+}
+
+Result<std::unique_ptr<SaeSystem>> SaeSystem::Recover(const Options& options) {
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<DurabilityManager> mgr,
+                       DurabilityManager::Open(options.durability));
+  const DurabilityManager::Recovered& rec = mgr->recovered();
+  if (!rec.has_snapshot) {
+    return Status::NotFound("no durable snapshot to recover from");
+  }
+  if (rec.snapshot.model != SnapshotState::kSae) {
+    return Status::Corruption("snapshot belongs to a different model");
+  }
+  if (rec.snapshot.record_size != options.record_size ||
+      rec.snapshot.scheme != options.scheme) {
+    return Status::Corruption("snapshot configuration does not match options");
+  }
+
+  auto system = std::unique_ptr<SaeSystem>(new SaeSystem(options));
+  std::unique_lock<std::shared_mutex> lock(system->rw_mu_);
+  SAE_RETURN_NOT_OK(system->LoadLocked(rec.snapshot.records));
+  system->owner_.RestoreEpoch(rec.snapshot_epoch, &system->sp_,
+                              &system->te_);
+  // Replay the WAL tail through the normal owner paths. Records at or
+  // below the snapshot epoch are already inside it (a crash can land
+  // between the snapshot rename and the WAL reset); later records must
+  // chain epoch-contiguously out of the snapshot.
+  for (const WalUpdate& update : rec.wal_tail) {
+    if (update.epoch <= rec.snapshot_epoch) continue;
+    if (update.epoch != system->owner_.epoch() + 1) {
+      return Status::Corruption("wal epoch does not follow recovered state");
+    }
+    Status applied =
+        update.op == WalUpdate::kInsert
+            ? system->owner_.InsertRecord(update.record, &system->sp_,
+                                          &system->te_, &system->do_sp_,
+                                          &system->do_te_)
+            : system->owner_.DeleteRecord(update.id, &system->sp_,
+                                          &system->te_, &system->do_sp_,
+                                          &system->do_te_);
+    if (!applied.ok()) {
+      return Status::Corruption("wal replay failed: " + applied.message());
+    }
+  }
+  system->published_epoch_.store(system->owner_.epoch(),
+                                 std::memory_order_release);
+  system->durability_ = std::move(mgr);
+  return system;
 }
 
 Result<SaeSystem::QueryOutcome> SaeSystem::Query(
@@ -184,8 +252,10 @@ Result<SaeSystem::QueryOutcome> SaeSystem::ExecuteQuery(
   return outcome;
 }
 
-template <typename Fn>
-Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter, Fn&& apply) {
+template <typename Validate, typename Fn>
+Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter,
+                                      WalUpdate wal_update,
+                                      Validate&& validate, Fn&& apply) {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
   // Adversary staging (a one-time O(n) scan on the first update ever)
   // happens before the stopwatch so the reported update latency measures
@@ -194,7 +264,25 @@ Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter, Fn&& apply) {
   sim::Stopwatch watch;
   uint64_t sp_bytes0 = do_sp_.total_bytes();
   uint64_t te_bytes0 = do_te_.total_bytes();
-  Status st = apply();
+  // Write-ahead ordering: validate against the master copy first (so the
+  // WAL never records an update the apply rejects — error behavior is
+  // identical with durability on or off), log the update durable stamped
+  // with the epoch it will publish, and only then mutate memory.
+  Status st = validate();
+  if (st.ok() && durability_ != nullptr) {
+    wal_update.epoch = owner_.epoch() + 1;
+    st = durability_->LogUpdate(wal_update);
+  }
+  if (st.ok()) {
+    st = apply();
+    if (!st.ok() && durability_ != nullptr) {
+      // Retract the logged record: the log must not claim an update that
+      // did not happen. Best effort — if storage is gone too, recovery's
+      // epoch-chain check drops the orphan record anyway.
+      Status undone = durability_->UndoFailedUpdate();
+      (void)undone;
+    }
+  }
   // Channels carry shipment + epoch notice; updates are the only senders
   // on the DO channels and they hold the unique lock, so the delta is
   // exactly this update's traffic.
@@ -210,19 +298,40 @@ Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter, Fn&& apply) {
   }
   ++*op_counter;
   published_epoch_.store(owner_.epoch(), std::memory_order_release);
+  if (durability_ != nullptr && durability_->ShouldSnapshot()) {
+    // The update itself is already durable in the WAL; a failing
+    // checkpoint (storage offline) still surfaces to the caller.
+    SAE_RETURN_NOT_OK(WriteSnapshotLocked());
+  }
   return owner_.epoch();
 }
 
 Result<uint64_t> SaeSystem::InsertVersioned(const Record& record) {
-  return RunUpdate(&update_stats_.inserts, [&] {
-    return owner_.InsertRecord(record, &sp_, &te_, &do_sp_, &do_te_);
-  });
+  WalUpdate wal_update;
+  wal_update.op = WalUpdate::kInsert;
+  wal_update.record = record;
+  return RunUpdate(
+      &update_stats_.inserts, std::move(wal_update),
+      [&] {
+        return owner_.HasRecord(record.id)
+                   ? Status::AlreadyExists("record id already present")
+                   : Status::OK();
+      },
+      [&] { return owner_.InsertRecord(record, &sp_, &te_, &do_sp_, &do_te_); });
 }
 
 Result<uint64_t> SaeSystem::DeleteVersioned(RecordId id) {
-  return RunUpdate(&update_stats_.deletes, [&] {
-    return owner_.DeleteRecord(id, &sp_, &te_, &do_sp_, &do_te_);
-  });
+  WalUpdate wal_update;
+  wal_update.op = WalUpdate::kDelete;
+  wal_update.id = id;
+  return RunUpdate(
+      &update_stats_.deletes, std::move(wal_update),
+      [&] {
+        return owner_.HasRecord(id)
+                   ? Status::OK()
+                   : Status::NotFound("no record with this id");
+      },
+      [&] { return owner_.DeleteRecord(id, &sp_, &te_, &do_sp_, &do_te_); });
 }
 
 UpdateStats SaeSystem::update_stats() const {
@@ -248,17 +357,101 @@ TomSystem::TomSystem(const Options& options)
 
 Status TomSystem::Load(const std::vector<Record>& records) {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  SAE_RETURN_NOT_OK(LoadLocked(records, /*ship=*/true));
+  if (options_.durability.enabled) {
+    SAE_ASSIGN_OR_RETURN(durability_,
+                         DurabilityManager::Open(options_.durability));
+    SAE_RETURN_NOT_OK(WriteSnapshotLocked());  // the epoch-1 baseline
+  }
+  return Status::OK();
+}
+
+Status TomSystem::LoadLocked(const std::vector<Record>& records, bool ship) {
   std::vector<Record> sorted = SortByKey(records);
   SAE_RETURN_NOT_OK(owner_.LoadDataset(sorted));
-  std::vector<uint8_t> shipment = SerializeRecords(sorted, codec_);
-  std::vector<uint8_t> sig_msg =
-      SerializeSignature(owner_.signature(), owner_.epoch());
-  do_sp_.Send(shipment);
-  do_sp_.Send(sig_msg);
+  if (ship) {
+    std::vector<uint8_t> shipment = SerializeRecords(sorted, codec_);
+    std::vector<uint8_t> sig_msg =
+        SerializeSignature(owner_.signature(), owner_.epoch());
+    do_sp_.Send(shipment);
+    do_sp_.Send(sig_msg);
+  }
   SAE_RETURN_NOT_OK(
       sp_.LoadDataset(sorted, owner_.signature(), owner_.epoch()));
   published_epoch_.store(owner_.epoch(), std::memory_order_release);
   return Status::OK();
+}
+
+Status TomSystem::WriteSnapshotLocked() {
+  SnapshotState state;
+  state.model = SnapshotState::kTom;
+  state.record_size = uint32_t(options_.record_size);
+  state.scheme = options_.scheme;
+  SAE_ASSIGN_OR_RETURN(TomServiceProvider::QueryResponse range,
+                       sp_.ExecuteRange(std::numeric_limits<Key>::min(),
+                                        std::numeric_limits<Key>::max()));
+  state.records = std::move(range.results);
+  state.signature = owner_.signature();
+  return durability_->WriteSnapshot(owner_.epoch(), state);
+}
+
+Result<std::unique_ptr<TomSystem>> TomSystem::Recover(const Options& options) {
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<DurabilityManager> mgr,
+                       DurabilityManager::Open(options.durability));
+  const DurabilityManager::Recovered& rec = mgr->recovered();
+  if (!rec.has_snapshot) {
+    return Status::NotFound("no durable snapshot to recover from");
+  }
+  if (rec.snapshot.model != SnapshotState::kTom) {
+    return Status::Corruption("snapshot belongs to a different model");
+  }
+  if (rec.snapshot.record_size != options.record_size ||
+      rec.snapshot.scheme != options.scheme) {
+    return Status::Corruption("snapshot configuration does not match options");
+  }
+
+  auto system = std::unique_ptr<TomSystem>(new TomSystem(options));
+  std::unique_lock<std::shared_mutex> lock(system->rw_mu_);
+  SAE_RETURN_NOT_OK(system->LoadLocked(rec.snapshot.records, /*ship=*/false));
+  SAE_RETURN_NOT_OK(system->owner_.RestoreEpoch(rec.snapshot_epoch));
+  // The re-signed recovered root must byte-match the persisted signature:
+  // this proves the rebuilt ADS is identical to the checkpointed one
+  // before any client sees it.
+  if (system->owner_.signature() != rec.snapshot.signature) {
+    return Status::Corruption(
+        "recovered root signature does not match the snapshot");
+  }
+  system->sp_.SetSignature(system->owner_.signature(),
+                           system->owner_.epoch());
+  for (const WalUpdate& update : rec.wal_tail) {
+    if (update.epoch <= rec.snapshot_epoch) continue;
+    if (update.epoch != system->owner_.epoch() + 1) {
+      return Status::Corruption("wal epoch does not follow recovered state");
+    }
+    Status applied;
+    if (update.op == WalUpdate::kInsert) {
+      applied = system->owner_.InsertRecord(update.record);
+      if (applied.ok()) {
+        applied = system->sp_.ApplyInsert(update.record,
+                                          system->owner_.signature(),
+                                          system->owner_.epoch());
+      }
+    } else {
+      applied = system->owner_.DeleteRecord(update.id);
+      if (applied.ok()) {
+        applied = system->sp_.ApplyDelete(update.id,
+                                          system->owner_.signature(),
+                                          system->owner_.epoch());
+      }
+    }
+    if (!applied.ok()) {
+      return Status::Corruption("wal replay failed: " + applied.message());
+    }
+  }
+  system->published_epoch_.store(system->owner_.epoch(),
+                                 std::memory_order_release);
+  system->durability_ = std::move(mgr);
+  return system;
 }
 
 Result<TomSystem::QueryOutcome> TomSystem::Query(
@@ -376,14 +569,28 @@ Result<TomSystem::QueryOutcome> TomSystem::ExecuteQuery(
   return outcome;
 }
 
-template <typename Fn>
-Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter, Fn&& apply) {
+template <typename Validate, typename Fn>
+Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter,
+                                      WalUpdate wal_update,
+                                      Validate&& validate, Fn&& apply) {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
   CaptureStaleSnapshotLocked();  // off the clock, see SaeSystem::RunUpdate
   sim::Stopwatch watch;
   uint64_t bytes0 = do_sp_.total_bytes();
   size_t auth_bytes = 0;
-  Status st = apply(&auth_bytes);
+  // Write-ahead ordering, as in SaeSystem::RunUpdate.
+  Status st = validate();
+  if (st.ok() && durability_ != nullptr) {
+    wal_update.epoch = owner_.epoch() + 1;
+    st = durability_->LogUpdate(wal_update);
+  }
+  if (st.ok()) {
+    st = apply(&auth_bytes);
+    if (!st.ok() && durability_ != nullptr) {
+      Status undone = durability_->UndoFailedUpdate();
+      (void)undone;
+    }
+  }
   size_t traffic = do_sp_.total_bytes() - bytes0;
   update_stats_.shipment_bytes += traffic - auth_bytes;
   update_stats_.auth_bytes += auth_bytes;
@@ -394,33 +601,56 @@ Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter, Fn&& apply) {
   }
   ++*op_counter;
   published_epoch_.store(owner_.epoch(), std::memory_order_release);
+  if (durability_ != nullptr && durability_->ShouldSnapshot()) {
+    SAE_RETURN_NOT_OK(WriteSnapshotLocked());
+  }
   return owner_.epoch();
 }
 
 Result<uint64_t> TomSystem::InsertVersioned(const Record& record) {
-  return RunUpdate(&update_stats_.inserts, [&](size_t* auth_bytes) {
-    SAE_RETURN_NOT_OK(owner_.InsertRecord(record));
-    std::vector<uint8_t> shipment = SerializeRecords({record}, codec_);
-    std::vector<uint8_t> sig_msg =
-        SerializeSignature(owner_.signature(), owner_.epoch());
-    *auth_bytes = sig_msg.size();
-    do_sp_.Send(shipment);
-    do_sp_.Send(sig_msg);
-    return sp_.ApplyInsert(record, owner_.signature(), owner_.epoch());
-  });
+  WalUpdate wal_update;
+  wal_update.op = WalUpdate::kInsert;
+  wal_update.record = record;
+  return RunUpdate(
+      &update_stats_.inserts, std::move(wal_update),
+      [&] {
+        return owner_.HasRecord(record.id)
+                   ? Status::AlreadyExists("record id already present")
+                   : Status::OK();
+      },
+      [&](size_t* auth_bytes) {
+        SAE_RETURN_NOT_OK(owner_.InsertRecord(record));
+        std::vector<uint8_t> shipment = SerializeRecords({record}, codec_);
+        std::vector<uint8_t> sig_msg =
+            SerializeSignature(owner_.signature(), owner_.epoch());
+        *auth_bytes = sig_msg.size();
+        do_sp_.Send(shipment);
+        do_sp_.Send(sig_msg);
+        return sp_.ApplyInsert(record, owner_.signature(), owner_.epoch());
+      });
 }
 
 Result<uint64_t> TomSystem::DeleteVersioned(RecordId id) {
-  return RunUpdate(&update_stats_.deletes, [&](size_t* auth_bytes) {
-    SAE_RETURN_NOT_OK(owner_.DeleteRecord(id));
-    std::vector<uint8_t> note = SerializeDelete(id, 0);
-    std::vector<uint8_t> sig_msg =
-        SerializeSignature(owner_.signature(), owner_.epoch());
-    *auth_bytes = sig_msg.size();
-    do_sp_.Send(note);
-    do_sp_.Send(sig_msg);
-    return sp_.ApplyDelete(id, owner_.signature(), owner_.epoch());
-  });
+  WalUpdate wal_update;
+  wal_update.op = WalUpdate::kDelete;
+  wal_update.id = id;
+  return RunUpdate(
+      &update_stats_.deletes, std::move(wal_update),
+      [&] {
+        return owner_.HasRecord(id)
+                   ? Status::OK()
+                   : Status::NotFound("no record with this id");
+      },
+      [&](size_t* auth_bytes) {
+        SAE_RETURN_NOT_OK(owner_.DeleteRecord(id));
+        std::vector<uint8_t> note = SerializeDelete(id, 0);
+        std::vector<uint8_t> sig_msg =
+            SerializeSignature(owner_.signature(), owner_.epoch());
+        *auth_bytes = sig_msg.size();
+        do_sp_.Send(note);
+        do_sp_.Send(sig_msg);
+        return sp_.ApplyDelete(id, owner_.signature(), owner_.epoch());
+      });
 }
 
 UpdateStats TomSystem::update_stats() const {

@@ -28,6 +28,7 @@
 #include "core/client.h"
 #include "core/client_memo.h"
 #include "core/data_owner.h"
+#include "core/durability.h"
 #include "core/epoch.h"
 #include "core/malicious_sp.h"
 #include "core/service_provider.h"
@@ -86,6 +87,9 @@ struct SaeSystemOptions {
   /// Client-side verification memo (the client's own pure work, replayed
   /// on byte-identical responses; freshness gates still run every query).
   AnswerCacheOptions client_memo;
+  /// Crash safety: epoch snapshots + WAL (core/durability.h). Off by
+  /// default — the simulation harness runs purely in memory.
+  DurabilityOptions durability;
 
   /// The uncached control configuration the parity harness compares
   /// against: every verified-path cache off, everything else identical.
@@ -115,8 +119,17 @@ class SaeSystem {
   explicit SaeSystem(const Options& options = {});
 
   /// Installs and outsources the dataset (DO -> SP, DO -> TE), publishing
-  /// epoch 1.
+  /// epoch 1. With durability enabled, also opens the WAL and writes the
+  /// epoch-1 baseline snapshot before returning.
   Status Load(const std::vector<Record>& records);
+
+  /// Rebuilds a system from its durability directory after a crash: loads
+  /// the newest valid snapshot, replays the WAL tail past the snapshot
+  /// epoch through the normal owner paths, truncates any garbage, and
+  /// republishes the recovered epoch. kNotFound when no valid snapshot
+  /// exists (the crash predates the first durable checkpoint);
+  /// kCorruption when the WAL contradicts the snapshot.
+  static Result<std::unique_ptr<SaeSystem>> Recover(const Options& options);
 
   struct QueryOutcome {
     dbms::QueryRequest request;   ///< the executed plan
@@ -192,6 +205,9 @@ class SaeSystem {
   sim::Channel& te_client_channel() { return te_client_; }
   const RecordCodec& codec() const { return owner_.codec(); }
 
+  /// Attached durability manager; nullptr when durability is off.
+  DurabilityManager* durability() { return durability_.get(); }
+
  private:
   /// Snapshots the pre-update SP state the first time a writer runs, so
   /// kReplayStaleRoot has a genuine stale database to answer from.
@@ -200,8 +216,15 @@ class SaeSystem {
   /// race through std::call_once). nullptr when no snapshot exists yet.
   const ServiceProvider* StaleSp();
 
-  template <typename Fn>
-  Result<uint64_t> RunUpdate(uint64_t* op_counter, Fn&& apply);
+  /// The write-ahead update pipeline: validate against the master copy,
+  /// log durable (when durability is on), then apply in memory.
+  template <typename Validate, typename Fn>
+  Result<uint64_t> RunUpdate(uint64_t* op_counter, WalUpdate wal_update,
+                             Validate&& validate, Fn&& apply);
+  /// Load body shared with Recover (caller holds the unique lock).
+  Status LoadLocked(const std::vector<Record>& records);
+  /// Checkpoints the current state (caller holds the unique lock).
+  Status WriteSnapshotLocked();
 
   Options options_;
   DataOwner owner_;
@@ -229,6 +252,10 @@ class SaeSystem {
   std::vector<Record> stale_records_;
   std::once_flag stale_build_once_;
   std::unique_ptr<ServiceProvider> stale_sp_;
+
+  // Crash safety (nullptr when options_.durability.enabled is false);
+  // written under the unique lock.
+  std::unique_ptr<DurabilityManager> durability_;
 };
 
 struct TomSystemOptions {
@@ -247,6 +274,9 @@ struct TomSystemOptions {
   /// on byte-identical responses; the VO epoch gate still runs every
   /// query).
   AnswerCacheOptions client_memo;
+  /// Crash safety: epoch snapshots + WAL (core/durability.h). Off by
+  /// default.
+  DurabilityOptions durability;
 
   /// The uncached control configuration the parity harness compares
   /// against: every verified-path cache off, everything else identical.
@@ -274,7 +304,15 @@ class TomSystem {
 
   explicit TomSystem(const Options& options = {});
 
+  /// With durability enabled, also opens the WAL and writes the epoch-1
+  /// baseline snapshot before returning.
   Status Load(const std::vector<Record>& records);
+
+  /// Rebuilds a system from its durability directory after a crash (see
+  /// SaeSystem::Recover). Additionally proves the recovered ADS equals the
+  /// checkpointed one: the owner re-signs the recovered root at the
+  /// snapshot epoch and the signature must byte-match the persisted one.
+  static Result<std::unique_ptr<TomSystem>> Recover(const Options& options);
 
   struct QueryOutcome {
     dbms::QueryRequest request;     ///< the executed plan
@@ -333,12 +371,22 @@ class TomSystem {
   sim::Channel& sp_client_channel() { return sp_client_; }
   const RecordCodec& codec() const { return codec_; }
 
+  /// Attached durability manager; nullptr when durability is off.
+  DurabilityManager* durability() { return durability_.get(); }
+
  private:
   void CaptureStaleSnapshotLocked();
   const TomServiceProvider* StaleSp();
 
-  template <typename Fn>
-  Result<uint64_t> RunUpdate(uint64_t* op_counter, Fn&& apply);
+  /// Write-ahead update pipeline (see SaeSystem::RunUpdate); `apply` takes
+  /// the auth-bytes out-param.
+  template <typename Validate, typename Fn>
+  Result<uint64_t> RunUpdate(uint64_t* op_counter, WalUpdate wal_update,
+                             Validate&& validate, Fn&& apply);
+  /// Load body shared with Recover; `ship` meters the DO->SP channel
+  /// (recovery reads local disk, nothing crosses the network).
+  Status LoadLocked(const std::vector<Record>& records, bool ship);
+  Status WriteSnapshotLocked();
 
   Options options_;
   RecordCodec codec_;
@@ -360,6 +408,10 @@ class TomSystem {
   std::vector<Record> stale_records_;
   std::once_flag stale_build_once_;
   std::unique_ptr<TomServiceProvider> stale_sp_;
+
+  // Crash safety (nullptr when options_.durability.enabled is false);
+  // written under the unique lock.
+  std::unique_ptr<DurabilityManager> durability_;
 };
 
 }  // namespace sae::core

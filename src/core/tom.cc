@@ -37,6 +37,11 @@ Status TomDataOwner::Resign() {
   return Status::OK();
 }
 
+Status TomDataOwner::RestoreEpoch(uint64_t epoch) {
+  epoch_ = epoch;
+  return Resign();
+}
+
 Status TomDataOwner::LoadDataset(const std::vector<Record>& sorted) {
   std::vector<crypto::Digest> digests =
       storage::DigestRecords(sorted, codec_, options_.scheme);

@@ -64,6 +64,17 @@ class TomDataOwner {
   /// lock under concurrency.
   uint64_t epoch() const { return epoch_; }
 
+  /// Whether `id` is in the master-copy view — the write-ahead path
+  /// pre-validates updates with this before logging them.
+  bool HasRecord(RecordId id) const { return key_of_id_.count(id) > 0; }
+
+  /// Recovery: rewinds the epoch to `epoch` (the snapshot's) after a
+  /// fresh LoadDataset of the snapshot records, and re-signs the root
+  /// under it. The caller cross-checks the new signature against the
+  /// snapshot's persisted one — equality proves the recovered ADS is
+  /// byte-identical to the checkpointed state.
+  Status RestoreEpoch(uint64_t epoch);
+
   /// Local ADS footprint — the DO-side burden TOM imposes.
   size_t AdsStorageBytes() const { return mb_->SizeBytes(); }
   const mbtree::MbTree& ads() const { return *mb_; }

@@ -1,0 +1,218 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements FaultFs (storage/fault_fs.h): the durable/current double image,
+// the barrier counter and the armed-crash trigger.
+
+#include "storage/fault_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sae::storage {
+
+namespace {
+constexpr const char* kCrashedMsg = "simulated crash: storage is offline";
+}
+
+/// A handle into the FaultFs map. All state lives in the fs (keyed by
+/// path), so handles are trivially re-openable after DropVolatile.
+class FaultFsFile final : public VfsFile {
+ public:
+  FaultFsFile(FaultFs* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Result<size_t> ReadAt(uint64_t offset, uint8_t* buf,
+                        size_t n) const override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    if (fs_->crashed_) return Status::IoError(kCrashedMsg);
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      return Status::IoError("file vanished: " + path_);
+    }
+    const std::vector<uint8_t>& bytes = it->second.current;
+    if (offset >= bytes.size()) return size_t{0};
+    size_t got = std::min(n, size_t(bytes.size() - offset));
+    std::memcpy(buf, bytes.data() + offset, got);
+    return got;
+  }
+
+  Status WriteAt(uint64_t offset, const uint8_t* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    if (fs_->crashed_) return Status::IoError(kCrashedMsg);
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      return Status::IoError("file vanished: " + path_);
+    }
+    std::vector<uint8_t>& bytes = it->second.current;
+    if (offset + n > bytes.size()) bytes.resize(offset + n, 0);
+    std::memcpy(bytes.data() + offset, buf, n);
+    return Status::OK();
+  }
+
+  Status Append(const uint8_t* buf, size_t n) override {
+    SAE_ASSIGN_OR_RETURN(uint64_t size, Size());
+    return WriteAt(size, buf, n);
+  }
+
+  Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    if (fs_->crashed_) return Status::IoError(kCrashedMsg);
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      return Status::IoError("file vanished: " + path_);
+    }
+    return uint64_t(it->second.current.size());
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    if (fs_->crashed_) return Status::IoError(kCrashedMsg);
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      return Status::IoError("file vanished: " + path_);
+    }
+    it->second.current.resize(size, 0);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    SAE_RETURN_NOT_OK(fs_->Barrier());
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      return Status::IoError("file vanished: " + path_);
+    }
+    it->second.durable = it->second.current;
+    it->second.durable_exists = true;
+    return Status::OK();
+  }
+
+ private:
+  FaultFs* fs_;
+  std::string path_;
+};
+
+Status FaultFs::Barrier() {
+  // Caller holds mu_.
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  ++barrier_count_;
+  if (crash_at_ != 0 && barrier_count_ == crash_at_) {
+    crashed_ = true;  // this barrier never completes
+    return Status::IoError(kCrashedMsg);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<VfsFile>> FaultFs::Open(const std::string& path,
+                                               bool create) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (!create) return Status::NotFound("no such file: " + path);
+    files_[path];  // created empty and volatile (durable_exists = false)
+  }
+  return std::unique_ptr<VfsFile>(new FaultFsFile(this, path));
+}
+
+bool FaultFs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end() && !crashed_) {
+    return Status::NotFound("no such file: " + from);
+  }
+  SAE_RETURN_NOT_OK(Barrier());
+  // The name change is atomic and durable at this barrier. The content
+  // carried to `to` is durable only to the extent `from` was synced: an
+  // unsynced source leaves `to` with NO durable image (a torn destination
+  // after a crash), modeling a skipped temp-file fsync.
+  FileState state = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(state);
+  return Status::OK();
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  files_.erase(path);  // modeled immediately durable (see header)
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FaultFs::List(const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
+    std::string name = path.substr(prefix.size());
+    if (name.find('/') == std::string::npos) names.push_back(name);
+  }
+  return names;
+}
+
+void FaultFs::CrashAtSyncPoint(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  barrier_count_ = 0;
+  crash_at_ = k;
+  crashed_ = false;
+}
+
+void FaultFs::DropVolatile() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (!it->second.durable_exists) {
+      it = files_.erase(it);
+    } else {
+      it->second.current = it->second.durable;
+      ++it;
+    }
+  }
+  crash_at_ = 0;
+  crashed_ = false;
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultFs::sync_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return barrier_count_;
+}
+
+uint64_t FaultFs::durable_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, state] : files_) {
+    if (state.durable_exists) total += state.durable.size();
+  }
+  return total;
+}
+
+uint64_t FaultFs::volatile_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t durable = 0, current = 0;
+  for (const auto& [path, state] : files_) {
+    if (state.durable_exists) durable += state.durable.size();
+    current += state.current.size();
+  }
+  return current > durable ? current - durable : 0;
+}
+
+std::unique_ptr<FaultFs> FaultFs::Clone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto copy = std::make_unique<FaultFs>();
+  copy->files_ = files_;
+  return copy;
+}
+
+}  // namespace sae::storage

@@ -1,0 +1,109 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// FaultFs: the deterministic crash-injection file system behind the
+// recovery proofs. It keeps TWO images of every file — the DURABLE bytes
+// (what survives power loss) and the CURRENT bytes (durable + everything
+// written since the last barrier) — and counts every durability barrier
+// (VfsFile::Sync, Vfs::Rename) as a numbered "sync point".
+//
+// Crash protocol:
+//   1. fs.CrashAtSyncPoint(k)     — arm: the k-th barrier attempt fails
+//      (its bytes never become durable) and the fs enters the crashed
+//      state, where every subsequent operation returns kIoError — the
+//      process is dead from the storage layer's point of view.
+//   2. run the workload           — it aborts with kIoError somewhere.
+//   3. fs.DropVolatile()          — power loss: every file reverts to its
+//      durable image; never-synced files vanish. Clears the crashed state.
+//   4. recover against the same fs and prove the invariants.
+//
+// Running the same deterministic workload for every k in [1, total sync
+// points] enumerates every distinguishable durable state a real crash can
+// leave behind (bytes written between two barriers are volatile, so a
+// crash anywhere between barrier k and k+1 leaves the same durable image
+// as failing barrier k+1).
+//
+// Rename models the real protocol's sharp edge: the name change is
+// journaled atomically by the file system (durable at the rename barrier),
+// but the file CONTENT is only durable if it was synced before the rename.
+// Renaming an unsynced file destroys the destination's durable image —
+// which is why the snapshot store syncs its temp file first, and what the
+// recovery tests would catch if it ever stopped doing so. Remove() is
+// modeled as immediately durable (resurrecting GC'ed files after a crash
+// would only ever surface older epochs, which recovery orders away).
+
+#ifndef SAE_STORAGE_FAULT_FS_H_
+#define SAE_STORAGE_FAULT_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+
+namespace sae::storage {
+
+class FaultFs final : public Vfs {
+ public:
+  FaultFs() = default;
+
+  // --- Vfs ------------------------------------------------------------------
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        bool create) override;
+  bool Exists(const std::string& path) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) const override;
+  Status MkDir(const std::string&) override { return Status::OK(); }
+
+  // --- crash scheduling -------------------------------------------------------
+  /// Arms the crash: barrier attempt number `k` (1-based, counted from now
+  /// on) fails and flips the fs into the crashed state. 0 disarms.
+  void CrashAtSyncPoint(uint64_t k);
+
+  /// Power loss: every file reverts to its durable image (never-synced
+  /// files disappear), open handles keep working against the reverted
+  /// state, and the crashed flag clears so recovery can run.
+  void DropVolatile();
+
+  bool crashed() const;
+
+  /// Barrier attempts so far (including a failed one). Run a workload with
+  /// no crash armed, read this, and you have the matrix size.
+  uint64_t sync_points() const;
+
+  /// Bytes durable across all files / bytes that a crash right now would
+  /// destroy (current minus durable, summed over files).
+  uint64_t durable_bytes() const;
+  uint64_t volatile_bytes() const;
+
+  /// Deep copy of the file map (both images) — for staging rollback
+  /// adversaries from a past on-disk state.
+  std::unique_ptr<FaultFs> Clone() const;
+
+ private:
+  friend class FaultFsFile;
+
+  struct FileState {
+    std::vector<uint8_t> durable;
+    std::vector<uint8_t> current;
+    bool durable_exists = false;  // false until first synced (or renamed
+                                  // from a synced file)
+  };
+
+  /// Returns kIoError if crashed; otherwise bumps the barrier counter and
+  /// triggers the armed crash (making THIS barrier fail).
+  Status Barrier();
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  uint64_t barrier_count_ = 0;
+  uint64_t crash_at_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace sae::storage
+
+#endif  // SAE_STORAGE_FAULT_FS_H_

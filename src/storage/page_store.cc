@@ -51,37 +51,43 @@ Status InMemoryPageStore::Write(PageId id, const Page& page) {
 }
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
-    const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb+");
-  if (file == nullptr) {
-    return Status::IoError("cannot open " + path);
-  }
-  return std::unique_ptr<FilePageStore>(new FilePageStore(file));
+    const std::string& path, Vfs* vfs) {
+  if (vfs == nullptr) vfs = Vfs::Default();
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs->Open(path, true));
+  SAE_RETURN_NOT_OK(file->Truncate(0));
+  return std::unique_ptr<FilePageStore>(new FilePageStore(std::move(file)));
 }
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
-    const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb+");
-  if (file == nullptr) {
-    return Status::IoError("cannot open " + path);
-  }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return Status::IoError("seek failed");
-  }
-  long size = std::ftell(file);
-  if (size < 0 || size % long(kPageSize) != 0) {
-    std::fclose(file);
+    const std::string& path, Vfs* vfs) {
+  if (vfs == nullptr) vfs = Vfs::Default();
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs->Open(path, false));
+  SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size % kPageSize != 0) {
     return Status::Corruption("page file size is not page-aligned");
   }
-  auto store = std::unique_ptr<FilePageStore>(new FilePageStore(file));
-  store->live_.assign(size_t(size) / kPageSize, true);
+  auto store = std::unique_ptr<FilePageStore>(new FilePageStore(std::move(file)));
+  store->live_.assign(size_t(size / kPageSize), true);
   store->live_count_ = store->live_.size();
   return store;
 }
 
-FilePageStore::~FilePageStore() {
-  if (file_ != nullptr) std::fclose(file_);
+Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenForRecovery(
+    const std::string& path, Vfs* vfs, bool* truncated_tail) {
+  if (vfs == nullptr) vfs = Vfs::Default();
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs->Open(path, false));
+  SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  uint64_t aligned = size - size % kPageSize;
+  if (aligned != size) {
+    // A crash mid page write left a torn final page; only the complete
+    // pages are trusted.
+    SAE_RETURN_NOT_OK(file->Truncate(aligned));
+  }
+  if (truncated_tail != nullptr) *truncated_tail = aligned != size;
+  auto store = std::unique_ptr<FilePageStore>(new FilePageStore(std::move(file)));
+  store->live_.assign(size_t(aligned / kPageSize), true);
+  store->live_count_ = store->live_.size();
+  return store;
 }
 
 Result<PageId> FilePageStore::Allocate() {
@@ -119,12 +125,10 @@ Status FilePageStore::Read(PageId id, Page* out) const {
   if (id >= live_.size() || !live_[id]) {
     return Status::InvalidArgument("reading unallocated page");
   }
-  if (std::fseek(file_, long(id) * long(kPageSize), SEEK_SET) != 0) {
-    return Status::IoError("seek failed");
-  }
-  if (std::fread(out->bytes(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IoError("short read");
-  }
+  SAE_ASSIGN_OR_RETURN(
+      size_t got,
+      file_->ReadAt(uint64_t(id) * kPageSize, out->bytes(), kPageSize));
+  if (got != kPageSize) return Status::IoError("short read");
   return Status::OK();
 }
 
@@ -132,13 +136,9 @@ Status FilePageStore::Write(PageId id, const Page& page) {
   if (id >= live_.size() || !live_[id]) {
     return Status::InvalidArgument("writing unallocated page");
   }
-  if (std::fseek(file_, long(id) * long(kPageSize), SEEK_SET) != 0) {
-    return Status::IoError("seek failed");
-  }
-  if (std::fwrite(page.bytes(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IoError("short write");
-  }
-  return Status::OK();
+  return file_->WriteAt(uint64_t(id) * kPageSize, page.bytes(), kPageSize);
 }
+
+Status FilePageStore::Sync() { return file_->Sync(); }
 
 }  // namespace sae::storage

@@ -4,18 +4,20 @@
 //  * InMemoryPageStore — pages live on the heap; used by the experiment
 //    harness so that disk latency is modeled exclusively by the paper's
 //    10 ms/node-access charge instead of the host machine's SSD.
-//  * FilePageStore — pread/pwrite against a real file; proves the formats
-//    are genuinely disk-resident and is exercised by tests.
+//  * FilePageStore — page reads/writes against a real file through the Vfs
+//    seam (storage/vfs.h); proves the formats are genuinely disk-resident,
+//    is exercised by tests, and participates in crash injection when built
+//    over a FaultFs.
 
 #ifndef SAE_STORAGE_PAGE_STORE_H_
 #define SAE_STORAGE_PAGE_STORE_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/page.h"
+#include "storage/vfs.h"
 #include "util/status.h"
 
 namespace sae::storage {
@@ -61,20 +63,30 @@ class InMemoryPageStore final : public PageStore {
   size_t live_count_ = 0;
 };
 
-/// File-backed store (single file, pages addressed by offset).
+/// File-backed store (single file, pages addressed by offset). Routed
+/// through a Vfs (default: the real POSIX one) so crash tests can swap in
+/// a FaultFs.
 class FilePageStore final : public PageStore {
  public:
   /// Creates or truncates `path`.
   static Result<std::unique_ptr<FilePageStore>> Create(
-      const std::string& path);
+      const std::string& path, Vfs* vfs = nullptr);
 
   /// Opens an existing page file. Every page currently in the file is
   /// treated as live; pages freed before the restart become unreachable
   /// slack until they are allocated again (the usual trade-off of keeping
-  /// the free list in memory).
-  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path);
+  /// the free list in memory). A file whose size is not page-aligned is
+  /// rejected as corrupt — use OpenForRecovery after a crash.
+  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path,
+                                                     Vfs* vfs = nullptr);
 
-  ~FilePageStore() override;
+  /// Crash-tolerant open: a partially written final page (the state a
+  /// power loss mid-write leaves behind) is cut off instead of rejected,
+  /// and `*truncated_pages` (optional) reports whether a torn tail was
+  /// dropped. Only the complete pages are trusted.
+  static Result<std::unique_ptr<FilePageStore>> OpenForRecovery(
+      const std::string& path, Vfs* vfs = nullptr,
+      bool* truncated_tail = nullptr);
 
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
@@ -82,10 +94,14 @@ class FilePageStore final : public PageStore {
   Status Write(PageId id, const Page& page) override;
   size_t LivePageCount() const override { return live_count_; }
 
- private:
-  explicit FilePageStore(std::FILE* file) : file_(file) {}
+  /// Durability barrier for all pages written so far (one sync point).
+  Status Sync();
 
-  std::FILE* file_;
+ private:
+  explicit FilePageStore(std::unique_ptr<VfsFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<VfsFile> file_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   size_t live_count_ = 0;

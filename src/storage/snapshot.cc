@@ -1,0 +1,140 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the snapshot store (storage/snapshot.h): the temp-then-rename
+// write protocol, the CRC-validated load with fallback, and keep-N GC.
+//
+// On-disk snapshot layout (little-endian):
+//   [magic u32][version u32][epoch u64][payload_len u64]
+//   [payload bytes][crc32 u32 over everything preceding]
+
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "storage/wal.h"  // Crc32
+#include "util/codec.h"
+
+namespace sae::storage {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x53414553;  // "SAES"
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr size_t kSnapshotHeader = 4 + 4 + 8 + 8;
+constexpr const char* kTmpName = "snap.tmp";
+constexpr const char* kSnapPrefix = "snap-";
+constexpr size_t kEpochDigits = 20;  // zero-padded u64 — names sort by epoch
+
+/// Parses "snap-<20 digits>" into the epoch; false for any other name
+/// (including the temp file and truncated/garbage names).
+bool ParseSnapshotName(const std::string& name, uint64_t* epoch) {
+  if (name.size() != std::string(kSnapPrefix).size() + kEpochDigits) {
+    return false;
+  }
+  if (name.compare(0, 5, kSnapPrefix) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = 5; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + uint64_t(name[i] - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(Vfs* vfs, std::string dir, size_t keep)
+    : vfs_(vfs), dir_(std::move(dir)), keep_(keep < 1 ? 1 : keep) {}
+
+std::string SnapshotStore::PathFor(uint64_t epoch) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%020llu", kSnapPrefix,
+                static_cast<unsigned long long>(epoch));
+  return dir_ + "/" + name;
+}
+
+Status SnapshotStore::Write(uint64_t epoch,
+                            const std::vector<uint8_t>& payload) {
+  SAE_RETURN_NOT_OK(vfs_->MkDir(dir_));
+
+  std::vector<uint8_t> image(kSnapshotHeader + payload.size() + 4);
+  EncodeU32(image.data(), kSnapshotMagic);
+  EncodeU32(image.data() + 4, kSnapshotVersion);
+  EncodeU64(image.data() + 8, epoch);
+  EncodeU64(image.data() + 16, uint64_t(payload.size()));
+  std::copy(payload.begin(), payload.end(), image.begin() + kSnapshotHeader);
+  EncodeU32(image.data() + kSnapshotHeader + payload.size(),
+            Crc32(image.data(), kSnapshotHeader + payload.size()));
+
+  // Temp-then-rename: content becomes durable at the Sync, the name at the
+  // Rename. A crash before the rename leaves only snap.tmp (ignored by
+  // ParseSnapshotName); a crash after it leaves a complete snapshot.
+  const std::string tmp = dir_ + "/" + kTmpName;
+  {
+    SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs_->Open(tmp, true));
+    SAE_RETURN_NOT_OK(file->Truncate(0));
+    SAE_RETURN_NOT_OK(file->WriteAt(0, image.data(), image.size()));
+    SAE_RETURN_NOT_OK(file->Sync());
+  }
+  SAE_RETURN_NOT_OK(vfs_->Rename(tmp, PathFor(epoch)));
+
+  // GC: drop everything older than the newest keep_ snapshots. Runs after
+  // the rename so a crash during GC can only lose already-redundant files.
+  SAE_ASSIGN_OR_RETURN(std::vector<uint64_t> epochs, ListEpochs());
+  if (epochs.size() > keep_) {
+    for (size_t i = 0; i + keep_ < epochs.size(); ++i) {
+      SAE_RETURN_NOT_OK(vfs_->Remove(PathFor(epochs[i])));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> SnapshotStore::ListEpochs() const {
+  std::vector<uint64_t> epochs;
+  SAE_ASSIGN_OR_RETURN(std::vector<std::string> names, vfs_->List(dir_));
+  for (const std::string& name : names) {
+    uint64_t epoch = 0;
+    if (ParseSnapshotName(name, &epoch)) epochs.push_back(epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest() const {
+  SAE_ASSIGN_OR_RETURN(std::vector<uint64_t> epochs, ListEpochs());
+  // Newest first; any file that fails validation is skipped in favor of
+  // the next-newest (the keep >= 2 fallback).
+  for (size_t attempt = 0; attempt < epochs.size(); ++attempt) {
+    uint64_t epoch = epochs[epochs.size() - 1 - attempt];
+    auto file_or = vfs_->Open(PathFor(epoch), false);
+    if (!file_or.ok()) {
+      if (file_or.status().code() == StatusCode::kNotFound) continue;
+      return file_or.status();
+    }
+    std::unique_ptr<VfsFile> file = std::move(file_or.value());
+    SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+    if (size < kSnapshotHeader + 4) continue;  // torn
+    std::vector<uint8_t> image(size);
+    SAE_ASSIGN_OR_RETURN(size_t got, file->ReadAt(0, image.data(), size));
+    if (got < size) continue;
+    if (DecodeU32(image.data()) != kSnapshotMagic) continue;
+    if (DecodeU32(image.data() + 4) != kSnapshotVersion) continue;
+    uint64_t header_epoch = DecodeU64(image.data() + 8);
+    uint64_t payload_len = DecodeU64(image.data() + 16);
+    if (header_epoch != epoch) continue;  // file renamed by hand
+    if (kSnapshotHeader + payload_len + 4 != size) continue;
+    uint32_t stored_crc = DecodeU32(image.data() + size - 4);
+    if (Crc32(image.data(), size - 4) != stored_crc) continue;
+
+    Loaded loaded;
+    loaded.epoch = epoch;
+    loaded.payload.assign(image.begin() + kSnapshotHeader,
+                          image.end() - 4);
+    loaded.fell_back = attempt > 0;
+    return loaded;
+  }
+  return Status::NotFound("no valid snapshot in " + dir_);
+}
+
+}  // namespace sae::storage

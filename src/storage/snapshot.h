@@ -1,0 +1,67 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Epoch-versioned snapshots: the durable baseline recovery starts from.
+// A snapshot atomically persists one serialized system state (tree-page
+// content in load order, root signature, epoch — the payload is opaque
+// here; core/durability.h defines it) under the epoch it speaks for.
+//
+// Atomicity protocol (write-temp-then-rename):
+//   1. write  <dir>/snap.tmp  = header + payload + CRC-32 trailer
+//   2. sync it                           (sync point: content durable)
+//   3. rename to <dir>/snap-<epoch020>   (sync point: name durable)
+//   4. GC snapshots older than the newest `keep`
+// A crash anywhere leaves either the previous snapshot set intact or the
+// new snapshot fully in place — a torn snapshot is never visible under a
+// snap-* name, and a bit-flipped one fails its CRC and is skipped by
+// LoadLatest in favor of the next-newest valid file.
+
+#ifndef SAE_STORAGE_SNAPSHOT_H_
+#define SAE_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+#include "util/status.h"
+
+namespace sae::storage {
+
+class SnapshotStore {
+ public:
+  /// `dir` must exist (or be creatable); `keep` newest snapshots survive GC
+  /// (>= 2 keeps a fallback for a bit-flipped newest file).
+  SnapshotStore(Vfs* vfs, std::string dir, size_t keep = 2);
+
+  /// Persists `payload` as the snapshot for `epoch` (see protocol above).
+  /// Two sync points.
+  Status Write(uint64_t epoch, const std::vector<uint8_t>& payload);
+
+  struct Loaded {
+    uint64_t epoch = 0;
+    std::vector<uint8_t> payload;
+    /// True when the newest snap-* file was invalid and an older one was
+    /// used — recovery will come back at an older epoch, which the client
+    /// freshness gate surfaces as kStaleEpoch rather than trusting it.
+    bool fell_back = false;
+  };
+
+  /// Newest valid snapshot; kNotFound when no valid snapshot exists.
+  Result<Loaded> LoadLatest() const;
+
+  /// Epochs of the snap-* files present, ascending (validity not checked).
+  Result<std::vector<uint64_t>> ListEpochs() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(uint64_t epoch) const;
+
+  Vfs* vfs_;
+  std::string dir_;
+  size_t keep_;
+};
+
+}  // namespace sae::storage
+
+#endif  // SAE_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,168 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements RealVfs (storage/vfs.h): POSIX-backed files where Sync() is
+// fsync(2) and Rename() is rename(2) followed by an fsync of the parent
+// directory — the standard atomic-replace durability protocol.
+
+#include "storage/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sae::storage {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+class RealVfsFile final : public VfsFile {
+ public:
+  explicit RealVfsFile(int fd) : fd_(fd) {}
+  ~RealVfsFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, uint8_t* buf,
+                        size_t n) const override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t got = ::pread(fd_, buf + done, n - done, off_t(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("pread", "fd"));
+      }
+      if (got == 0) break;  // EOF
+      done += size_t(got);
+    }
+    return done;
+  }
+
+  Status WriteAt(uint64_t offset, const uint8_t* buf, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t put = ::pwrite(fd_, buf + done, n - done, off_t(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("pwrite", "fd"));
+      }
+      done += size_t(put);
+    }
+    return Status::OK();
+  }
+
+  Status Append(const uint8_t* buf, size_t n) override {
+    SAE_ASSIGN_OR_RETURN(uint64_t size, Size());
+    return WriteAt(size, buf, n);
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IoError(ErrnoMessage("fstat", "fd"));
+    }
+    return uint64_t(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, off_t(size)) != 0) {
+      return Status::IoError(ErrnoMessage("ftruncate", "fd"));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(ErrnoMessage("fsync", "fd"));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+class RealVfs final : public Vfs {
+ public:
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        bool create) override {
+    int flags = O_RDWR | (create ? O_CREAT : 0);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IoError(ErrnoMessage("open", path));
+    }
+    return std::unique_ptr<VfsFile>(new RealVfsFile(fd));
+  }
+
+  bool Exists(const std::string& path) const override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(ErrnoMessage("rename", from + " -> " + to));
+    }
+    // Make the name change durable: fsync the parent directory.
+    int dir = ::open(ParentDir(to).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir < 0) return Status::IoError(ErrnoMessage("open dir", to));
+    int rc = ::fsync(dir);
+    ::close(dir);
+    if (rc != 0) return Status::IoError(ErrnoMessage("fsync dir", to));
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError(ErrnoMessage("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> List(const std::string& dir) const override {
+    std::vector<std::string> names;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return names;
+      return Status::IoError(ErrnoMessage("opendir", dir));
+    }
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status MkDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError(ErrnoMessage("mkdir", path));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Default() {
+  static RealVfs instance;
+  return &instance;
+}
+
+}  // namespace sae::storage

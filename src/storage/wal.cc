@@ -1,0 +1,110 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Implements the write-ahead log (storage/wal.h): CRC-32, the prefix scan
+// that defines recoverability, and the append/sync/reset handle.
+
+#include "storage/wal.h"
+
+#include "util/codec.h"
+
+namespace sae::storage {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ data[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<WalContents> ReadLog(Vfs* vfs, const std::string& path) {
+  WalContents out;
+  if (!vfs->Exists(path)) return out;
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs->Open(path, false));
+  SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+
+  uint64_t offset = 0;
+  uint8_t header[kWalRecordHeader];
+  while (offset + kWalRecordHeader <= size) {
+    SAE_ASSIGN_OR_RETURN(size_t got,
+                         file->ReadAt(offset, header, kWalRecordHeader));
+    if (got < kWalRecordHeader) break;  // torn header
+    uint32_t len = DecodeU32(header);
+    uint32_t crc = DecodeU32(header + 4);
+    // A lying length prefix (absurd size or past EOF) ends the valid
+    // prefix before any allocation happens.
+    if (len > kMaxWalPayload || offset + kWalRecordHeader + len > size) break;
+    std::vector<uint8_t> payload(len);
+    SAE_ASSIGN_OR_RETURN(
+        got, file->ReadAt(offset + kWalRecordHeader, payload.data(), len));
+    if (got < len || Crc32(payload.data(), len) != crc) break;
+    out.records.push_back(std::move(payload));
+    offset += kWalRecordHeader + len;
+  }
+  out.valid_bytes = offset;
+  out.torn_tail = offset < size;
+  return out;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    Vfs* vfs, const std::string& path, WalContents* contents) {
+  SAE_ASSIGN_OR_RETURN(WalContents scanned, ReadLog(vfs, path));
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs->Open(path, true));
+  SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (scanned.valid_bytes < size) {
+    // Drop the torn/corrupt tail so future appends extend a valid prefix.
+    // Volatile until the next append's sync — harmless, since the scan
+    // would cut the same tail again after a crash.
+    SAE_RETURN_NOT_OK(file->Truncate(scanned.valid_bytes));
+  }
+  uint64_t end = scanned.valid_bytes;
+  if (contents != nullptr) *contents = std::move(scanned);
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(file), end));
+}
+
+Status WriteAheadLog::Append(const uint8_t* payload, size_t len) {
+  if (len > kMaxWalPayload) {
+    return Status::InvalidArgument("wal record exceeds payload cap");
+  }
+  uint8_t header[kWalRecordHeader];
+  EncodeU32(header, uint32_t(len));
+  EncodeU32(header + 4, Crc32(payload, len));
+  SAE_RETURN_NOT_OK(file_->WriteAt(end_, header, kWalRecordHeader));
+  SAE_RETURN_NOT_OK(file_->WriteAt(end_ + kWalRecordHeader, payload, len));
+  SAE_RETURN_NOT_OK(file_->Sync());
+  end_ += kWalRecordHeader + len;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() { return TruncateTo(0); }
+
+Status WriteAheadLog::TruncateTo(uint64_t offset) {
+  if (offset > end_) {
+    return Status::InvalidArgument("wal truncation past the valid end");
+  }
+  SAE_RETURN_NOT_OK(file_->Truncate(offset));
+  SAE_RETURN_NOT_OK(file_->Sync());
+  end_ = offset;
+  return Status::OK();
+}
+
+}  // namespace sae::storage

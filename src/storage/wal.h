@@ -1,0 +1,99 @@
+// Copyright (c) saedb authors. Licensed under the MIT license.
+//
+// Write-ahead log: the durability commit point of the update pipeline.
+// Every Insert/Delete appends one checksummed, length-prefixed record —
+// carrying the post-update epoch — and syncs BEFORE the in-memory auth
+// state mutates; an update whose record is durable is recoverable, one
+// whose record is torn never happened.
+//
+// On-disk record layout (little-endian):
+//   [payload_len u32][crc32 u32 over payload][payload bytes]
+//
+// Recovery scans from offset 0 and stops at the first record that is torn
+// (file ends mid-record), has a lying length prefix (> kMaxWalPayload or
+// past EOF) or fails its checksum — everything before that point replays,
+// everything after is discarded (ReadLog reports the cut so Open can
+// truncate it). A corrupted record therefore never crashes recovery and
+// never causes over-replay: the log's valid prefix is exactly what
+// re-applies.
+
+#ifndef SAE_STORAGE_WAL_H_
+#define SAE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+#include "util/status.h"
+
+namespace sae::storage {
+
+/// Per-record header: length prefix + checksum.
+inline constexpr size_t kWalRecordHeader = 8;
+
+/// Upper bound on one record's payload. A lying length prefix above this is
+/// rejected before any allocation.
+inline constexpr uint32_t kMaxWalPayload = 1u << 20;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the WAL and snapshot
+/// integrity checksum. Not cryptographic: it detects torn writes and media
+/// corruption; authenticity comes from the verification layer above.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+/// The scanned content of a log file: the records of the valid prefix, the
+/// byte offset where validity ends, and whether garbage followed it.
+struct WalContents {
+  std::vector<std::vector<uint8_t>> records;
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// Scans `path` (missing file = empty log). Never fails on corrupt bytes —
+/// corruption just ends the valid prefix; only genuine I/O errors surface.
+Result<WalContents> ReadLog(Vfs* vfs, const std::string& path);
+
+/// Append handle over the log file. Open() scans the existing content,
+/// truncates any torn tail (so later appends land on a valid prefix), and
+/// positions at the end. One instance per log; callers serialize (the
+/// owning system appends under its writer lock).
+class WriteAheadLog {
+ public:
+  /// Opens or creates the log. `contents`, when non-null, receives the
+  /// valid prefix found on disk (the recovery tail to replay).
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      Vfs* vfs, const std::string& path, WalContents* contents = nullptr);
+
+  /// Appends one record and syncs it durable (one sync point). On any
+  /// failure the in-memory end offset is NOT advanced, so a later append
+  /// overwrites the torn bytes.
+  Status Append(const uint8_t* payload, size_t len);
+  Status Append(const std::vector<uint8_t>& payload) {
+    return Append(payload.data(), payload.size());
+  }
+
+  /// Empties the log (after a snapshot made its records redundant) and
+  /// syncs (one sync point).
+  Status Reset();
+
+  /// Rolls the log back to `offset` (a record boundary from before an
+  /// append) and syncs (one sync point). Used to retract an appended
+  /// record whose in-memory apply failed.
+  Status TruncateTo(uint64_t offset);
+
+  /// Bytes of valid, durable log — the replay cost a crash right now
+  /// would incur.
+  uint64_t size_bytes() const { return end_; }
+
+ private:
+  WriteAheadLog(std::unique_ptr<VfsFile> file, uint64_t end)
+      : file_(std::move(file)), end_(end) {}
+
+  std::unique_ptr<VfsFile> file_;
+  uint64_t end_;
+};
+
+}  // namespace sae::storage
+
+#endif  // SAE_STORAGE_WAL_H_

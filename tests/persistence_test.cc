@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "btree/bplus_tree.h"
 #include "dbms/table.h"
@@ -284,6 +286,122 @@ TEST_F(PersistenceTest, FilePageStoreOpenRejectsMisalignedFile) {
     std::fclose(f);
   }
   EXPECT_FALSE(FilePageStore::Open(path_).ok());
+}
+
+TEST_F(PersistenceTest, HeapFileReopensWithPendingFreeListState) {
+  // The gap the earlier heap test left open: restart with a file whose
+  // free list is non-trivial — scattered holes on several pages AND one
+  // page emptied completely — and prove the snapshot carries the whole
+  // free-slot state, not just the live records.
+  ByteWriter snapshot;
+  RecordCodec codec(100);
+  storage::HeapFile probe(nullptr, 100);
+  const size_t per_page = probe.slots_per_page();
+  const size_t total = per_page * 3 + 2;  // 4 pages, last nearly empty
+  std::vector<storage::Rid> rids;
+  std::vector<storage::Rid> freed;
+  {
+    auto store = FilePageStore::Create(path_).ValueOrDie();
+    BufferPool pool(store.get(), 64);
+    storage::HeapFile heap(&pool, 100);
+    for (uint64_t id = 1; id <= total; ++id) {
+      auto bytes = codec.Serialize(codec.MakeRecord(id, uint32_t(id)));
+      rids.push_back(heap.Insert(bytes.data()).ValueOrDie());
+    }
+    // Empty the SECOND page completely...
+    for (size_t i = per_page; i < 2 * per_page; ++i) {
+      ASSERT_TRUE(heap.Delete(rids[i]).ok());
+      freed.push_back(rids[i]);
+    }
+    // ...and punch scattered holes into the first and third.
+    for (size_t i : {size_t(3), size_t(7), 2 * per_page + 1}) {
+      ASSERT_TRUE(heap.Delete(rids[i]).ok());
+      freed.push_back(rids[i]);
+    }
+    heap.WriteSnapshot(&snapshot);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+
+  auto store = FilePageStore::Open(path_).ValueOrDie();
+  BufferPool pool(store.get(), 64);
+  ByteReader reader(snapshot.bytes().data(), snapshot.size());
+  auto heap = storage::HeapFile::OpenSnapshot(&pool, &reader).ValueOrDie();
+  EXPECT_EQ(heap->size(), total - freed.size());
+  EXPECT_EQ(heap->PageCount(), 4u);
+
+  // Every freed slot reads as a hole, every survivor is intact.
+  std::vector<uint8_t> out(100);
+  for (storage::Rid rid : freed) {
+    EXPECT_EQ(heap->Get(rid, out.data()).code(), StatusCode::kNotFound);
+  }
+  ASSERT_TRUE(heap->Get(rids[0], out.data()).ok());
+  EXPECT_EQ(codec.Deserialize(out.data()).id, 1u);
+
+  // The reopened free list hands every hole back before growing the file:
+  // re-inserting exactly freed.size() records reuses exactly the freed
+  // rids (as a set) and allocates no fifth page.
+  std::vector<storage::Rid> reused;
+  for (uint64_t id = 0; id < freed.size(); ++id) {
+    auto bytes = codec.Serialize(codec.MakeRecord(5000 + id, 77));
+    reused.push_back(heap->Insert(bytes.data()).ValueOrDie());
+  }
+  std::sort(freed.begin(), freed.end());
+  std::sort(reused.begin(), reused.end());
+  EXPECT_EQ(reused, freed);
+  EXPECT_EQ(heap->PageCount(), 4u);
+  EXPECT_EQ(heap->size(), total);
+}
+
+TEST_F(PersistenceTest, FilePageStoreRecoversFromPartiallyWrittenFinalPage) {
+  // A power loss mid-page-write leaves a file whose final page is short.
+  // The strict Open must keep rejecting it; OpenForRecovery must cut the
+  // torn page and serve the complete ones unchanged.
+  storage::Page page{};
+  {
+    auto store = FilePageStore::Create(path_).ValueOrDie();
+    for (int i = 0; i < 3; ++i) {
+      storage::PageId id = store->Allocate().ValueOrDie();
+      std::fill(page.bytes(), page.bytes() + storage::kPageSize,
+                uint8_t(40 + i));
+      ASSERT_TRUE(store->Write(id, page).ok());
+    }
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  {
+    // Tear the file: half of a fourth page.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::vector<uint8_t> torn(storage::kPageSize / 2, 0xEE);
+    ASSERT_EQ(std::fwrite(torn.data(), 1, torn.size(), f), torn.size());
+    std::fclose(f);
+  }
+
+  EXPECT_FALSE(FilePageStore::Open(path_).ok());
+
+  bool truncated = false;
+  auto store =
+      FilePageStore::OpenForRecovery(path_, nullptr, &truncated).ValueOrDie();
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(store->LivePageCount(), 3u);
+  for (storage::PageId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(store->Read(id, &page).ok());
+    EXPECT_EQ(page.bytes()[0], uint8_t(40 + id));
+    EXPECT_EQ(page.bytes()[storage::kPageSize - 1], uint8_t(40 + id));
+  }
+  // The torn page's id is reusable: the next allocation lands where the
+  // garbage was and round-trips cleanly.
+  storage::PageId fresh = store->Allocate().ValueOrDie();
+  EXPECT_EQ(fresh, 3u);
+  std::fill(page.bytes(), page.bytes() + storage::kPageSize, uint8_t(0x5A));
+  ASSERT_TRUE(store->Write(fresh, page).ok());
+  ASSERT_TRUE(store->Read(fresh, &page).ok());
+  EXPECT_EQ(page.bytes()[0], 0x5Au);
+
+  // A recovered-then-synced file is page-aligned again: strict Open now
+  // accepts it.
+  ASSERT_TRUE(store->Sync().ok());
+  store.reset();
+  EXPECT_TRUE(FilePageStore::Open(path_).ok());
 }
 
 }  // namespace
