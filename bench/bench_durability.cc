@@ -11,16 +11,25 @@
 //      sync-before-apply.
 //   2. recovery    — Recover() wall time as a function of the WAL tail
 //      length replayed (snapshot cadence disabled past the baseline).
-//   3. cadence     — the snapshot_interval trade: update throughput
-//      (checkpoint I/O amortized over updates) against the recovery time
-//      the resulting WAL tail costs.
+//   3. cadence     — the snapshot_interval trade, swept in BOTH write-path
+//      modes (legacy full snapshots vs delta chains + background
+//      checkpointing): update throughput against the recovery time the
+//      resulting WAL tail costs, plus bytes written per checkpoint.
+//   4. checkpoint_scaling — per-checkpoint bytes as a function of dataset
+//      size: full snapshots scale with the record count, delta links scale
+//      with the CHANGE count (the tentpole O(changes) claim).
+//   5. group_commit — concurrent writers against a simulated fsync cost
+//      (FaultFs::SetSyncLatency): updates/s and p99 commit latency with
+//      the WAL group-commit sequencer on vs off.
 //
 // Emits BENCH_durability.json (BenchJson) for
 // scripts/check_perf_regression.py; SAE_BENCH_SCALE scales the op counts.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fig_common.h"
@@ -40,7 +49,8 @@ double NowMs() {
       .count();
 }
 
-SaeSystem::Options Options(FaultFs* fs, uint64_t snapshot_interval) {
+SaeSystem::Options Options(FaultFs* fs, uint64_t snapshot_interval,
+                           bool legacy = false) {
   SaeSystem::Options options;
   options.record_size = kRecordSize;
   if (fs != nullptr) {
@@ -48,8 +58,30 @@ SaeSystem::Options Options(FaultFs* fs, uint64_t snapshot_interval) {
     options.durability.dir = "/db";
     options.durability.vfs = fs;
     options.durability.snapshot_interval = snapshot_interval;
+    if (legacy) {  // the pre-delta write path: full snapshots, inline,
+                   // one fsync per committer
+      options.durability.delta_snapshots = false;
+      options.durability.wal_group_commit = false;
+      options.durability.background_checkpoint = false;
+    }
   }
   return options;
+}
+
+void PrintDurabilityStats(const core::DurabilityStats& stats,
+                          const char* tag) {
+  std::printf(
+      "stats %-22s wal %llu recs / %llu syncs (%.1f recs/sync, %.1f KiB)  "
+      "ckpts %llu full + %llu delta (chain %llu)  ckpt bytes %.1f KiB total, "
+      "last %.1f KiB in %.2f ms\n",
+      tag, (unsigned long long)stats.wal_records,
+      (unsigned long long)stats.wal_syncs, stats.avg_group_records,
+      double(stats.wal_bytes) / 1024.0,
+      (unsigned long long)stats.checkpoints_full,
+      (unsigned long long)stats.checkpoints_delta,
+      (unsigned long long)stats.delta_chain_length,
+      double(stats.checkpoint_bytes_total) / 1024.0,
+      double(stats.last_checkpoint_bytes) / 1024.0, stats.last_checkpoint_ms);
 }
 
 /// Runs `ops` operations, every 10th an insert (the paper's read-mostly
@@ -152,42 +184,169 @@ int main() {
              {{"recovery_ms", recovery_ms}});
   }
 
-  // --- 3. snapshot cadence sweep ------------------------------------------
+  // --- 3. snapshot cadence sweep, full vs delta ---------------------------
   // Smaller intervals checkpoint more (slower updates) but leave a shorter
-  // WAL tail (faster recovery); the sweep quantifies both ends.
+  // WAL tail (faster recovery); the sweep quantifies both ends, in the
+  // legacy full-snapshot mode and the delta-chain mode. The legacy mode
+  // pays an O(dataset) serialization every interval updates; the delta mode
+  // pays O(interval) — the per-update cost stops depending on n.
   const size_t cadence_updates =
       size_t(512 * scale) < 128 ? 128 : size_t(512 * scale);
-  for (uint64_t interval : {uint64_t(4), uint64_t(16), uint64_t(64),
-                            uint64_t(256)}) {
-    FaultFs fs;
-    uint64_t next_id = n + 1;
-    double update_ops;
-    {
-      SaeSystem system(Options(&fs, interval));
-      SAE_CHECK_OK(system.Load(records));
-      const storage::RecordCodec& codec = system.codec();
+  double full_ops_64 = 0, delta_ops_64 = 0;
+  for (bool legacy : {true, false}) {
+    const char* mode = legacy ? "full" : "delta";
+    for (uint64_t interval : {uint64_t(4), uint64_t(16), uint64_t(64),
+                              uint64_t(256)}) {
+      FaultFs fs;
+      uint64_t next_id = n + 1;
+      double update_ops;
+      double bytes_per_checkpoint = 0;
+      {
+        SaeSystem system(Options(&fs, interval, legacy));
+        SAE_CHECK_OK(system.Load(records));
+        // The Load baseline is a full snapshot in either mode; subtract it
+        // so the metric is the steady-state checkpoint size.
+        core::DurabilityStats baseline = system.durability_stats();
+        const storage::RecordCodec& codec = system.codec();
+        double start = NowMs();
+        for (size_t i = 0; i < cadence_updates; ++i) {
+          SAE_CHECK_OK(system.Insert(
+              codec.MakeRecord(next_id++, uint32_t(i % kDomainMax))));
+        }
+        // Drain inside the clock: steady-state throughput must pay for
+        // the background checkpoints it queued.
+        SAE_CHECK_OK(system.WaitForCheckpoints());
+        double elapsed_ms = NowMs() - start;
+        update_ops = elapsed_ms > 0
+                         ? double(cadence_updates) * 1000.0 / elapsed_ms
+                         : 0.0;
+        core::DurabilityStats stats = system.durability_stats();
+        uint64_t checkpoints = stats.checkpoints_full +
+                               stats.checkpoints_delta -
+                               baseline.checkpoints_full -
+                               baseline.checkpoints_delta;
+        if (checkpoints > 0) {
+          bytes_per_checkpoint =
+              double(stats.checkpoint_bytes_total -
+                     baseline.checkpoint_bytes_total) /
+              double(checkpoints);
+        }
+      }
+      fs.DropVolatile();
       double start = NowMs();
-      for (size_t i = 0; i < cadence_updates; ++i) {
+      auto recovered = SaeSystem::Recover(Options(&fs, interval, legacy));
+      double recovery_ms = NowMs() - start;
+      SAE_CHECK_OK(recovered.status());
+      SAE_CHECK(recovered.value()->epoch() == 1 + cadence_updates);
+      if (interval == 64) {
+        (legacy ? full_ops_64 : delta_ops_64) = update_ops;
+      }
+      std::printf(
+          "cadence mode=%-5s interval=%-4llu %10.0f updates/s  "
+          "recovery %6.2f ms  %8.1f KiB/ckpt\n",
+          mode, (unsigned long long)interval, update_ops, recovery_ms,
+          bytes_per_checkpoint / 1024.0);
+      json.Row({{"section", "cadence"},
+                {"mode", mode},
+                {"snapshot_interval", std::to_string(interval)}},
+               {{"update_ops_per_sec", update_ops},
+                {"recovery_ms", recovery_ms},
+                {"bytes_per_checkpoint", bytes_per_checkpoint}});
+    }
+  }
+  if (full_ops_64 > 0) {
+    std::printf("cadence interval=64 delta/full speedup: %.2fx\n",
+                delta_ops_64 / full_ops_64);
+    json.Row({{"section", "cadence_ratio"}, {"snapshot_interval", "64"}},
+             {{"delta_vs_full_speedup", delta_ops_64 / full_ops_64}});
+  }
+
+  // --- 4. per-checkpoint bytes vs dataset size ----------------------------
+  // The O(changes) claim: at a fixed cadence, a full snapshot grows with
+  // the record count while a delta link stays flat.
+  for (bool legacy : {true, false}) {
+    const char* mode = legacy ? "full" : "delta";
+    for (size_t dataset : {n / 4, n}) {
+      auto sized = MakeDataset(workload::Distribution::kUniform, dataset);
+      FaultFs fs;
+      SaeSystem system(Options(&fs, 64, legacy));
+      SAE_CHECK_OK(system.Load(sized));
+      const storage::RecordCodec& codec = system.codec();
+      uint64_t next_id = dataset + 1;
+      for (size_t i = 0; i < 128; ++i) {
         SAE_CHECK_OK(system.Insert(
             codec.MakeRecord(next_id++, uint32_t(i % kDomainMax))));
       }
-      double elapsed_ms = NowMs() - start;
-      update_ops = elapsed_ms > 0
-                       ? double(cadence_updates) * 1000.0 / elapsed_ms
-                       : 0.0;
+      SAE_CHECK_OK(system.WaitForCheckpoints());
+      core::DurabilityStats stats = system.durability_stats();
+      std::printf("checkpoint_scaling mode=%-5s n=%-6zu last ckpt %8.1f KiB\n",
+                  mode, dataset, double(stats.last_checkpoint_bytes) / 1024.0);
+      json.Row({{"section", "checkpoint_scaling"},
+                {"mode", mode},
+                {"dataset", std::to_string(dataset)}},
+               {{"bytes_per_checkpoint", double(stats.last_checkpoint_bytes)}});
     }
-    fs.DropVolatile();
-    double start = NowMs();
-    auto recovered = SaeSystem::Recover(Options(&fs, interval));
-    double recovery_ms = NowMs() - start;
-    SAE_CHECK_OK(recovered.status());
-    SAE_CHECK(recovered.value()->epoch() == 1 + cadence_updates);
-    std::printf("cadence interval=%-4llu %10.0f updates/s  recovery %.2f ms\n",
-                (unsigned long long)interval, update_ops, recovery_ms);
-    json.Row({{"section", "cadence"},
-              {"snapshot_interval", std::to_string(interval)}},
-             {{"update_ops_per_sec", update_ops},
-              {"recovery_ms", recovery_ms}});
+  }
+
+  // --- 5. WAL group commit under concurrent writers -----------------------
+  // A simulated 200us fsync makes the sequencer visible: with group commit
+  // off every committer pays its own barrier serially; with it on,
+  // concurrent committers share the leader's. Single-writer runs bound the
+  // no-contention overhead of the sequencer itself.
+  constexpr uint32_t kSyncLatencyUs = 200;
+  const size_t per_thread =
+      size_t(128 * scale) < 32 ? 32 : size_t(128 * scale);
+  for (bool group : {false, true}) {
+    for (size_t threads : {size_t(1), size_t(4), size_t(8)}) {
+      FaultFs fs;
+      fs.SetSyncLatency(kSyncLatencyUs);
+      SaeSystem::Options options = Options(&fs, 64, /*legacy=*/false);
+      options.durability.wal_group_commit = group;
+      SaeSystem system(options);
+      SAE_CHECK_OK(system.Load(records));
+      const storage::RecordCodec& codec = system.codec();
+
+      std::vector<std::vector<double>> latencies(threads);
+      double start = NowMs();
+      std::vector<std::thread> writers;
+      for (size_t t = 0; t < threads; ++t) {
+        writers.emplace_back([&, t] {
+          latencies[t].reserve(per_thread);
+          for (size_t i = 0; i < per_thread; ++i) {
+            uint64_t id = n + 1 + t * per_thread + i;
+            uint32_t key = uint32_t((id * 2654435761u) % kDomainMax);
+            double op_start = NowMs();
+            SAE_CHECK_OK(system.Insert(codec.MakeRecord(id, key)));
+            latencies[t].push_back(NowMs() - op_start);
+          }
+        });
+      }
+      for (auto& w : writers) w.join();
+      SAE_CHECK_OK(system.WaitForCheckpoints());
+      double elapsed_ms = NowMs() - start;
+
+      std::vector<double> all;
+      for (auto& per : latencies) {
+        all.insert(all.end(), per.begin(), per.end());
+      }
+      std::sort(all.begin(), all.end());
+      double p99 = all[size_t(double(all.size() - 1) * 0.99)];
+      double updates_per_sec =
+          elapsed_ms > 0 ? double(all.size()) * 1000.0 / elapsed_ms : 0.0;
+      std::printf(
+          "group_commit group=%-3s threads=%zu %10.0f updates/s  "
+          "p99 %6.3f ms\n",
+          group ? "on" : "off", threads, updates_per_sec, p99);
+      json.Row({{"section", "group_commit"},
+                {"group", group ? "on" : "off"},
+                {"threads", std::to_string(threads)}},
+               {{"updates_per_sec", updates_per_sec},
+                {"p99_commit_ms", p99}});
+      if (group && threads == 8) {
+        PrintDurabilityStats(system.durability_stats(),
+                             "group_commit t=8");
+      }
+    }
   }
 
   return json.Write();

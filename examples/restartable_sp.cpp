@@ -41,6 +41,21 @@ core::SaeSystemOptions DurableOptions(storage::FaultFs* fs) {
   return options;
 }
 
+void PrintDurabilityStats(const core::DurabilityStats& stats,
+                          const char* when) {
+  std::printf(
+      "  durability %s: wal %llu records / %llu syncs (%.1f records per "
+      "sync), checkpoints %llu full + %llu delta (chain length %llu), "
+      "last checkpoint %llu bytes in %.2f ms\n",
+      when, (unsigned long long)stats.wal_records,
+      (unsigned long long)stats.wal_syncs, stats.avg_group_records,
+      (unsigned long long)stats.checkpoints_full,
+      (unsigned long long)stats.checkpoints_delta,
+      (unsigned long long)stats.delta_chain_length,
+      (unsigned long long)stats.last_checkpoint_bytes,
+      stats.last_checkpoint_ms);
+}
+
 bool QueryAndVerify(core::SaeSystem* system, uint32_t lo, uint32_t hi) {
   auto outcome = system->Query(lo, hi);
   if (!outcome.ok()) {
@@ -85,6 +100,10 @@ int main() {
       if (!system.Insert(record).ok()) return 1;
     }
     durable_epoch = system.epoch();
+    // Drain the background checkpointer so the disk image below is
+    // deterministic — it now holds a full baseline plus a delta link.
+    if (!system.WaitForCheckpoints().ok()) return 1;
+    PrintDurabilityStats(system.durability_stats(), "before the crash");
 
     // The rollback adversary images the disk NOW (all 12 updates durable)…
     old_disk_image = fs.Clone();
@@ -97,6 +116,7 @@ int main() {
       return 1;
     }
     durable_epoch = system.epoch();
+    if (!system.WaitForCheckpoints().ok()) return 1;
     fs.CrashAtSyncPoint(1);  // the very next durability barrier fails
     Status st =
         system.Insert(codec.MakeRecord(kCardinality + 101, kDomainMax + 101));
@@ -117,11 +137,13 @@ int main() {
   }
   core::SaeSystem& sp = *recovered.value();
   std::printf(
-      "session 2: recovered from snapshot + WAL tail at epoch %llu "
-      "(wal %llu bytes)\n",
+      "session 2: recovered from snapshot chain + WAL tail at epoch %llu "
+      "(wal %llu bytes, %llu delta links composed)\n",
       (unsigned long long)sp.epoch(),
-      (unsigned long long)sp.durability()->wal_bytes());
+      (unsigned long long)sp.durability()->wal_bytes(),
+      (unsigned long long)sp.durability()->recovered().chain_deltas);
   if (sp.epoch() != durable_epoch) return 5;  // lost a durable update!
+  PrintDurabilityStats(sp.durability_stats(), "after recovery");
 
   if (!QueryAndVerify(&sp, 20000, 25000)) return 4;
   if (!QueryAndVerify(&sp, 0, 3000)) return 4;

@@ -34,12 +34,18 @@ import os
 import sys
 
 _HIGHER_TOKENS = ("qps", "per_sec", "ops")
+# Checked BEFORE the higher-is-better tokens: "bytes_per_checkpoint" would
+# otherwise never match (it doesn't END with _bytes) and "bytes_per_update"
+# would match the "per_sec"-style token scan in the wrong direction.
+_LOWER_TOKENS = ("bytes_per",)
 _LOWER_SUFFIXES = ("_ms", "_mb", "_bytes", "accesses")
 
 
 def metric_direction(name):
     """+1 when higher is better, -1 when lower is better, 0 to skip."""
     lowered = name.lower()
+    if any(token in lowered for token in _LOWER_TOKENS):
+        return -1
     if any(token in lowered for token in _HIGHER_TOKENS):
         return 1
     if lowered.endswith(_LOWER_SUFFIXES):

@@ -1,18 +1,19 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
-// Implements the durability subsystem (core/durability.h): WAL-record and
-// snapshot-payload codecs plus the DurabilityManager open/log/checkpoint
-// life cycle.
+// Implements the durability subsystem (core/durability.h): WAL-record,
+// snapshot and delta codecs, the chain-composing open/recovery path, the
+// stage/commit write path, and the background checkpoint pipeline.
 
 #include "core/durability.h"
+
+#include <algorithm>
+#include <chrono>
 
 #include "util/codec.h"
 
 namespace sae::core {
 
 namespace {
-
-constexpr const char* kWalName = "wal";
 
 void PutRecord(ByteWriter* w, const Record& record) {
   w->PutU64(record.id);
@@ -28,6 +29,17 @@ bool GetRecord(ByteReader* r, Record* out) {
   if (r->failed() || len > r->remaining()) return false;
   out->payload.resize(len);
   return len == 0 || r->GetBytes(out->payload.data(), len);
+}
+
+std::vector<Record> SortedByKey(std::map<RecordId, Record> by_id) {
+  std::vector<Record> records;
+  records.reserve(by_id.size());
+  for (auto& [id, record] : by_id) records.push_back(std::move(record));
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.key != b.key ? a.key < b.key : a.id < b.id;
+            });
+  return records;
 }
 
 }  // namespace
@@ -113,11 +125,76 @@ Result<SnapshotState> DecodeSnapshotState(
   return state;
 }
 
+std::vector<uint8_t> EncodeDeltaState(const DeltaState& state) {
+  ByteWriter w;
+  w.PutU8(state.model);
+  w.PutU32(state.record_size);
+  w.PutU8(uint8_t(state.scheme));
+  w.PutU32(uint32_t(state.upserts.size()));
+  for (const Record& record : state.upserts) PutRecord(&w, record);
+  w.PutU32(uint32_t(state.removes.size()));
+  for (RecordId id : state.removes) w.PutU64(id);
+  w.PutU32(uint32_t(state.signature.size()));
+  w.PutBytes(state.signature.data(), state.signature.size());
+  return w.Release();
+}
+
+Result<DeltaState> DecodeDeltaState(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  DeltaState state;
+  state.model = r.GetU8();
+  state.record_size = r.GetU32();
+  uint8_t scheme = r.GetU8();
+  uint32_t upserts = r.GetU32();
+  if (state.model != SnapshotState::kSae && state.model != SnapshotState::kTom) {
+    return Status::Corruption("delta has unknown model tag");
+  }
+  if (scheme > uint8_t(crypto::HashScheme::kSha256Trunc)) {
+    return Status::Corruption("delta has unknown hash scheme");
+  }
+  state.scheme = crypto::HashScheme(scheme);
+  state.upserts.reserve(upserts);
+  for (uint32_t i = 0; i < upserts; ++i) {
+    Record record;
+    if (!GetRecord(&r, &record)) {
+      return Status::Corruption("delta upsert record does not decode");
+    }
+    state.upserts.push_back(std::move(record));
+  }
+  uint32_t removes = r.GetU32();
+  if (r.failed() || uint64_t(removes) * 8 > r.remaining()) {
+    return Status::Corruption("delta remove list does not decode");
+  }
+  state.removes.reserve(removes);
+  for (uint32_t i = 0; i < removes; ++i) state.removes.push_back(r.GetU64());
+  uint32_t sig_len = r.GetU32();
+  if (r.failed() || sig_len > r.remaining()) {
+    return Status::Corruption("delta signature does not decode");
+  }
+  state.signature.resize(sig_len);
+  if (sig_len > 0 && !r.GetBytes(state.signature.data(), sig_len)) {
+    return Status::Corruption("delta signature does not decode");
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("delta payload has trailing bytes");
+  }
+  return state;
+}
+
 DurabilityManager::DurabilityManager(const DurabilityOptions& options,
                                      storage::Vfs* vfs)
     : options_(options),
       vfs_(vfs),
       snapshots_(vfs, options.dir, options.keep_snapshots) {}
+
+DurabilityManager::~DurabilityManager() {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = true;
+    ckpt_cv_.notify_all();
+  }
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+}
 
 Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
     const DurabilityOptions& options) {
@@ -130,65 +207,320 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
   auto mgr = std::unique_ptr<DurabilityManager>(
       new DurabilityManager(options, vfs));
 
-  auto latest = mgr->snapshots_.LoadLatest();
-  if (latest.ok()) {
-    SAE_ASSIGN_OR_RETURN(SnapshotState state,
-                         DecodeSnapshotState(latest.value().payload));
+  // Compose the newest intact chain: the base full snapshot, then every
+  // delta that validly links onto it. Each link's removes-then-upserts
+  // replays the net changes of its checkpoint window; the tail's signature
+  // speaks for the composed state.
+  auto chain = mgr->snapshots_.LoadChain();
+  if (chain.ok()) {
+    SAE_ASSIGN_OR_RETURN(SnapshotState base,
+                         DecodeSnapshotState(chain.value().base_payload));
+    std::map<RecordId, Record> by_id;
+    for (Record& record : base.records) {
+      RecordId id = record.id;
+      by_id[id] = std::move(record);
+    }
+    uint64_t tail_epoch = chain.value().base_epoch;
+    std::vector<uint8_t> signature = std::move(base.signature);
+    for (storage::SnapshotStore::ChainLink& link : chain.value().deltas) {
+      SAE_ASSIGN_OR_RETURN(DeltaState delta, DecodeDeltaState(link.payload));
+      if (delta.model != base.model ||
+          delta.record_size != base.record_size ||
+          delta.scheme != base.scheme) {
+        return Status::Corruption(
+            "delta configuration does not match its chain base");
+      }
+      for (RecordId id : delta.removes) by_id.erase(id);
+      for (Record& record : delta.upserts) {
+        RecordId id = record.id;
+        by_id[id] = std::move(record);
+      }
+      signature = std::move(delta.signature);
+      tail_epoch = link.epoch;
+    }
+    SnapshotState composed;
+    composed.model = base.model;
+    composed.record_size = base.record_size;
+    composed.scheme = base.scheme;
+    composed.records = SortedByKey(std::move(by_id));
+    composed.signature = std::move(signature);
     mgr->recovered_.has_snapshot = true;
-    mgr->recovered_.snapshot_epoch = latest.value().epoch;
-    mgr->recovered_.snapshot_fell_back = latest.value().fell_back;
-    mgr->recovered_.snapshot = std::move(state);
-  } else if (latest.status().code() != StatusCode::kNotFound) {
-    return latest.status();
+    mgr->recovered_.snapshot_epoch = tail_epoch;
+    mgr->recovered_.snapshot_fell_back = chain.value().fell_back;
+    mgr->recovered_.chain_deltas = chain.value().deltas.size();
+    mgr->recovered_.snapshot = std::move(composed);
+    mgr->have_chain_ = true;
+    mgr->chain_tail_epoch_ = tail_epoch;
+    mgr->chain_length_ = chain.value().deltas.size();
+    mgr->meta_model_ = base.model;
+    mgr->meta_record_size_ = base.record_size;
+    mgr->meta_scheme_ = base.scheme;
+  } else if (chain.status().code() != StatusCode::kNotFound) {
+    return chain.status();
   }
 
   // Open the WAL: the checksum scan already cut any torn tail; a crc-valid
   // record that fails to DECODE also ends the replayable prefix (it cannot
-  // have been written by LogUpdate), so truncate there too — never crash
-  // on garbage, never replay past it.
+  // have been written by the stage path), and so does a record whose epoch
+  // neither precedes the composed chain tail (redundant, skipped by the
+  // system) nor chains contiguously out of it (an orphan of a newer chain
+  // this recovery fell back behind) — truncate there, never crash on
+  // garbage, never replay past it.
   storage::WalContents contents;
-  SAE_ASSIGN_OR_RETURN(
-      mgr->wal_,
-      storage::WriteAheadLog::Open(vfs, options.dir + "/" + kWalName,
-                                   &contents));
+  SAE_ASSIGN_OR_RETURN(mgr->wal_, storage::WriteAheadLog::Open(
+                                      vfs, options.dir, &contents));
   mgr->recovered_.wal_truncated = contents.torn_tail;
-  uint64_t valid_offset = 0;
+  size_t keep = 0;
+  bool cut = false;
+  uint64_t expected = mgr->recovered_.snapshot_epoch + 1;
   for (const std::vector<uint8_t>& payload : contents.records) {
     auto update = DecodeWalUpdate(payload);
     if (!update.ok()) {
-      mgr->recovered_.wal_truncated = true;
-      SAE_RETURN_NOT_OK(mgr->wal_->TruncateTo(valid_offset));
+      cut = true;
       break;
     }
+    if (mgr->recovered_.has_snapshot) {
+      uint64_t epoch = update.value().epoch;
+      if (epoch > mgr->recovered_.snapshot_epoch) {
+        if (epoch != expected) {
+          cut = true;
+          break;
+        }
+        ++expected;
+      }
+    }
     mgr->recovered_.wal_tail.push_back(std::move(update.value()));
-    valid_offset += storage::kWalRecordHeader + payload.size();
+    ++keep;
+  }
+  if (cut) {
+    mgr->recovered_.wal_truncated = true;
+    SAE_RETURN_NOT_OK(mgr->wal_->TruncateAfterRecord(keep));
   }
   return mgr;
 }
 
+Result<uint64_t> DurabilityManager::StageUpdate(const WalUpdate& update) {
+  SAE_ASSIGN_OR_RETURN(uint64_t seq, wal_->Stage(EncodeWalUpdate(update)));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  RecordId id = update.op == WalUpdate::kInsert ? update.record.id : update.id;
+  auto it = pending_.find(id);
+  last_staged_id_ = id;
+  last_staged_had_prev_ = it != pending_.end();
+  if (last_staged_had_prev_) last_staged_prev_ = it->second;
+  undo_armed_ = true;
+  PendingChange change;
+  change.present = update.op == WalUpdate::kInsert;
+  if (change.present) change.record = update.record;
+  pending_[id] = std::move(change);
+  return seq;
+}
+
+Status DurabilityManager::CommitStaged(uint64_t seq) {
+  return wal_->Commit(
+      seq, options_.wal_group_commit ? options_.max_group_delay_us : 0);
+}
+
 Status DurabilityManager::LogUpdate(const WalUpdate& update) {
-  last_append_offset_ = wal_->size_bytes();
-  return wal_->Append(EncodeWalUpdate(update));
+  SAE_ASSIGN_OR_RETURN(uint64_t seq, StageUpdate(update));
+  return wal_->Commit(seq, 0);
 }
 
 Status DurabilityManager::UndoFailedUpdate() {
-  return wal_->TruncateTo(last_append_offset_);
+  SAE_RETURN_NOT_OK(wal_->UndoLastStaged());
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (!undo_armed_) return Status::OK();
+  // The retracted update's net change must not leak into the next delta
+  // checkpoint, and (having never applied) it must not advance the
+  // cadence either — ShouldSnapshot only counts applied updates.
+  if (last_staged_had_prev_) {
+    pending_[last_staged_id_] = last_staged_prev_;
+  } else {
+    pending_.erase(last_staged_id_);
+  }
+  undo_armed_ = false;
+  return Status::OK();
 }
 
 bool DurabilityManager::ShouldSnapshot() {
   if (options_.snapshot_interval == 0) return false;
-  return ++updates_since_snapshot_ >= options_.snapshot_interval;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return ++updates_since_checkpoint_ >= options_.snapshot_interval;
+}
+
+bool DurabilityManager::NextCheckpointIsFull() const {
+  if (!options_.delta_snapshots) return true;
+  if (options_.full_snapshot_every <= 1) return true;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (!have_chain_) return true;
+  return chain_length_ + 1 >= options_.full_snapshot_every;
+}
+
+Status DurabilityManager::CaptureLocked(CheckpointJob job, bool force_sync) {
+  // Seal the WAL at the capture point: everything logged so far is covered
+  // by this checkpoint, everything after it belongs to the next window.
+  // The sealed segments stay on disk until the checkpoint is DURABLE — a
+  // crash mid-checkpoint recovers from the previous chain plus these
+  // segments, losing nothing.
+  SAE_ASSIGN_OR_RETURN(job.sealed_wal_seq, wal_->Rotate());
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    pending_.clear();
+    updates_since_checkpoint_ = 0;
+    undo_armed_ = false;
+    have_chain_ = true;
+    chain_tail_epoch_ = job.epoch;
+    chain_length_ = job.full ? 0 : chain_length_ + 1;
+  }
+  if (options_.background_checkpoint && !force_sync) {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (!ckpt_thread_started_) {
+      ckpt_thread_started_ = true;
+      ckpt_thread_ = std::thread([this] { CheckpointThreadMain(); });
+    }
+    ckpt_queue_.push_back(std::move(job));
+    ckpt_cv_.notify_all();
+    return Status::OK();
+  }
+  return RunCheckpointJob(job);
+}
+
+Status DurabilityManager::CheckpointFull(uint64_t epoch, SnapshotState state) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    meta_model_ = state.model;
+    meta_record_size_ = state.record_size;
+    meta_scheme_ = state.scheme;
+  }
+  CheckpointJob job;
+  job.full = true;
+  job.epoch = epoch;
+  job.full_state = std::move(state);
+  return CaptureLocked(std::move(job), /*force_sync=*/false);
+}
+
+Status DurabilityManager::CheckpointDelta(uint64_t epoch,
+                                          std::vector<uint8_t> signature) {
+  CheckpointJob job;
+  job.full = false;
+  job.epoch = epoch;
+  DeltaState& delta = job.delta_state;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    delta.model = meta_model_;
+    delta.record_size = meta_record_size_;
+    delta.scheme = meta_scheme_;
+    for (auto& [id, change] : pending_) {
+      if (change.present) {
+        delta.upserts.push_back(std::move(change.record));
+      } else {
+        delta.removes.push_back(id);
+      }
+    }
+    job.base_epoch = chain_tail_epoch_;
+  }
+  delta.signature = std::move(signature);
+  return CaptureLocked(std::move(job), /*force_sync=*/false);
 }
 
 Status DurabilityManager::WriteSnapshot(uint64_t epoch,
                                         const SnapshotState& state) {
-  SAE_RETURN_NOT_OK(snapshots_.Write(epoch, EncodeSnapshotState(state)));
-  // The snapshot is durable under its final name; every logged update is
-  // now redundant. A crash between the rename and this reset replays
-  // records with epoch <= snapshot epoch, which recovery skips.
-  SAE_RETURN_NOT_OK(wal_->Reset());
-  updates_since_snapshot_ = 0;
-  return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    meta_model_ = state.model;
+    meta_record_size_ = state.record_size;
+    meta_scheme_ = state.scheme;
+  }
+  CheckpointJob job;
+  job.full = true;
+  job.epoch = epoch;
+  job.full_state = state;
+  return CaptureLocked(std::move(job), /*force_sync=*/true);
+}
+
+Status DurabilityManager::RunCheckpointJob(const CheckpointJob& job) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<uint8_t> payload = job.full
+                                     ? EncodeSnapshotState(job.full_state)
+                                     : EncodeDeltaState(job.delta_state);
+  Status st = job.full ? snapshots_.Write(job.epoch, payload)
+                       : snapshots_.WriteDelta(job.base_epoch, job.epoch,
+                                               payload);
+  if (st.ok() && job.sealed_wal_seq > 0) {
+    // The checkpoint is durable under its final name; the sealed segments'
+    // records are now redundant. A crash between the rename and this drop
+    // replays records with epoch <= checkpoint epoch, which recovery skips.
+    st = wal_->DropSegmentsThrough(job.sealed_wal_seq);
+  }
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (st.ok()) {
+      ++(job.full ? checkpoints_full_ : checkpoints_delta_);
+      checkpoint_bytes_total_ += payload.size();
+      last_checkpoint_bytes_ = payload.size();
+      last_checkpoint_ms_ = ms;
+    } else if (ckpt_status_.ok()) {
+      ckpt_status_ = st;
+    }
+  }
+  return st;
+}
+
+void DurabilityManager::CheckpointThreadMain() {
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  for (;;) {
+    ckpt_cv_.wait(lock,
+                  [this] { return ckpt_stop_ || !ckpt_queue_.empty(); });
+    if (ckpt_queue_.empty()) {
+      if (ckpt_stop_) return;  // drained; pending captures never abandoned
+      continue;
+    }
+    CheckpointJob job = std::move(ckpt_queue_.front());
+    ckpt_queue_.pop_front();
+    ckpt_running_ = true;
+    lock.unlock();
+    Status st = RunCheckpointJob(job);  // failure is sticky in ckpt_status_
+    (void)st;
+    lock.lock();
+    ckpt_running_ = false;
+    ckpt_cv_.notify_all();
+  }
+}
+
+Status DurabilityManager::WaitForCheckpoints() {
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  ckpt_cv_.wait(lock,
+                [this] { return ckpt_queue_.empty() && !ckpt_running_; });
+  Status st = ckpt_status_;
+  ckpt_status_ = Status::OK();
+  return st;
+}
+
+DurabilityStats DurabilityManager::stats() const {
+  DurabilityStats s;
+  storage::WriteAheadLog::Stats w = wal_->stats();
+  s.wal_bytes = wal_->size_bytes();
+  s.wal_records = w.staged_records;
+  s.wal_syncs = w.syncs;
+  s.avg_group_records =
+      w.syncs > 0 ? double(w.synced_records) / double(w.syncs) : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    s.delta_chain_length = chain_length_;
+    s.updates_since_checkpoint = updates_since_checkpoint_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    s.checkpoints_full = checkpoints_full_;
+    s.checkpoints_delta = checkpoints_delta_;
+    s.pending_checkpoints = ckpt_queue_.size() + (ckpt_running_ ? 1 : 0);
+    s.checkpoint_bytes_total = checkpoint_bytes_total_;
+    s.last_checkpoint_bytes = last_checkpoint_bytes_;
+    s.last_checkpoint_ms = last_checkpoint_ms_;
+  }
+  return s;
 }
 
 }  // namespace sae::core

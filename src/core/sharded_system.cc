@@ -7,6 +7,7 @@
 
 #include "core/sharded_system.h"
 
+#include <algorithm>
 #include <limits>
 #include <optional>
 #include <string>
@@ -250,6 +251,43 @@ UpdateStats ShardedSystem<Base>::update_stats() const {
     total.latency_ms += stats.latency_ms;
   }
   return total;
+}
+
+template <typename Base>
+DurabilityStats ShardedSystem<Base>::durability_stats() const {
+  DurabilityStats total;
+  for (const auto& shard : shards_) {
+    DurabilityStats s = shard->durability_stats();
+    total.wal_bytes += s.wal_bytes;
+    total.wal_records += s.wal_records;
+    total.wal_syncs += s.wal_syncs;
+    total.checkpoints_full += s.checkpoints_full;
+    total.checkpoints_delta += s.checkpoints_delta;
+    total.delta_chain_length =
+        std::max(total.delta_chain_length, s.delta_chain_length);
+    total.updates_since_checkpoint += s.updates_since_checkpoint;
+    total.pending_checkpoints += s.pending_checkpoints;
+    total.checkpoint_bytes_total += s.checkpoint_bytes_total;
+    total.last_checkpoint_bytes =
+        std::max(total.last_checkpoint_bytes, s.last_checkpoint_bytes);
+    total.last_checkpoint_ms =
+        std::max(total.last_checkpoint_ms, s.last_checkpoint_ms);
+  }
+  total.avg_group_records =
+      total.wal_syncs > 0
+          ? double(total.wal_records) / double(total.wal_syncs)
+          : 0.0;
+  return total;
+}
+
+template <typename Base>
+Status ShardedSystem<Base>::WaitForCheckpoints() {
+  Status first = Status::OK();
+  for (const auto& shard : shards_) {
+    Status st = shard->WaitForCheckpoints();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
 }
 
 template class ShardedSystem<SaeSystem>;

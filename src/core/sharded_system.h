@@ -173,6 +173,13 @@ class ShardedSystem {
   /// Update-pipeline stats summed across shards.
   UpdateStats update_stats() const;
 
+  /// Durability counters summed across shards (averages re-averaged,
+  /// chain length maxed). Zeroed struct when durability is off.
+  DurabilityStats durability_stats() const;
+
+  /// Drains every shard's checkpoint queue; returns the first failure.
+  Status WaitForCheckpoints();
+
   const ShardRouter& router() const { return router_; }
   size_t num_shards() const { return shards_.size(); }
   Base& shard(size_t s) { return *shards_[s]; }

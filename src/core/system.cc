@@ -84,6 +84,25 @@ Status SaeSystem::WriteSnapshotLocked() {
   return durability_->WriteSnapshot(owner_.epoch(), state);
 }
 
+Status SaeSystem::CheckpointLocked() {
+  if (durability_->NextCheckpointIsFull()) {
+    SnapshotState state;
+    state.model = SnapshotState::kSae;
+    state.record_size = uint32_t(options_.record_size);
+    state.scheme = options_.scheme;
+    state.records = owner_.SortedDataset();
+    return durability_->CheckpointFull(owner_.epoch(), std::move(state));
+  }
+  // O(changes): the pending set accumulated at stage time IS the delta.
+  return durability_->CheckpointDelta(owner_.epoch(), {});
+}
+
+bool SaeSystem::EffectiveHasRecord(RecordId id) const {
+  auto it = staged_presence_.find(id);
+  if (it != staged_presence_.end()) return it->second.first;
+  return owner_.HasRecord(id);
+}
+
 Result<std::unique_ptr<SaeSystem>> SaeSystem::Recover(const Options& options) {
   SAE_ASSIGN_OR_RETURN(std::unique_ptr<DurabilityManager> mgr,
                        DurabilityManager::Open(options.durability));
@@ -262,30 +281,73 @@ Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter,
   // the pipeline, not the test harness's replay snapshot.
   CaptureStaleSnapshotLocked();
   sim::Stopwatch watch;
-  uint64_t sp_bytes0 = do_sp_.total_bytes();
-  uint64_t te_bytes0 = do_te_.total_bytes();
-  // Write-ahead ordering: validate against the master copy first (so the
-  // WAL never records an update the apply rejects — error behavior is
-  // identical with durability on or off), log the update durable stamped
-  // with the epoch it will publish, and only then mutate memory.
+  const bool group =
+      durability_ != nullptr && durability_->options().wal_group_commit;
+  auto fail = [&](Status st) -> Result<uint64_t> {
+    ++update_stats_.failed;
+    update_stats_.latency_ms += watch.ElapsedMs();
+    return st;
+  };
+  // Write-ahead ordering: validate first — against the owner state PLUS
+  // everything staged ahead of us, so the WAL never records an update its
+  // apply would reject — then make the record durable, and only then
+  // mutate memory. A synced record still precedes every in-memory apply
+  // it covers.
   Status st = validate();
-  if (st.ok() && durability_ != nullptr) {
-    wal_update.epoch = owner_.epoch() + 1;
-    st = durability_->LogUpdate(wal_update);
-  }
-  if (st.ok()) {
-    st = apply();
-    if (!st.ok() && durability_ != nullptr) {
-      // Retract the logged record: the log must not claim an update that
-      // did not happen. Best effort — if storage is gone too, recovery's
-      // epoch-chain check drops the orphan record anyway.
-      Status undone = durability_->UndoFailedUpdate();
-      (void)undone;
+  if (!st.ok()) return fail(st);
+  uint64_t my_epoch = 0;
+  uint64_t seq = 0;
+  RecordId staged_id = 0;
+  if (durability_ != nullptr) {
+    if (wal_dead_) {
+      return fail(Status::IoError("durable write pipeline failed"));
+    }
+    my_epoch = std::max(staged_epoch_, owner_.epoch()) + 1;
+    wal_update.epoch = my_epoch;
+    staged_id = wal_update.op == WalUpdate::kInsert ? wal_update.record.id
+                                                    : wal_update.id;
+    auto staged = durability_->StageUpdate(wal_update);
+    if (!staged.ok()) return fail(staged.status());
+    seq = staged.value();
+    staged_epoch_ = my_epoch;
+    if (group) {
+      staged_presence_[staged_id] = {wal_update.op == WalUpdate::kInsert,
+                                     my_epoch};
+      // Commit OUTSIDE the lock so concurrent committers share one fsync,
+      // then re-enter and wait for our turn: applies happen in staged
+      // epoch order, exactly as if the pipeline were sequential.
+      lock.unlock();
+      Status synced = durability_->CommitStaged(seq);
+      lock.lock();
+      if (synced.ok() && !wal_dead_) {
+        apply_cv_.wait(lock, [&] {
+          return wal_dead_ || owner_.epoch() + 1 == my_epoch;
+        });
+      }
+      if (!synced.ok() || wal_dead_) {
+        // A failed group fsync (or a failure upstream in the pipeline)
+        // means epochs staged after the failure can never publish: poison
+        // the pipeline so no waiter hangs and no later update claims
+        // durability it does not have.
+        wal_dead_ = true;
+        apply_cv_.notify_all();
+        return fail(synced.ok()
+                        ? Status::IoError("durable write pipeline failed")
+                        : synced);
+      }
+    } else {
+      st = durability_->CommitStaged(seq);
+      if (!st.ok()) {
+        wal_dead_ = true;
+        return fail(st);
+      }
     }
   }
-  // Channels carry shipment + epoch notice; updates are the only senders
-  // on the DO channels and they hold the unique lock, so the delta is
-  // exactly this update's traffic.
+  // Channels carry shipment + epoch notice; the applying update holds the
+  // unique lock, so the delta is exactly this update's traffic.
+  uint64_t sp_bytes0 = do_sp_.total_bytes();
+  uint64_t te_bytes0 = do_te_.total_bytes();
+  st = apply();
   size_t traffic = (do_sp_.total_bytes() - sp_bytes0) +
                    (do_te_.total_bytes() - te_bytes0);
   size_t notice_bytes = st.ok() ? 2 * SerializeEpochNotice(0).size() : 0;
@@ -293,15 +355,46 @@ Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter,
   update_stats_.auth_bytes += notice_bytes;
   update_stats_.latency_ms += watch.ElapsedMs();
   if (!st.ok()) {
+    if (durability_ != nullptr) {
+      if (staged_epoch_ == my_epoch) {
+        // Ours is the newest staged record: retract it — the log and the
+        // pending delta must not claim an update that did not happen —
+        // and step the stage cursor back. Best effort: if storage is gone
+        // too, recovery's epoch-chain check drops the orphan anyway.
+        Status undone = durability_->UndoFailedUpdate();
+        (void)undone;
+        staged_epoch_ = my_epoch - 1;
+        auto it = staged_presence_.find(staged_id);
+        if (it != staged_presence_.end() && it->second.second == my_epoch) {
+          staged_presence_.erase(it);
+        }
+      } else {
+        // A later update already staged (and validated) on top of our
+        // durable record; the epoch it waits for will never publish.
+        wal_dead_ = true;
+      }
+      apply_cv_.notify_all();
+    }
     ++update_stats_.failed;
     return st;
   }
+  if (group) {
+    auto it = staged_presence_.find(staged_id);
+    if (it != staged_presence_.end() && it->second.second == my_epoch) {
+      staged_presence_.erase(it);
+    }
+  }
   ++*op_counter;
   published_epoch_.store(owner_.epoch(), std::memory_order_release);
-  if (durability_ != nullptr && durability_->ShouldSnapshot()) {
-    // The update itself is already durable in the WAL; a failing
-    // checkpoint (storage offline) still surfaces to the caller.
-    SAE_RETURN_NOT_OK(WriteSnapshotLocked());
+  if (durability_ != nullptr) apply_cv_.notify_all();
+  if (durability_ != nullptr && durability_->ShouldSnapshot() &&
+      staged_epoch_ == owner_.epoch()) {
+    // Checkpoint only at a quiescent point (nothing staged-but-unapplied):
+    // the WAL rotation inside the capture is then barrier-free and the
+    // pending set is exactly the state delta. The cadence counter stays
+    // due until the last committer of a burst lands here. The update
+    // itself is already durable; a failing checkpoint still surfaces.
+    SAE_RETURN_NOT_OK(CheckpointLocked());
   }
   return owner_.epoch();
 }
@@ -313,7 +406,7 @@ Result<uint64_t> SaeSystem::InsertVersioned(const Record& record) {
   return RunUpdate(
       &update_stats_.inserts, std::move(wal_update),
       [&] {
-        return owner_.HasRecord(record.id)
+        return EffectiveHasRecord(record.id)
                    ? Status::AlreadyExists("record id already present")
                    : Status::OK();
       },
@@ -327,7 +420,7 @@ Result<uint64_t> SaeSystem::DeleteVersioned(RecordId id) {
   return RunUpdate(
       &update_stats_.deletes, std::move(wal_update),
       [&] {
-        return owner_.HasRecord(id)
+        return EffectiveHasRecord(id)
                    ? Status::OK()
                    : Status::NotFound("no record with this id");
       },
@@ -393,6 +486,30 @@ Status TomSystem::WriteSnapshotLocked() {
   state.records = std::move(range.results);
   state.signature = owner_.signature();
   return durability_->WriteSnapshot(owner_.epoch(), state);
+}
+
+Status TomSystem::CheckpointLocked() {
+  if (durability_->NextCheckpointIsFull()) {
+    SnapshotState state;
+    state.model = SnapshotState::kTom;
+    state.record_size = uint32_t(options_.record_size);
+    state.scheme = options_.scheme;
+    SAE_ASSIGN_OR_RETURN(TomServiceProvider::QueryResponse range,
+                         sp_.ExecuteRange(std::numeric_limits<Key>::min(),
+                                          std::numeric_limits<Key>::max()));
+    state.records = std::move(range.results);
+    state.signature = owner_.signature();
+    return durability_->CheckpointFull(owner_.epoch(), std::move(state));
+  }
+  // O(changes); the delta carries the root signature AT this epoch, so the
+  // composed chain stays byte-provable at recovery.
+  return durability_->CheckpointDelta(owner_.epoch(), owner_.signature());
+}
+
+bool TomSystem::EffectiveHasRecord(RecordId id) const {
+  auto it = staged_presence_.find(id);
+  if (it != staged_presence_.end()) return it->second.first;
+  return owner_.HasRecord(id);
 }
 
 Result<std::unique_ptr<TomSystem>> TomSystem::Recover(const Options& options) {
@@ -576,33 +693,96 @@ Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter,
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
   CaptureStaleSnapshotLocked();  // off the clock, see SaeSystem::RunUpdate
   sim::Stopwatch watch;
-  uint64_t bytes0 = do_sp_.total_bytes();
-  size_t auth_bytes = 0;
-  // Write-ahead ordering, as in SaeSystem::RunUpdate.
+  const bool group =
+      durability_ != nullptr && durability_->options().wal_group_commit;
+  auto fail = [&](Status st) -> Result<uint64_t> {
+    ++update_stats_.failed;
+    update_stats_.latency_ms += watch.ElapsedMs();
+    return st;
+  };
+  // Write-ahead ordering, as in SaeSystem::RunUpdate: validate (against
+  // owner state + staged-ahead changes), make durable, apply in epoch
+  // order.
   Status st = validate();
-  if (st.ok() && durability_ != nullptr) {
-    wal_update.epoch = owner_.epoch() + 1;
-    st = durability_->LogUpdate(wal_update);
-  }
-  if (st.ok()) {
-    st = apply(&auth_bytes);
-    if (!st.ok() && durability_ != nullptr) {
-      Status undone = durability_->UndoFailedUpdate();
-      (void)undone;
+  if (!st.ok()) return fail(st);
+  uint64_t my_epoch = 0;
+  uint64_t seq = 0;
+  RecordId staged_id = 0;
+  if (durability_ != nullptr) {
+    if (wal_dead_) {
+      return fail(Status::IoError("durable write pipeline failed"));
+    }
+    my_epoch = std::max(staged_epoch_, owner_.epoch()) + 1;
+    wal_update.epoch = my_epoch;
+    staged_id = wal_update.op == WalUpdate::kInsert ? wal_update.record.id
+                                                    : wal_update.id;
+    auto staged = durability_->StageUpdate(wal_update);
+    if (!staged.ok()) return fail(staged.status());
+    seq = staged.value();
+    staged_epoch_ = my_epoch;
+    if (group) {
+      staged_presence_[staged_id] = {wal_update.op == WalUpdate::kInsert,
+                                     my_epoch};
+      lock.unlock();
+      Status synced = durability_->CommitStaged(seq);
+      lock.lock();
+      if (synced.ok() && !wal_dead_) {
+        apply_cv_.wait(lock, [&] {
+          return wal_dead_ || owner_.epoch() + 1 == my_epoch;
+        });
+      }
+      if (!synced.ok() || wal_dead_) {
+        wal_dead_ = true;
+        apply_cv_.notify_all();
+        return fail(synced.ok()
+                        ? Status::IoError("durable write pipeline failed")
+                        : synced);
+      }
+    } else {
+      st = durability_->CommitStaged(seq);
+      if (!st.ok()) {
+        wal_dead_ = true;
+        return fail(st);
+      }
     }
   }
+  uint64_t bytes0 = do_sp_.total_bytes();
+  size_t auth_bytes = 0;
+  st = apply(&auth_bytes);
   size_t traffic = do_sp_.total_bytes() - bytes0;
   update_stats_.shipment_bytes += traffic - auth_bytes;
   update_stats_.auth_bytes += auth_bytes;
   update_stats_.latency_ms += watch.ElapsedMs();
   if (!st.ok()) {
+    if (durability_ != nullptr) {
+      if (staged_epoch_ == my_epoch) {
+        Status undone = durability_->UndoFailedUpdate();
+        (void)undone;
+        staged_epoch_ = my_epoch - 1;
+        auto it = staged_presence_.find(staged_id);
+        if (it != staged_presence_.end() && it->second.second == my_epoch) {
+          staged_presence_.erase(it);
+        }
+      } else {
+        wal_dead_ = true;  // see SaeSystem::RunUpdate
+      }
+      apply_cv_.notify_all();
+    }
     ++update_stats_.failed;
     return st;
   }
+  if (group) {
+    auto it = staged_presence_.find(staged_id);
+    if (it != staged_presence_.end() && it->second.second == my_epoch) {
+      staged_presence_.erase(it);
+    }
+  }
   ++*op_counter;
   published_epoch_.store(owner_.epoch(), std::memory_order_release);
-  if (durability_ != nullptr && durability_->ShouldSnapshot()) {
-    SAE_RETURN_NOT_OK(WriteSnapshotLocked());
+  if (durability_ != nullptr) apply_cv_.notify_all();
+  if (durability_ != nullptr && durability_->ShouldSnapshot() &&
+      staged_epoch_ == owner_.epoch()) {
+    SAE_RETURN_NOT_OK(CheckpointLocked());  // quiescent, see SaeSystem
   }
   return owner_.epoch();
 }
@@ -614,7 +794,7 @@ Result<uint64_t> TomSystem::InsertVersioned(const Record& record) {
   return RunUpdate(
       &update_stats_.inserts, std::move(wal_update),
       [&] {
-        return owner_.HasRecord(record.id)
+        return EffectiveHasRecord(record.id)
                    ? Status::AlreadyExists("record id already present")
                    : Status::OK();
       },
@@ -637,7 +817,7 @@ Result<uint64_t> TomSystem::DeleteVersioned(RecordId id) {
   return RunUpdate(
       &update_stats_.deletes, std::move(wal_update),
       [&] {
-        return owner_.HasRecord(id)
+        return EffectiveHasRecord(id)
                    ? Status::OK()
                    : Status::NotFound("no record with this id");
       },

@@ -20,9 +20,12 @@
 #define SAE_CORE_SYSTEM_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/client.h"
@@ -208,6 +211,19 @@ class SaeSystem {
   /// Attached durability manager; nullptr when durability is off.
   DurabilityManager* durability() { return durability_.get(); }
 
+  /// Durability counters (zeroed struct when durability is off).
+  DurabilityStats durability_stats() const {
+    return durability_ != nullptr ? durability_->stats() : DurabilityStats{};
+  }
+
+  /// Blocks until every captured checkpoint is durable; returns the first
+  /// checkpoint failure since the last wait. Call without holding a query
+  /// open on this thread.
+  Status WaitForCheckpoints() {
+    return durability_ != nullptr ? durability_->WaitForCheckpoints()
+                                  : Status::OK();
+  }
+
  private:
   /// Snapshots the pre-update SP state the first time a writer runs, so
   /// kReplayStaleRoot has a genuine stale database to answer from.
@@ -217,14 +233,23 @@ class SaeSystem {
   const ServiceProvider* StaleSp();
 
   /// The write-ahead update pipeline: validate against the master copy,
-  /// log durable (when durability is on), then apply in memory.
+  /// log durable (when durability is on), then apply in memory. With group
+  /// commit the durable step runs OUTSIDE the writer lock (one fsync per
+  /// concurrent group); applies are sequenced back into epoch order.
   template <typename Validate, typename Fn>
   Result<uint64_t> RunUpdate(uint64_t* op_counter, WalUpdate wal_update,
                              Validate&& validate, Fn&& apply);
+  /// Record presence as the update being validated will observe it: the
+  /// owner state plus every staged-but-not-yet-applied change (group
+  /// commit stages ahead of applying). Caller holds the unique lock.
+  bool EffectiveHasRecord(RecordId id) const;
   /// Load body shared with Recover (caller holds the unique lock).
   Status LoadLocked(const std::vector<Record>& records);
-  /// Checkpoints the current state (caller holds the unique lock).
+  /// Synchronous full checkpoint — the Load baseline (unique lock held).
   Status WriteSnapshotLocked();
+  /// Cadence checkpoint: full or delta per the compaction schedule (unique
+  /// lock held at a quiescent point).
+  Status CheckpointLocked();
 
   Options options_;
   DataOwner owner_;
@@ -252,6 +277,18 @@ class SaeSystem {
   std::vector<Record> stale_records_;
   std::once_flag stale_build_once_;
   std::unique_ptr<ServiceProvider> stale_sp_;
+
+  // Group-commit pipeline state, written under the unique lock. An update
+  // stages at epoch staged_epoch_+1, commits durable outside the lock,
+  // then waits on apply_cv_ for its turn to apply (owner epoch order). A
+  // synced record therefore still precedes every in-memory apply it
+  // covers. staged_presence_ lets validation see staged-but-unapplied
+  // changes; wal_dead_ poisons the pipeline after a failed group fsync or
+  // a failed mid-pipeline apply (no waiter is left hanging).
+  uint64_t staged_epoch_ = 0;
+  std::unordered_map<RecordId, std::pair<bool, uint64_t>> staged_presence_;
+  std::condition_variable_any apply_cv_;
+  bool wal_dead_ = false;
 
   // Crash safety (nullptr when options_.durability.enabled is false);
   // written under the unique lock.
@@ -374,6 +411,18 @@ class TomSystem {
   /// Attached durability manager; nullptr when durability is off.
   DurabilityManager* durability() { return durability_.get(); }
 
+  /// Durability counters (zeroed struct when durability is off).
+  DurabilityStats durability_stats() const {
+    return durability_ != nullptr ? durability_->stats() : DurabilityStats{};
+  }
+
+  /// Blocks until every captured checkpoint is durable; returns the first
+  /// checkpoint failure since the last wait.
+  Status WaitForCheckpoints() {
+    return durability_ != nullptr ? durability_->WaitForCheckpoints()
+                                  : Status::OK();
+  }
+
  private:
   void CaptureStaleSnapshotLocked();
   const TomServiceProvider* StaleSp();
@@ -383,10 +432,15 @@ class TomSystem {
   template <typename Validate, typename Fn>
   Result<uint64_t> RunUpdate(uint64_t* op_counter, WalUpdate wal_update,
                              Validate&& validate, Fn&& apply);
+  /// See SaeSystem::EffectiveHasRecord.
+  bool EffectiveHasRecord(RecordId id) const;
   /// Load body shared with Recover; `ship` meters the DO->SP channel
   /// (recovery reads local disk, nothing crosses the network).
   Status LoadLocked(const std::vector<Record>& records, bool ship);
+  /// Synchronous full checkpoint — the Load baseline (unique lock held).
   Status WriteSnapshotLocked();
+  /// Cadence checkpoint: full or delta per the compaction schedule.
+  Status CheckpointLocked();
 
   Options options_;
   RecordCodec codec_;
@@ -408,6 +462,12 @@ class TomSystem {
   std::vector<Record> stale_records_;
   std::once_flag stale_build_once_;
   std::unique_ptr<TomServiceProvider> stale_sp_;
+
+  // Group-commit pipeline state (see SaeSystem).
+  uint64_t staged_epoch_ = 0;
+  std::unordered_map<RecordId, std::pair<bool, uint64_t>> staged_presence_;
+  std::condition_variable_any apply_cv_;
+  bool wal_dead_ = false;
 
   // Crash safety (nullptr when options_.durability.enabled is false);
   // written under the unique lock.

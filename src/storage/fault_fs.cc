@@ -6,7 +6,9 @@
 #include "storage/fault_fs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace sae::storage {
 
@@ -100,7 +102,16 @@ Status FaultFs::Barrier() {
     crashed_ = true;  // this barrier never completes
     return Status::IoError(kCrashedMsg);
   }
+  if (sync_latency_us_ > 0) {
+    // Sleeping under mu_ serializes barriers like a single device queue.
+    std::this_thread::sleep_for(std::chrono::microseconds(sync_latency_us_));
+  }
   return Status::OK();
+}
+
+void FaultFs::SetSyncLatency(uint32_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_latency_us_ = us;
 }
 
 Result<std::unique_ptr<VfsFile>> FaultFs::Open(const std::string& path,

@@ -74,6 +74,14 @@ class FaultFs final : public Vfs {
   /// no crash armed, read this, and you have the matrix size.
   uint64_t sync_points() const;
 
+  /// Simulated fsync cost: every successful barrier sleeps `us`
+  /// microseconds while holding the fs lock, like a device draining its
+  /// queue. 0 (the default) keeps barriers free — crash-matrix accounting
+  /// is unaffected either way, only wall time changes. This is what makes
+  /// group commit measurable on the in-memory fs: N amortized commits pay
+  /// one sleep instead of N.
+  void SetSyncLatency(uint32_t us);
+
   /// Bytes durable across all files / bytes that a crash right now would
   /// destroy (current minus durable, summed over files).
   uint64_t durable_bytes() const;
@@ -101,6 +109,7 @@ class FaultFs final : public Vfs {
   std::map<std::string, FileState> files_;
   uint64_t barrier_count_ = 0;
   uint64_t crash_at_ = 0;
+  uint32_t sync_latency_us_ = 0;
   bool crashed_ = false;
 };
 

@@ -1,10 +1,14 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
 // Implements the snapshot store (storage/snapshot.h): the temp-then-rename
-// write protocol, the CRC-validated load with fallback, and keep-N GC.
+// write protocol for full and delta files, the CRC-validated chain walk
+// with fallback, and chain-aware keep-N GC.
 //
-// On-disk snapshot layout (little-endian):
+// On-disk full-snapshot layout (little-endian):
 //   [magic u32][version u32][epoch u64][payload_len u64]
+//   [payload bytes][crc32 u32 over everything preceding]
+// Delta layout adds the base epoch:
+//   [magic u32][version u32][base u64][epoch u64][payload_len u64]
 //   [payload bytes][crc32 u32 over everything preceding]
 
 #include "storage/snapshot.h"
@@ -20,26 +24,44 @@ namespace sae::storage {
 namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x53414553;  // "SAES"
+constexpr uint32_t kDeltaMagic = 0x53414544;     // "SAED"
 constexpr uint32_t kSnapshotVersion = 1;
 constexpr size_t kSnapshotHeader = 4 + 4 + 8 + 8;
+constexpr size_t kDeltaHeader = 4 + 4 + 8 + 8 + 8;
 constexpr const char* kTmpName = "snap.tmp";
 constexpr const char* kSnapPrefix = "snap-";
+constexpr const char* kDeltaPrefix = "delta-";
 constexpr size_t kEpochDigits = 20;  // zero-padded u64 — names sort by epoch
+
+bool ParseDigits(const std::string& name, size_t pos, size_t count,
+                 uint64_t* value) {
+  uint64_t out = 0;
+  for (size_t i = pos; i < pos + count; ++i) {
+    if (i >= name.size() || name[i] < '0' || name[i] > '9') return false;
+    out = out * 10 + uint64_t(name[i] - '0');
+  }
+  *value = out;
+  return true;
+}
 
 /// Parses "snap-<20 digits>" into the epoch; false for any other name
 /// (including the temp file and truncated/garbage names).
 bool ParseSnapshotName(const std::string& name, uint64_t* epoch) {
-  if (name.size() != std::string(kSnapPrefix).size() + kEpochDigits) {
-    return false;
-  }
-  if (name.compare(0, 5, kSnapPrefix) != 0) return false;
-  uint64_t value = 0;
-  for (size_t i = 5; i < name.size(); ++i) {
-    if (name[i] < '0' || name[i] > '9') return false;
-    value = value * 10 + uint64_t(name[i] - '0');
-  }
-  *epoch = value;
-  return true;
+  const size_t prefix = std::string(kSnapPrefix).size();
+  if (name.size() != prefix + kEpochDigits) return false;
+  if (name.compare(0, prefix, kSnapPrefix) != 0) return false;
+  return ParseDigits(name, prefix, kEpochDigits, epoch);
+}
+
+/// Parses "delta-<20 digits>-<20 digits>" into (base, epoch).
+bool ParseDeltaName(const std::string& name, uint64_t* base,
+                    uint64_t* epoch) {
+  const size_t prefix = std::string(kDeltaPrefix).size();
+  if (name.size() != prefix + kEpochDigits + 1 + kEpochDigits) return false;
+  if (name.compare(0, prefix, kDeltaPrefix) != 0) return false;
+  if (name[prefix + kEpochDigits] != '-') return false;
+  return ParseDigits(name, prefix, kEpochDigits, base) &&
+         ParseDigits(name, prefix + kEpochDigits + 1, kEpochDigits, epoch);
 }
 
 }  // namespace
@@ -54,6 +76,30 @@ std::string SnapshotStore::PathFor(uint64_t epoch) const {
   return dir_ + "/" + name;
 }
 
+std::string SnapshotStore::DeltaPathFor(uint64_t base_epoch,
+                                        uint64_t epoch) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%020llu-%020llu", kDeltaPrefix,
+                static_cast<unsigned long long>(base_epoch),
+                static_cast<unsigned long long>(epoch));
+  return dir_ + "/" + name;
+}
+
+Status SnapshotStore::WriteImage(const std::vector<uint8_t>& image,
+                                 const std::string& final_path) {
+  // Temp-then-rename: content becomes durable at the Sync, the name at the
+  // Rename. A crash before the rename leaves only snap.tmp (ignored by the
+  // name parsers); a crash after it leaves a complete file.
+  const std::string tmp = dir_ + "/" + kTmpName;
+  {
+    SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs_->Open(tmp, true));
+    SAE_RETURN_NOT_OK(file->Truncate(0));
+    SAE_RETURN_NOT_OK(file->WriteAt(0, image.data(), image.size()));
+    SAE_RETURN_NOT_OK(file->Sync());
+  }
+  return vfs_->Rename(tmp, final_path);
+}
+
 Status SnapshotStore::Write(uint64_t epoch,
                             const std::vector<uint8_t>& payload) {
   SAE_RETURN_NOT_OK(vfs_->MkDir(dir_));
@@ -66,28 +112,42 @@ Status SnapshotStore::Write(uint64_t epoch,
   std::copy(payload.begin(), payload.end(), image.begin() + kSnapshotHeader);
   EncodeU32(image.data() + kSnapshotHeader + payload.size(),
             Crc32(image.data(), kSnapshotHeader + payload.size()));
+  SAE_RETURN_NOT_OK(WriteImage(image, PathFor(epoch)));
 
-  // Temp-then-rename: content becomes durable at the Sync, the name at the
-  // Rename. A crash before the rename leaves only snap.tmp (ignored by
-  // ParseSnapshotName); a crash after it leaves a complete snapshot.
-  const std::string tmp = dir_ + "/" + kTmpName;
-  {
-    SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs_->Open(tmp, true));
-    SAE_RETURN_NOT_OK(file->Truncate(0));
-    SAE_RETURN_NOT_OK(file->WriteAt(0, image.data(), image.size()));
-    SAE_RETURN_NOT_OK(file->Sync());
-  }
-  SAE_RETURN_NOT_OK(vfs_->Rename(tmp, PathFor(epoch)));
-
-  // GC: drop everything older than the newest keep_ snapshots. Runs after
-  // the rename so a crash during GC can only lose already-redundant files.
+  // Chain GC: a new full snapshot completes the previous chain. Keep the
+  // newest keep_ fulls and every delta at or above the oldest kept full
+  // (those are the kept chains' links); everything below belongs to a
+  // retired chain. Runs after the rename so a crash during GC can only
+  // lose already-redundant files.
   SAE_ASSIGN_OR_RETURN(std::vector<uint64_t> epochs, ListEpochs());
   if (epochs.size() > keep_) {
+    uint64_t cutoff = epochs[epochs.size() - keep_];
     for (size_t i = 0; i + keep_ < epochs.size(); ++i) {
       SAE_RETURN_NOT_OK(vfs_->Remove(PathFor(epochs[i])));
     }
+    SAE_ASSIGN_OR_RETURN(auto links, ListDeltaLinks());
+    for (const auto& [base, delta_epoch] : links) {
+      if (delta_epoch < cutoff) {
+        SAE_RETURN_NOT_OK(vfs_->Remove(DeltaPathFor(base, delta_epoch)));
+      }
+    }
   }
   return Status::OK();
+}
+
+Status SnapshotStore::WriteDelta(uint64_t base_epoch, uint64_t epoch,
+                                 const std::vector<uint8_t>& payload) {
+  SAE_RETURN_NOT_OK(vfs_->MkDir(dir_));
+  std::vector<uint8_t> image(kDeltaHeader + payload.size() + 4);
+  EncodeU32(image.data(), kDeltaMagic);
+  EncodeU32(image.data() + 4, kSnapshotVersion);
+  EncodeU64(image.data() + 8, base_epoch);
+  EncodeU64(image.data() + 16, epoch);
+  EncodeU64(image.data() + 24, uint64_t(payload.size()));
+  std::copy(payload.begin(), payload.end(), image.begin() + kDeltaHeader);
+  EncodeU32(image.data() + kDeltaHeader + payload.size(),
+            Crc32(image.data(), kDeltaHeader + payload.size()));
+  return WriteImage(image, DeltaPathFor(base_epoch, epoch));
 }
 
 Result<std::vector<uint64_t>> SnapshotStore::ListEpochs() const {
@@ -99,6 +159,19 @@ Result<std::vector<uint64_t>> SnapshotStore::ListEpochs() const {
   }
   std::sort(epochs.begin(), epochs.end());
   return epochs;
+}
+
+Result<std::vector<std::pair<uint64_t, uint64_t>>>
+SnapshotStore::ListDeltaLinks() const {
+  std::vector<std::pair<uint64_t, uint64_t>> links;
+  SAE_ASSIGN_OR_RETURN(std::vector<std::string> names, vfs_->List(dir_));
+  for (const std::string& name : names) {
+    uint64_t base = 0, epoch = 0;
+    if (ParseDeltaName(name, &base, &epoch)) links.emplace_back(base, epoch);
+  }
+  std::sort(links.begin(), links.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return links;
 }
 
 Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest() const {
@@ -129,12 +202,83 @@ Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest() const {
 
     Loaded loaded;
     loaded.epoch = epoch;
-    loaded.payload.assign(image.begin() + kSnapshotHeader,
-                          image.end() - 4);
+    loaded.payload.assign(image.begin() + kSnapshotHeader, image.end() - 4);
     loaded.fell_back = attempt > 0;
     return loaded;
   }
   return Status::NotFound("no valid snapshot in " + dir_);
+}
+
+Result<std::vector<uint8_t>> SnapshotStore::ReadDelta(uint64_t base_epoch,
+                                                      uint64_t epoch) const {
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                       vfs_->Open(DeltaPathFor(base_epoch, epoch), false));
+  SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size < kDeltaHeader + 4) {
+    return Status::Corruption("delta file is torn");
+  }
+  std::vector<uint8_t> image(size);
+  SAE_ASSIGN_OR_RETURN(size_t got, file->ReadAt(0, image.data(), size));
+  if (got < size) return Status::Corruption("delta file is torn");
+  if (DecodeU32(image.data()) != kDeltaMagic ||
+      DecodeU32(image.data() + 4) != kSnapshotVersion ||
+      DecodeU64(image.data() + 8) != base_epoch ||
+      DecodeU64(image.data() + 16) != epoch) {
+    return Status::Corruption("delta header does not match its name");
+  }
+  uint64_t payload_len = DecodeU64(image.data() + 24);
+  if (kDeltaHeader + payload_len + 4 != size) {
+    return Status::Corruption("delta length lies");
+  }
+  uint32_t stored_crc = DecodeU32(image.data() + size - 4);
+  if (Crc32(image.data(), size - 4) != stored_crc) {
+    return Status::Corruption("delta checksum mismatch");
+  }
+  return std::vector<uint8_t>(image.begin() + kDeltaHeader, image.end() - 4);
+}
+
+Result<SnapshotStore::LoadedChain> SnapshotStore::LoadChain() const {
+  SAE_ASSIGN_OR_RETURN(Loaded base, LoadLatest());
+  LoadedChain chain;
+  chain.base_epoch = base.epoch;
+  chain.base_payload = std::move(base.payload);
+  chain.fell_back = base.fell_back;
+
+  SAE_ASSIGN_OR_RETURN(auto links, ListDeltaLinks());
+  uint64_t cursor = chain.base_epoch;
+  for (;;) {
+    // Candidates linking onto the current tail, oldest epoch first — the
+    // original chain wrote exactly one; a second can only appear after a
+    // fallback re-chained from an older tail, and then only because the
+    // first was invalid.
+    bool advanced = false;
+    bool saw_candidate = false;
+    for (const auto& [link_base, link_epoch] : links) {
+      if (link_base != cursor) continue;
+      saw_candidate = true;
+      auto payload = ReadDelta(link_base, link_epoch);
+      if (!payload.ok()) {
+        if (payload.status().code() == StatusCode::kCorruption ||
+            payload.status().code() == StatusCode::kNotFound) {
+          continue;  // never compose past a bad link; try a sibling
+        }
+        return payload.status();
+      }
+      chain.deltas.push_back(
+          ChainLink{link_base, link_epoch, std::move(payload.value())});
+      cursor = link_epoch;
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      // A candidate existed but none validated: the chain is cut short of
+      // what was once written — recovery comes back older, and the client
+      // freshness gate surfaces the difference as kStaleEpoch.
+      if (saw_candidate) chain.fell_back = true;
+      break;
+    }
+  }
+  return chain;
 }
 
 }  // namespace sae::storage

@@ -1,25 +1,34 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
 // Epoch-versioned snapshots: the durable baseline recovery starts from.
-// A snapshot atomically persists one serialized system state (tree-page
-// content in load order, root signature, epoch — the payload is opaque
-// here; core/durability.h defines it) under the epoch it speaks for.
+// Two file kinds live in one directory:
 //
-// Atomicity protocol (write-temp-then-rename):
+//   snap-<epoch020>            a FULL snapshot — one serialized system
+//                              state (the payload is opaque here;
+//                              core/durability.h defines it)
+//   delta-<base020>-<epoch020> a DELTA — only the changes between the
+//                              checkpoint at `base` and this one; each
+//                              delta names its immediate predecessor, so
+//                              full + deltas form an epoch-linked CHAIN
+//                              whose tail is the newest durable state
+//
+// Atomicity protocol (write-temp-then-rename), identical for both kinds:
 //   1. write  <dir>/snap.tmp  = header + payload + CRC-32 trailer
 //   2. sync it                           (sync point: content durable)
-//   3. rename to <dir>/snap-<epoch020>   (sync point: name durable)
-//   4. GC snapshots older than the newest `keep`
-// A crash anywhere leaves either the previous snapshot set intact or the
-// new snapshot fully in place — a torn snapshot is never visible under a
-// snap-* name, and a bit-flipped one fails its CRC and is skipped by
-// LoadLatest in favor of the next-newest valid file.
+//   3. rename to its final name          (sync point: name durable)
+//   4. (full writes only) GC whole chains older than the newest `keep`
+// A crash anywhere leaves either the previous chain set intact or the new
+// file fully in place — a torn file is never visible under a final name,
+// and a bit-flipped one fails its CRC: LoadChain never composes past a bad
+// link, it stops at the longest intact prefix (or falls back to an older
+// full snapshot entirely).
 
 #ifndef SAE_STORAGE_SNAPSHOT_H_
 #define SAE_STORAGE_SNAPSHOT_H_
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/vfs.h"
@@ -29,13 +38,20 @@ namespace sae::storage {
 
 class SnapshotStore {
  public:
-  /// `dir` must exist (or be creatable); `keep` newest snapshots survive GC
-  /// (>= 2 keeps a fallback for a bit-flipped newest file).
+  /// `dir` must exist (or be creatable); the newest `keep` full-snapshot
+  /// chains survive GC (>= 2 keeps a whole fallback chain behind a corrupt
+  /// newest).
   SnapshotStore(Vfs* vfs, std::string dir, size_t keep = 2);
 
-  /// Persists `payload` as the snapshot for `epoch` (see protocol above).
-  /// Two sync points.
+  /// Persists `payload` as the FULL snapshot for `epoch` (see protocol
+  /// above). Two sync points. GCs chains beyond the newest `keep`.
   Status Write(uint64_t epoch, const std::vector<uint8_t>& payload);
+
+  /// Persists `payload` as the DELTA from the checkpoint at `base_epoch`
+  /// to `epoch`. Two sync points. No GC — a chain is collected as a whole
+  /// when a later full snapshot retires it.
+  Status WriteDelta(uint64_t base_epoch, uint64_t epoch,
+                    const std::vector<uint8_t>& payload);
 
   struct Loaded {
     uint64_t epoch = 0;
@@ -46,16 +62,53 @@ class SnapshotStore {
     bool fell_back = false;
   };
 
-  /// Newest valid snapshot; kNotFound when no valid snapshot exists.
+  /// Newest valid FULL snapshot; kNotFound when none exists. (Chain-blind;
+  /// LoadChain is the recovery entry point.)
   Result<Loaded> LoadLatest() const;
 
-  /// Epochs of the snap-* files present, ascending (validity not checked).
+  /// One link of a loaded chain.
+  struct ChainLink {
+    uint64_t base_epoch = 0;
+    uint64_t epoch = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  /// The newest intact chain: a valid full snapshot plus every delta that
+  /// validly links onto it, in order. The walk stops at the first missing
+  /// or corrupt link — it never composes past one — and a corrupt full
+  /// snapshot falls back to the next-newest chain entirely.
+  struct LoadedChain {
+    uint64_t base_epoch = 0;
+    std::vector<uint8_t> base_payload;
+    std::vector<ChainLink> deltas;
+    /// An invalid file was skipped somewhere: either an older full was
+    /// used, or the delta walk stopped at a bad link that existed.
+    bool fell_back = false;
+  };
+
+  /// kNotFound when no valid full snapshot exists at all.
+  Result<LoadedChain> LoadChain() const;
+
+  /// Epochs of the snap-* full files present, ascending (validity not
+  /// checked).
   Result<std::vector<uint64_t>> ListEpochs() const;
+
+  /// (base, epoch) of the delta-* files present, ascending by epoch
+  /// (validity not checked).
+  Result<std::vector<std::pair<uint64_t, uint64_t>>> ListDeltaLinks() const;
 
   const std::string& dir() const { return dir_; }
 
  private:
   std::string PathFor(uint64_t epoch) const;
+  std::string DeltaPathFor(uint64_t base_epoch, uint64_t epoch) const;
+  /// Shared temp-write + sync + rename tail of both Write flavors.
+  Status WriteImage(const std::vector<uint8_t>& image,
+                    const std::string& final_path);
+  /// Validates and returns one delta file's payload; any mismatch
+  /// (magic, version, header/name disagreement, CRC) is kCorruption.
+  Result<std::vector<uint8_t>> ReadDelta(uint64_t base_epoch,
+                                         uint64_t epoch) const;
 
   Vfs* vfs_;
   std::string dir_;

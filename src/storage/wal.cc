@@ -1,9 +1,14 @@
 // Copyright (c) saedb authors. Licensed under the MIT license.
 //
-// Implements the write-ahead log (storage/wal.h): CRC-32, the prefix scan
-// that defines recoverability, and the append/sync/reset handle.
+// Implements the segmented write-ahead log (storage/wal.h): CRC-32, the
+// per-segment prefix scan that defines recoverability, segment rotation and
+// drop, and the stage/commit group sequencer.
 
 #include "storage/wal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "util/codec.h"
 
@@ -23,6 +28,9 @@ struct Crc32Table {
     }
   }
 };
+
+constexpr const char* kWalPrefix = "wal-";
+constexpr size_t kWalSeqDigits = 20;  // zero-padded u64 — names sort by seq
 
 }  // namespace
 
@@ -64,47 +72,267 @@ Result<WalContents> ReadLog(Vfs* vfs, const std::string& path) {
   return out;
 }
 
-Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
-    Vfs* vfs, const std::string& path, WalContents* contents) {
-  SAE_ASSIGN_OR_RETURN(WalContents scanned, ReadLog(vfs, path));
-  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs->Open(path, true));
-  SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
-  if (scanned.valid_bytes < size) {
-    // Drop the torn/corrupt tail so future appends extend a valid prefix.
-    // Volatile until the next append's sync — harmless, since the scan
-    // would cut the same tail again after a crash.
-    SAE_RETURN_NOT_OK(file->Truncate(scanned.valid_bytes));
+bool ParseWalSegmentName(const std::string& name, uint64_t* seq) {
+  if (name.size() != std::string(kWalPrefix).size() + kWalSeqDigits) {
+    return false;
   }
-  uint64_t end = scanned.valid_bytes;
-  if (contents != nullptr) *contents = std::move(scanned);
-  return std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(std::move(file), end));
+  if (name.compare(0, 4, kWalPrefix) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = 4; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + uint64_t(name[i] - '0');
+  }
+  *seq = value;
+  return true;
 }
 
-Status WriteAheadLog::Append(const uint8_t* payload, size_t len) {
+std::string WalSegmentName(uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%020llu", kWalPrefix,
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+std::string WriteAheadLog::SegmentPath(uint64_t seq) const {
+  return dir_ + "/" + WalSegmentName(seq);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    Vfs* vfs, const std::string& dir, WalContents* contents) {
+  SAE_RETURN_NOT_OK(vfs->MkDir(dir));
+  auto log = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(vfs, dir));
+
+  std::vector<uint64_t> seqs;
+  SAE_ASSIGN_OR_RETURN(std::vector<std::string> names, vfs->List(dir));
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseWalSegmentName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  WalContents all;
+  bool cut = false;  // a torn tail ended the global prefix
+  uint64_t last_live = 0;
+  for (uint64_t seq : seqs) {
+    if (cut) {
+      // A valid record can never legitimately follow a torn one: every
+      // later segment is post-crash garbage.
+      SAE_RETURN_NOT_OK(vfs->Remove(log->SegmentPath(seq)));
+      continue;
+    }
+    SAE_ASSIGN_OR_RETURN(WalContents scanned,
+                         ReadLog(vfs, log->SegmentPath(seq)));
+    uint64_t running = 0;
+    for (std::vector<uint8_t>& record : scanned.records) {
+      running += kWalRecordHeader + record.size();
+      log->open_record_pos_.push_back({seq, running});
+      all.records.push_back(std::move(record));
+    }
+    all.valid_bytes += scanned.valid_bytes;
+    log->sealed_bytes_[seq] = scanned.valid_bytes;
+    last_live = seq;
+    if (scanned.torn_tail) {
+      all.torn_tail = true;
+      cut = true;
+      // Drop the torn/corrupt tail so future stages extend a valid prefix.
+      // Volatile until the next sync — harmless, since the scan would cut
+      // the same tail again after a crash.
+      SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                           vfs->Open(log->SegmentPath(seq), false));
+      SAE_RETURN_NOT_OK(file->Truncate(scanned.valid_bytes));
+    }
+  }
+
+  if (last_live != 0) {
+    // The highest surviving segment becomes the active one.
+    log->active_seq_ = last_live;
+    log->end_ = log->sealed_bytes_[last_live];
+    log->sealed_bytes_.erase(last_live);
+    log->open_first_segment_ = seqs.front();
+  }
+  log->prev_end_ = log->end_;
+  log->staged_count_ = log->durable_count_ = all.records.size();
+  if (contents != nullptr) *contents = std::move(all);
+  return log;
+}
+
+Status WriteAheadLog::EnsureActiveOpenLocked() {
+  if (active_file_ != nullptr) return Status::OK();
+  SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                       vfs_->Open(SegmentPath(active_seq_), true));
+  active_file_ = std::shared_ptr<VfsFile>(std::move(file));
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Stage(const uint8_t* payload, size_t len) {
   if (len > kMaxWalPayload) {
     return Status::InvalidArgument("wal record exceeds payload cap");
   }
+  std::unique_lock<std::mutex> lock(mu_);
+  SAE_RETURN_NOT_OK(EnsureActiveOpenLocked());
   uint8_t header[kWalRecordHeader];
   EncodeU32(header, uint32_t(len));
   EncodeU32(header + 4, Crc32(payload, len));
-  SAE_RETURN_NOT_OK(file_->WriteAt(end_, header, kWalRecordHeader));
-  SAE_RETURN_NOT_OK(file_->WriteAt(end_ + kWalRecordHeader, payload, len));
-  SAE_RETURN_NOT_OK(file_->Sync());
+  SAE_RETURN_NOT_OK(active_file_->WriteAt(end_, header, kWalRecordHeader));
+  SAE_RETURN_NOT_OK(
+      active_file_->WriteAt(end_ + kWalRecordHeader, payload, len));
+  prev_end_ = end_;
   end_ += kWalRecordHeader + len;
+  ++staged_count_;
+  ++stats_.staged_records;
+  stats_.staged_bytes += kWalRecordHeader + len;
+  cv_.notify_all();  // a leader delaying for stragglers may pick this up
+  return staged_count_;
+}
+
+Status WriteAheadLog::Commit(uint64_t seq, uint32_t max_delay_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (durable_count_ < seq) {
+    if (sync_in_flight_) {
+      // Someone else's fsync is running; it may cover us. Re-check after.
+      cv_.wait(lock);
+      continue;
+    }
+    // Become the group leader: one fsync for everything staged so far.
+    sync_in_flight_ = true;
+    if (max_delay_us > 0) {
+      // Let concurrent stagers join the group before the fsync is priced.
+      cv_.wait_for(lock, std::chrono::microseconds(max_delay_us));
+    }
+    uint64_t target = staged_count_;
+    std::shared_ptr<VfsFile> file = active_file_;
+    lock.unlock();
+    Status st = file != nullptr ? file->Sync() : Status::OK();
+    lock.lock();
+    sync_in_flight_ = false;
+    if (!st.ok()) {
+      // Wake everyone; each waiter retries as its own leader and surfaces
+      // its own failure — nobody reports durable on the strength of a
+      // failed fsync.
+      cv_.notify_all();
+      return st;
+    }
+    ++stats_.syncs;
+    if (target > durable_count_) {
+      stats_.synced_records += target - durable_count_;
+      durable_count_ = target;
+    }
+    cv_.notify_all();
+  }
   return Status::OK();
 }
 
-Status WriteAheadLog::Reset() { return TruncateTo(0); }
+Status WriteAheadLog::Append(const uint8_t* payload, size_t len) {
+  SAE_ASSIGN_OR_RETURN(uint64_t seq, Stage(payload, len));
+  return Commit(seq, 0);
+}
 
-Status WriteAheadLog::TruncateTo(uint64_t offset) {
-  if (offset > end_) {
-    return Status::InvalidArgument("wal truncation past the valid end");
+Status WriteAheadLog::UndoLastStaged() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (prev_end_ > end_ || staged_count_ == 0) {
+    return Status::InvalidArgument("no staged record to undo");
   }
-  SAE_RETURN_NOT_OK(file_->Truncate(offset));
-  SAE_RETURN_NOT_OK(file_->Sync());
-  end_ = offset;
+  if (prev_end_ == end_) return Status::OK();  // already undone
+  SAE_RETURN_NOT_OK(EnsureActiveOpenLocked());
+  SAE_RETURN_NOT_OK(active_file_->Truncate(prev_end_));
+  SAE_RETURN_NOT_OK(active_file_->Sync());  // one sync point, as TruncateTo
+  end_ = prev_end_;
+  --staged_count_;
+  if (durable_count_ > staged_count_) durable_count_ = staged_count_;
   return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Rotate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (end_ == 0) {
+    // Nothing staged into the active segment since the last seal: no new
+    // segment needed; everything strictly older is what the checkpoint
+    // covers.
+    return active_seq_ - 1;
+  }
+  // All staged records must be durable before the seal — normally they
+  // already are (checkpoints capture at a quiescent point, after every
+  // staged update committed and applied), making this loop barrier-free.
+  while (durable_count_ < staged_count_) {
+    if (sync_in_flight_) {
+      cv_.wait(lock);
+      continue;
+    }
+    sync_in_flight_ = true;
+    uint64_t target = staged_count_;
+    std::shared_ptr<VfsFile> file = active_file_;
+    lock.unlock();
+    Status st = file != nullptr ? file->Sync() : Status::OK();
+    lock.lock();
+    sync_in_flight_ = false;
+    cv_.notify_all();
+    if (!st.ok()) return st;
+    ++stats_.syncs;
+    if (target > durable_count_) {
+      stats_.synced_records += target - durable_count_;
+      durable_count_ = target;
+    }
+  }
+  uint64_t sealed = active_seq_;
+  sealed_bytes_[sealed] = end_;
+  active_seq_ = sealed + 1;
+  active_file_.reset();
+  end_ = 0;
+  prev_end_ = 0;
+  return sealed;
+}
+
+Status WriteAheadLog::DropSegmentsThrough(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = sealed_bytes_.begin(); it != sealed_bytes_.end();) {
+    if (it->first > seq) break;
+    const std::string path = SegmentPath(it->first);
+    if (vfs_->Exists(path)) SAE_RETURN_NOT_OK(vfs_->Remove(path));
+    it = sealed_bytes_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::TruncateAfterRecord(size_t keep) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (keep >= open_record_pos_.size()) return Status::OK();
+  RecordPos pos = keep > 0 ? open_record_pos_[keep - 1]
+                           : RecordPos{open_first_segment_, 0};
+  // Remove every segment past the cut point; the cut segment becomes the
+  // active one, truncated to the last kept record.
+  for (auto it = sealed_bytes_.upper_bound(pos.segment);
+       it != sealed_bytes_.end();) {
+    const std::string path = SegmentPath(it->first);
+    if (vfs_->Exists(path)) SAE_RETURN_NOT_OK(vfs_->Remove(path));
+    it = sealed_bytes_.erase(it);
+  }
+  if (active_seq_ != pos.segment) {
+    const std::string path = SegmentPath(active_seq_);
+    if (vfs_->Exists(path)) SAE_RETURN_NOT_OK(vfs_->Remove(path));
+    active_file_.reset();
+    active_seq_ = pos.segment;
+    sealed_bytes_.erase(pos.segment);
+  }
+  end_ = pos.end_offset;
+  prev_end_ = pos.end_offset;
+  SAE_RETURN_NOT_OK(EnsureActiveOpenLocked());
+  // Volatile until the next sync — the scan would cut the same tail again.
+  SAE_RETURN_NOT_OK(active_file_->Truncate(end_));
+  staged_count_ = durable_count_ = keep;
+  open_record_pos_.resize(keep);
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::size_bytes() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t total = end_;
+  for (const auto& [seq, bytes] : sealed_bytes_) total += bytes;
+  return total;
+}
+
+WriteAheadLog::Stats WriteAheadLog::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace sae::storage
