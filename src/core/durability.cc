@@ -50,9 +50,9 @@ std::vector<uint8_t> EncodeWalUpdate(const WalUpdate& update) {
   w.PutU64(update.epoch);
   if (update.op == WalUpdate::kInsert) {
     PutRecord(&w, update.record);
-  } else {
+  } else if (update.op == WalUpdate::kDelete) {
     w.PutU64(update.id);
-  }
+  }  // kAbort carries op + epoch only
   return w.Release();
 }
 
@@ -67,7 +67,7 @@ Result<WalUpdate> DecodeWalUpdate(const std::vector<uint8_t>& payload) {
     }
   } else if (update.op == WalUpdate::kDelete) {
     update.id = r.GetU64();
-  } else {
+  } else if (update.op != WalUpdate::kAbort) {
     return Status::Corruption("wal record has unknown op");
   }
   if (r.failed() || r.remaining() != 0 || update.epoch == 0) {
@@ -279,6 +279,22 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
       cut = true;
       break;
     }
+    if (update.value().op == WalUpdate::kAbort) {
+      // A durable retraction: every record logged before it with epoch >=
+      // the abort's epoch was acknowledged as FAILED. Those records form a
+      // suffix of the tail (staged epochs only grow between aborts) — drop
+      // them, and rewind the contiguity cursor so re-staged epochs chain
+      // on. The cursor only ever rewinds here: a corrupt forward abort
+      // cannot smuggle an epoch gap past the scan.
+      uint64_t first = update.value().epoch;
+      std::vector<WalUpdate>& tail = mgr->recovered_.wal_tail;
+      while (!tail.empty() && tail.back().epoch >= first) tail.pop_back();
+      if (first < expected) {
+        expected = std::max(first, mgr->recovered_.snapshot_epoch + 1);
+      }
+      ++keep;
+      continue;
+    }
     if (mgr->recovered_.has_snapshot) {
       uint64_t epoch = update.value().epoch;
       if (epoch > mgr->recovered_.snapshot_epoch) {
@@ -341,6 +357,26 @@ Status DurabilityManager::UndoFailedUpdate() {
   return Status::OK();
 }
 
+Status DurabilityManager::RetractStagedFrom(uint64_t first_epoch) {
+  WalUpdate abort;
+  abort.op = WalUpdate::kAbort;
+  abort.epoch = first_epoch;
+  SAE_ASSIGN_OR_RETURN(uint64_t seq, wal_->Stage(EncodeWalUpdate(abort)));
+  // Sync immediately (no group delay): the retraction must be durable
+  // before the caller acknowledges the failure, or a crash in between
+  // would resurrect the suffix the caller just reported as failed.
+  SAE_RETURN_NOT_OK(wal_->Commit(seq, 0));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  // The pending-change set has one level of undo; a retracted multi-record
+  // suffix cannot be selectively unwound from it. Drop it wholesale and
+  // force the next checkpoint FULL, so no delta claims to account for
+  // changes the map no longer carries.
+  pending_.clear();
+  undo_armed_ = false;
+  pending_incomplete_ = true;
+  return Status::OK();
+}
+
 bool DurabilityManager::ShouldSnapshot() {
   if (options_.snapshot_interval == 0) return false;
   std::lock_guard<std::mutex> lock(state_mu_);
@@ -350,8 +386,11 @@ bool DurabilityManager::ShouldSnapshot() {
 bool DurabilityManager::NextCheckpointIsFull() const {
   if (!options_.delta_snapshots) return true;
   if (options_.full_snapshot_every <= 1) return true;
+  // A failed checkpoint write broke the on-disk chain: only a full
+  // snapshot can re-cover the retained WAL windows and resume segment GC.
+  if (chain_broken_.load(std::memory_order_acquire)) return true;
   std::lock_guard<std::mutex> lock(state_mu_);
-  if (!have_chain_) return true;
+  if (!have_chain_ || pending_incomplete_) return true;
   return chain_length_ + 1 >= options_.full_snapshot_every;
 }
 
@@ -370,6 +409,9 @@ Status DurabilityManager::CaptureLocked(CheckpointJob job, bool force_sync) {
     have_chain_ = true;
     chain_tail_epoch_ = job.epoch;
     chain_length_ = job.full ? 0 : chain_length_ + 1;
+    // A full capture carries complete state, so a pending set dropped by a
+    // retraction no longer owes anything to the next delta.
+    if (job.full) pending_incomplete_ = false;
   }
   if (options_.background_checkpoint && !force_sync) {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
@@ -438,6 +480,17 @@ Status DurabilityManager::WriteSnapshot(uint64_t epoch,
 }
 
 Status DurabilityManager::RunCheckpointJob(const CheckpointJob& job) {
+  if (!job.full && chain_broken_.load(std::memory_order_acquire)) {
+    // An earlier checkpoint write failed, so this delta's base never
+    // reached the disk: writing it would chain onto a missing link, and
+    // dropping its sealed segments would delete records covered by no
+    // durable checkpoint. Skip the job and KEEP the segments — recovery
+    // composes the old chain plus the retained WAL, losing nothing — until
+    // the forced full snapshot re-covers everything and resumes GC.
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ++checkpoints_skipped_;
+    return Status::IoError("delta checkpoint skipped: chain broken upstream");
+  }
   auto start = std::chrono::steady_clock::now();
   std::vector<uint8_t> payload = job.full
                                      ? EncodeSnapshotState(job.full_state)
@@ -445,11 +498,28 @@ Status DurabilityManager::RunCheckpointJob(const CheckpointJob& job) {
   Status st = job.full ? snapshots_.Write(job.epoch, payload)
                        : snapshots_.WriteDelta(job.base_epoch, job.epoch,
                                                payload);
-  if (st.ok() && job.sealed_wal_seq > 0) {
-    // The checkpoint is durable under its final name; the sealed segments'
-    // records are now redundant. A crash between the rename and this drop
-    // replays records with epoch <= checkpoint epoch, which recovery skips.
-    st = wal_->DropSegmentsThrough(job.sealed_wal_seq);
+  if (st.ok()) {
+    if (job.full) {
+      // A durable full snapshot carries complete state: the chain is whole
+      // again, and every sealed segment is redundant — including those
+      // retained across failed or skipped checkpoints (seals are
+      // monotonic, so this job's seal covers all of them).
+      chain_broken_.store(false, std::memory_order_release);
+    }
+    if (job.sealed_wal_seq > 0) {
+      // The checkpoint is durable under its final name; the sealed
+      // segments' records are now redundant. A crash between the rename
+      // and this drop replays records with epoch <= checkpoint epoch,
+      // which recovery skips.
+      st = wal_->DropSegmentsThrough(job.sealed_wal_seq);
+    }
+  } else {
+    // The checkpoint never reached its final name: the sealed segments are
+    // now the ONLY durable copy of this window's changes (the pending set
+    // was recycled at capture). Gate WAL GC — and, via
+    // NextCheckpointIsFull, force the next checkpoint full — until a
+    // durable full snapshot re-covers them.
+    chain_broken_.store(true, std::memory_order_release);
   }
   double ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - start)
@@ -515,6 +585,7 @@ DurabilityStats DurabilityManager::stats() const {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
     s.checkpoints_full = checkpoints_full_;
     s.checkpoints_delta = checkpoints_delta_;
+    s.checkpoints_skipped = checkpoints_skipped_;
     s.pending_checkpoints = ckpt_queue_.size() + (ckpt_running_ ? 1 : 0);
     s.checkpoint_bytes_total = checkpoint_bytes_total_;
     s.last_checkpoint_bytes = last_checkpoint_bytes_;

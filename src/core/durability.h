@@ -25,7 +25,12 @@
 // stall behind checkpoint I/O. The WAL rotates to a fresh segment at each
 // capture, and the sealed segments are dropped only after the checkpoint
 // they feed is durable — a crash mid-checkpoint recovers from the previous
-// chain plus the retained segments, losing nothing.
+// chain plus the retained segments, losing nothing. A FAILED checkpoint
+// write gates segment GC entirely: later delta captures are skipped (their
+// base never reached the disk) and the next checkpoint is forced FULL;
+// only once that full snapshot is durable — re-covering every retained
+// window — does GC resume. Segments are thus only ever dropped under a
+// durable checkpoint that covers them.
 //
 // Recovery (SaeSystem::Recover / TomSystem::Recover) inverts this: load
 // the newest intact chain (full snapshot composed with every validly
@@ -41,6 +46,7 @@
 #ifndef SAE_CORE_DURABILITY_H_
 #define SAE_CORE_DURABILITY_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -101,9 +107,12 @@ struct DurabilityOptions {
 };
 
 /// One logged update, WAL payload <-> in-memory form. `epoch` is the epoch
-/// the update published (owner epoch after applying).
+/// the update published (owner epoch after applying). A kAbort record is a
+/// durable RETRACTION (op + epoch only): every record logged before it
+/// with epoch >= its epoch was acknowledged to its caller as FAILED and
+/// must never replay — recovery drops that suffix from the replay tail.
 struct WalUpdate {
-  enum Op : uint8_t { kInsert = 1, kDelete = 2 };
+  enum Op : uint8_t { kInsert = 1, kDelete = 2, kAbort = 3 };
   uint8_t op = kInsert;
   uint64_t epoch = 0;
   Record record;   // kInsert: the inserted record
@@ -154,6 +163,8 @@ struct DurabilityStats {
   double avg_group_records = 0.0;  ///< records per fsync (group size)
   uint64_t checkpoints_full = 0;
   uint64_t checkpoints_delta = 0;
+  uint64_t checkpoints_skipped = 0;    ///< delta captures dropped while the
+                                       ///< chain was broken (GC stayed gated)
   uint64_t delta_chain_length = 0;     ///< links since the last full
   uint64_t updates_since_checkpoint = 0;
   uint64_t pending_checkpoints = 0;    ///< captured, not yet durable
@@ -175,7 +186,9 @@ class DurabilityManager {
   /// truncates the WAL to its usable prefix — torn or corrupt records
   /// (checksum, length lie, a crc-valid record that fails to decode, or an
   /// epoch that does not follow the composed chain) end the prefix and are
-  /// cut off, never replayed.
+  /// cut off, never replayed. A kAbort record drops the retracted suffix
+  /// (epoch >= the abort's) from the replay tail — acknowledged failures
+  /// never resurrect.
   struct Recovered {
     bool has_snapshot = false;
     uint64_t snapshot_epoch = 0;  ///< epoch of the composed chain tail
@@ -218,14 +231,26 @@ class DurabilityManager {
   /// Caller holds the writer lock.
   Status UndoFailedUpdate();
 
+  /// Durably retracts every logged-but-unpublished record with epoch >=
+  /// `first_epoch` by appending and syncing a kAbort marker. Once this
+  /// returns OK, recovery will never replay the retracted suffix — even if
+  /// its records were already synced — and the caller may keep using the
+  /// pipeline. The pending-change set cannot selectively unwind a
+  /// multi-record suffix, so it is dropped and the next checkpoint is
+  /// forced FULL. On failure the suffix's post-crash outcome is unknown;
+  /// the caller must fail stop. Caller holds the writer lock.
+  Status RetractStagedFrom(uint64_t first_epoch);
+
   /// Counts one APPLIED update; true when the checkpoint cadence is due.
   /// Callers must not count an update they are about to retract — the
   /// cadence only ever reflects updates that really happened.
   bool ShouldSnapshot();
 
   /// True when the next checkpoint must persist full state: delta
-  /// snapshots disabled, no chain yet, or the compaction cadence
-  /// (`full_snapshot_every`) is reached.
+  /// snapshots disabled, no chain yet, the compaction cadence
+  /// (`full_snapshot_every`) is reached, a checkpoint write failed (the
+  /// on-disk chain is broken; a full re-covers it and resumes WAL GC), or
+  /// a retraction dropped the pending-change set.
   bool NextCheckpointIsFull() const;
 
   /// Captures a FULL checkpoint of `state` at `epoch`: rotates the WAL
@@ -279,7 +304,9 @@ class DurabilityManager {
   /// background checkpointing on (the Load baseline).
   Status CaptureLocked(CheckpointJob job, bool force_sync);
   /// Serializes and writes one captured checkpoint; drops the WAL
-  /// segments it made redundant once it is durable.
+  /// segments it made redundant once it is durable. While the chain is
+  /// broken (an earlier checkpoint write failed) delta jobs are SKIPPED —
+  /// no write, no segment drop — until a durable full repairs it.
   Status RunCheckpointJob(const CheckpointJob& job);
   void CheckpointThreadMain();
 
@@ -308,6 +335,10 @@ class DurabilityManager {
   bool last_staged_had_prev_ = false;
   PendingChange last_staged_prev_;
   bool undo_armed_ = false;
+  // Set by RetractStagedFrom (the pending set was dropped wholesale, so a
+  // delta could no longer account for every change since the last
+  // capture); forces the next checkpoint full, cleared by a full capture.
+  bool pending_incomplete_ = false;
 
   // Checkpoint pipeline.
   mutable std::mutex ckpt_mu_;
@@ -318,9 +349,16 @@ class DurabilityManager {
   Status ckpt_status_;          // first failure since the last wait
   std::thread ckpt_thread_;
   bool ckpt_thread_started_ = false;
+  // Set when a checkpoint write fails: the on-disk chain is missing that
+  // link, so sealed WAL segments are the only durable copy of the failed
+  // window — GC stops and deltas are skipped until a durable full snapshot
+  // (forced by NextCheckpointIsFull) re-covers everything. Atomic: written
+  // on the checkpoint thread, read by the capture/cadence path.
+  std::atomic<bool> chain_broken_{false};
   // Stats written by the checkpoint path (under ckpt_mu_).
   uint64_t checkpoints_full_ = 0;
   uint64_t checkpoints_delta_ = 0;
+  uint64_t checkpoints_skipped_ = 0;
   uint64_t checkpoint_bytes_total_ = 0;
   uint64_t last_checkpoint_bytes_ = 0;
   double last_checkpoint_ms_ = 0.0;

@@ -313,23 +313,43 @@ Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter,
     if (group) {
       staged_presence_[staged_id] = {wal_update.op == WalUpdate::kInsert,
                                      my_epoch};
+      const uint64_t my_gen = wal_generation_;
       // Commit OUTSIDE the lock so concurrent committers share one fsync,
       // then re-enter and wait for our turn: applies happen in staged
       // epoch order, exactly as if the pipeline were sequential.
       lock.unlock();
       Status synced = durability_->CommitStaged(seq);
       lock.lock();
-      if (synced.ok() && !wal_dead_) {
+      if (synced.ok() && !wal_dead_ && wal_generation_ == my_gen) {
         apply_cv_.wait(lock, [&] {
-          return wal_dead_ || owner_.epoch() + 1 == my_epoch;
+          return wal_dead_ || wal_generation_ != my_gen ||
+                 owner_.epoch() + 1 == my_epoch;
         });
+      }
+      if (wal_generation_ != my_gen && !wal_dead_) {
+        // A failure below us in the pipeline durably retracted the whole
+        // staged suffix — this record included — and re-armed. Our update
+        // simply failed; recovery will never replay it.
+        return fail(Status::IoError(
+            "update retracted: a group-commit neighbor failed"));
       }
       if (!synced.ok() || wal_dead_) {
         // A failed group fsync (or a failure upstream in the pipeline)
-        // means epochs staged after the failure can never publish: poison
-        // the pipeline so no waiter hangs and no later update claims
-        // durability it does not have.
-        wal_dead_ = true;
+        // means epochs staged after the failure can never publish. Retract
+        // the whole unapplied suffix durably — a neighboring leader's
+        // retried fsync may have synced our record even though our own
+        // commit failed, so a volatile-looking record can still resurrect
+        // — then re-arm the pipeline for new updates. Only if the
+        // retraction itself cannot be made durable is the pipeline
+        // poisoned: the suffix's post-crash outcome is unknown.
+        if (!wal_dead_ &&
+            durability_->RetractStagedFrom(owner_.epoch() + 1).ok()) {
+          staged_epoch_ = owner_.epoch();
+          staged_presence_.clear();
+          ++wal_generation_;
+        } else {
+          wal_dead_ = true;
+        }
         apply_cv_.notify_all();
         return fail(synced.ok()
                         ? Status::IoError("durable write pipeline failed")
@@ -338,7 +358,16 @@ Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter,
     } else {
       st = durability_->CommitStaged(seq);
       if (!st.ok()) {
-        wal_dead_ = true;
+        // Single-record commit: nothing was synced on top of us, so a
+        // plain stage undo retracts the record; fall back to a durable
+        // abort marker, and fail stop only if both fail — then the
+        // record's post-crash outcome is unknown.
+        if (durability_->UndoFailedUpdate().ok() ||
+            durability_->RetractStagedFrom(my_epoch).ok()) {
+          staged_epoch_ = my_epoch - 1;
+        } else {
+          wal_dead_ = true;
+        }
         return fail(st);
       }
     }
@@ -356,21 +385,40 @@ Result<uint64_t> SaeSystem::RunUpdate(uint64_t* op_counter,
   update_stats_.latency_ms += watch.ElapsedMs();
   if (!st.ok()) {
     if (durability_ != nullptr) {
+      bool retracted = false;
       if (staged_epoch_ == my_epoch) {
         // Ours is the newest staged record: retract it — the log and the
-        // pending delta must not claim an update that did not happen —
-        // and step the stage cursor back. Best effort: if storage is gone
-        // too, recovery's epoch-chain check drops the orphan anyway.
-        Status undone = durability_->UndoFailedUpdate();
-        (void)undone;
-        staged_epoch_ = my_epoch - 1;
-        auto it = staged_presence_.find(staged_id);
-        if (it != staged_presence_.end() && it->second.second == my_epoch) {
-          staged_presence_.erase(it);
+        // pending delta must not claim an update that did not happen. The
+        // record may already be durable (group fsync), and recovery's
+        // contiguity check would replay it — it only cuts epoch GAPS —
+        // so prefer the physical stage undo (leaves the log byte-identical
+        // to a never-staged history) and fall back to a durable abort
+        // marker.
+        retracted = durability_->UndoFailedUpdate().ok() ||
+                    durability_->RetractStagedFrom(my_epoch).ok();
+        if (retracted) {
+          staged_epoch_ = my_epoch - 1;
+          auto it = staged_presence_.find(staged_id);
+          if (it != staged_presence_.end() && it->second.second == my_epoch) {
+            staged_presence_.erase(it);
+          }
         }
       } else {
-        // A later update already staged (and validated) on top of our
-        // durable record; the epoch it waits for will never publish.
+        // Later updates already staged (and validated) on top of our
+        // durable record; none of them can ever publish. Durably retract
+        // the whole suffix and re-arm: waiters from this generation fail
+        // without applying, new updates restage from the owner epoch.
+        retracted = durability_->RetractStagedFrom(my_epoch).ok();
+        if (retracted) {
+          staged_epoch_ = my_epoch - 1;
+          staged_presence_.clear();
+          ++wal_generation_;
+        }
+      }
+      if (!retracted) {
+        // The failed update's durable record cannot be retracted: its
+        // post-crash outcome is unknown. Fail stop so no later update
+        // stacks onto an epoch that may or may not replay.
         wal_dead_ = true;
       }
       apply_cv_.notify_all();
@@ -723,16 +771,32 @@ Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter,
     if (group) {
       staged_presence_[staged_id] = {wal_update.op == WalUpdate::kInsert,
                                      my_epoch};
+      const uint64_t my_gen = wal_generation_;
       lock.unlock();
       Status synced = durability_->CommitStaged(seq);
       lock.lock();
-      if (synced.ok() && !wal_dead_) {
+      if (synced.ok() && !wal_dead_ && wal_generation_ == my_gen) {
         apply_cv_.wait(lock, [&] {
-          return wal_dead_ || owner_.epoch() + 1 == my_epoch;
+          return wal_dead_ || wal_generation_ != my_gen ||
+                 owner_.epoch() + 1 == my_epoch;
         });
       }
+      if (wal_generation_ != my_gen && !wal_dead_) {
+        // Retracted by a failure below us; see SaeSystem::RunUpdate.
+        return fail(Status::IoError(
+            "update retracted: a group-commit neighbor failed"));
+      }
       if (!synced.ok() || wal_dead_) {
-        wal_dead_ = true;
+        // Retract the unapplied suffix and re-arm; poison only if the
+        // retraction cannot be made durable. See SaeSystem::RunUpdate.
+        if (!wal_dead_ &&
+            durability_->RetractStagedFrom(owner_.epoch() + 1).ok()) {
+          staged_epoch_ = owner_.epoch();
+          staged_presence_.clear();
+          ++wal_generation_;
+        } else {
+          wal_dead_ = true;
+        }
         apply_cv_.notify_all();
         return fail(synced.ok()
                         ? Status::IoError("durable write pipeline failed")
@@ -741,7 +805,14 @@ Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter,
     } else {
       st = durability_->CommitStaged(seq);
       if (!st.ok()) {
-        wal_dead_ = true;
+        // Undo (or durably abort) the unsynced record so it cannot
+        // resurrect; fail stop only if both fail. See SaeSystem.
+        if (durability_->UndoFailedUpdate().ok() ||
+            durability_->RetractStagedFrom(my_epoch).ok()) {
+          staged_epoch_ = my_epoch - 1;
+        } else {
+          wal_dead_ = true;
+        }
         return fail(st);
       }
     }
@@ -755,17 +826,30 @@ Result<uint64_t> TomSystem::RunUpdate(uint64_t* op_counter,
   update_stats_.latency_ms += watch.ElapsedMs();
   if (!st.ok()) {
     if (durability_ != nullptr) {
+      // Retract the failed (possibly durable) record — or the whole
+      // staged suffix when later updates stacked on top — and re-arm;
+      // fail stop only when no retraction can be made durable. See
+      // SaeSystem::RunUpdate for the full reasoning.
+      bool retracted = false;
       if (staged_epoch_ == my_epoch) {
-        Status undone = durability_->UndoFailedUpdate();
-        (void)undone;
-        staged_epoch_ = my_epoch - 1;
-        auto it = staged_presence_.find(staged_id);
-        if (it != staged_presence_.end() && it->second.second == my_epoch) {
-          staged_presence_.erase(it);
+        retracted = durability_->UndoFailedUpdate().ok() ||
+                    durability_->RetractStagedFrom(my_epoch).ok();
+        if (retracted) {
+          staged_epoch_ = my_epoch - 1;
+          auto it = staged_presence_.find(staged_id);
+          if (it != staged_presence_.end() && it->second.second == my_epoch) {
+            staged_presence_.erase(it);
+          }
         }
       } else {
-        wal_dead_ = true;  // see SaeSystem::RunUpdate
+        retracted = durability_->RetractStagedFrom(my_epoch).ok();
+        if (retracted) {
+          staged_epoch_ = my_epoch - 1;
+          staged_presence_.clear();
+          ++wal_generation_;
+        }
       }
+      if (!retracted) wal_dead_ = true;
       apply_cv_.notify_all();
     }
     ++update_stats_.failed;

@@ -283,9 +283,15 @@ class SaeSystem {
   // then waits on apply_cv_ for its turn to apply (owner epoch order). A
   // synced record therefore still precedes every in-memory apply it
   // covers. staged_presence_ lets validation see staged-but-unapplied
-  // changes; wal_dead_ poisons the pipeline after a failed group fsync or
-  // a failed mid-pipeline apply (no waiter is left hanging).
+  // changes. When a group fsync or a mid-pipeline apply fails, the
+  // unpublishable staged suffix is durably RETRACTED (a WAL kAbort marker)
+  // and wal_generation_ bumps: waiters from the old generation fail
+  // without applying, and the pipeline re-arms for new updates. Only if
+  // the retraction itself cannot be made durable does wal_dead_ set — the
+  // suffix's post-crash outcome is then unknown, so the process fails
+  // stop (every later update is refused until restart).
   uint64_t staged_epoch_ = 0;
+  uint64_t wal_generation_ = 0;
   std::unordered_map<RecordId, std::pair<bool, uint64_t>> staged_presence_;
   std::condition_variable_any apply_cv_;
   bool wal_dead_ = false;
@@ -465,6 +471,7 @@ class TomSystem {
 
   // Group-commit pipeline state (see SaeSystem).
   uint64_t staged_epoch_ = 0;
+  uint64_t wal_generation_ = 0;
   std::unordered_map<RecordId, std::pair<bool, uint64_t>> staged_presence_;
   std::condition_variable_any apply_cv_;
   bool wal_dead_ = false;

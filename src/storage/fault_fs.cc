@@ -102,6 +102,10 @@ Status FaultFs::Barrier() {
     crashed_ = true;  // this barrier never completes
     return Status::IoError(kCrashedMsg);
   }
+  if (fail_at_ != 0 && barrier_count_ == fail_at_) {
+    fail_at_ = 0;  // one-shot: the device is healthy again immediately
+    return Status::IoError("simulated transient i/o failure");
+  }
   if (sync_latency_us_ > 0) {
     // Sleeping under mu_ serializes barriers like a single device queue.
     std::this_thread::sleep_for(std::chrono::microseconds(sync_latency_us_));
@@ -173,7 +177,14 @@ void FaultFs::CrashAtSyncPoint(uint64_t k) {
   std::lock_guard<std::mutex> lock(mu_);
   barrier_count_ = 0;
   crash_at_ = k;
+  fail_at_ = 0;
   crashed_ = false;
+}
+
+void FaultFs::FailAtSyncPoint(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  barrier_count_ = 0;
+  fail_at_ = k;
 }
 
 void FaultFs::DropVolatile() {
@@ -187,6 +198,7 @@ void FaultFs::DropVolatile() {
     }
   }
   crash_at_ = 0;
+  fail_at_ = 0;
   crashed_ = false;
 }
 

@@ -63,6 +63,13 @@ class FaultFs final : public Vfs {
   /// on) fails and flips the fs into the crashed state. 0 disarms.
   void CrashAtSyncPoint(uint64_t k);
 
+  /// Arms a TRANSIENT fault: barrier attempt number `k` (1-based, counted
+  /// from now on) fails — its bytes never become durable — but the fs
+  /// stays healthy, so every subsequent operation (including a retried
+  /// sync) succeeds. Models a one-off EIO, where CrashAtSyncPoint models
+  /// fail-stop. One-shot; 0 disarms.
+  void FailAtSyncPoint(uint64_t k);
+
   /// Power loss: every file reverts to its durable image (never-synced
   /// files disappear), open handles keep working against the reverted
   /// state, and the crashed flag clears so recovery can run.
@@ -109,6 +116,7 @@ class FaultFs final : public Vfs {
   std::map<std::string, FileState> files_;
   uint64_t barrier_count_ = 0;
   uint64_t crash_at_ = 0;
+  uint64_t fail_at_ = 0;  // one-shot transient barrier failure
   uint32_t sync_latency_us_ = 0;
   bool crashed_ = false;
 };

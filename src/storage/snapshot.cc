@@ -211,6 +211,13 @@ Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest() const {
 
 Result<std::vector<uint8_t>> SnapshotStore::ReadDelta(uint64_t base_epoch,
                                                       uint64_t epoch) const {
+  if (base_epoch >= epoch) {
+    // A delta must advance the epoch. The writer never produces base >=
+    // epoch; a file claiming it (self-link or backward link) is an on-disk
+    // adversary or a corrupt name, and accepting it could stall the chain
+    // walk on a link that never moves the cursor forward.
+    return Status::Corruption("delta does not advance its base epoch");
+  }
   SAE_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
                        vfs_->Open(DeltaPathFor(base_epoch, epoch), false));
   SAE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
@@ -254,7 +261,11 @@ Result<SnapshotStore::LoadedChain> SnapshotStore::LoadChain() const {
     bool advanced = false;
     bool saw_candidate = false;
     for (const auto& [link_base, link_epoch] : links) {
-      if (link_base != cursor) continue;
+      // Only links that strictly advance the cursor can extend the chain:
+      // a self-link (base == epoch) or backward link would otherwise be
+      // re-visited forever. With every accepted step strictly increasing
+      // `cursor`, the walk terminates even against adversarial file names.
+      if (link_base != cursor || link_epoch <= link_base) continue;
       saw_candidate = true;
       auto payload = ReadDelta(link_base, link_epoch);
       if (!payload.ok()) {

@@ -97,6 +97,12 @@ class SnapshotStore {
   /// (validity not checked).
   Result<std::vector<std::pair<uint64_t, uint64_t>>> ListDeltaLinks() const;
 
+  /// Validates and returns one delta file's payload; any mismatch
+  /// (magic, version, header/name disagreement, CRC) is kCorruption,
+  /// as is a link that does not advance its base epoch.
+  Result<std::vector<uint8_t>> ReadDelta(uint64_t base_epoch,
+                                         uint64_t epoch) const;
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -105,10 +111,6 @@ class SnapshotStore {
   /// Shared temp-write + sync + rename tail of both Write flavors.
   Status WriteImage(const std::vector<uint8_t>& image,
                     const std::string& final_path);
-  /// Validates and returns one delta file's payload; any mismatch
-  /// (magic, version, header/name disagreement, CRC) is kCorruption.
-  Result<std::vector<uint8_t>> ReadDelta(uint64_t base_epoch,
-                                         uint64_t epoch) const;
 
   Vfs* vfs_;
   std::string dir_;

@@ -596,6 +596,38 @@ TEST(SnapshotStore, GcKeepsTheNewestTwoChains) {
   EXPECT_EQ(links[0].second, 5u);
 }
 
+TEST(SnapshotStore, SelfLinkedDeltaCannotStallTheChainWalk) {
+  // Regression: a delta whose base equals its epoch (on-disk adversary or
+  // buggy writer — header matches the name, CRC valid) used to self-link:
+  // the walk accepted it without advancing the cursor and looped forever.
+  // It must be skipped, and the rest of the chain still composes.
+  FaultFs fs;
+  storage::SnapshotStore store(&fs, "/snaps");
+  ASSERT_TRUE(store.Write(2, {0x10}).ok());
+  ASSERT_TRUE(store.WriteDelta(2, 5, {0x25}).ok());
+  ASSERT_TRUE(store.WriteDelta(5, 5, {0x55}).ok());  // self-link mid-chain
+  ASSERT_TRUE(store.WriteDelta(5, 9, {0x59}).ok());
+  auto chain = store.LoadChain();
+  ASSERT_TRUE(chain.ok()) << chain.status().message();
+  EXPECT_EQ(chain.value().base_epoch, 2u);
+  ASSERT_EQ(chain.value().deltas.size(), 2u);
+  EXPECT_EQ(chain.value().deltas[0].epoch, 5u);
+  EXPECT_EQ(chain.value().deltas[1].epoch, 9u);
+
+  // A lone self-link sitting right on the base (the original infinite
+  // loop) terminates too, leaving just the base.
+  FaultFs fs2;
+  storage::SnapshotStore store2(&fs2, "/snaps");
+  ASSERT_TRUE(store2.Write(2, {0x10}).ok());
+  ASSERT_TRUE(store2.WriteDelta(2, 2, {0x22}).ok());
+  auto lone = store2.LoadChain();
+  ASSERT_TRUE(lone.ok()) << lone.status().message();
+  EXPECT_EQ(lone.value().base_epoch, 2u);
+  EXPECT_TRUE(lone.value().deltas.empty());
+  // And ReadDelta refuses a non-advancing link outright.
+  EXPECT_EQ(store2.ReadDelta(2, 2).status().code(), StatusCode::kCorruption);
+}
+
 // --- delta-chain recovery semantics ------------------------------------------
 
 TEST(Recovery, CrashMidBackgroundCheckpointLosesNothing) {
@@ -856,6 +888,152 @@ TEST(Recovery, FailedUpdatesNeverAdvanceTheCheckpointCadence) {
   stats = system.durability_stats();
   EXPECT_EQ(stats.updates_since_checkpoint, 0u);
   EXPECT_EQ(stats.checkpoints_delta, 1u);
+}
+
+TEST(Recovery, FailedCheckpointGatesWalGcUntilAFullSnapshotLands) {
+  // Regression for a silent-data-loss hole: after a delta checkpoint's
+  // write failed TRANSIENTLY, a later successful checkpoint used to drop
+  // the sealed WAL segments backing the failed window — whose changes then
+  // existed in no durable delta (the pending set was recycled at capture)
+  // and in no WAL segment. Now GC stays gated, the next checkpoint is
+  // forced FULL, and only once it lands durably do the retained segments
+  // die. Either way, every acknowledged update must survive a crash.
+  RecordCodec codec(kRecordSize);
+  for (bool crash_before_repair : {true, false}) {
+    FaultFs fs;
+    auto options =
+        DurableOptions<SaeSystem>(crypto::HashScheme::kSha1, &fs, "/db");
+    SaeSystem system(options);
+    ASSERT_TRUE(system.Load(SeedDataset(codec, 12)).ok());
+    for (int i = 0; i < int(kSnapshotInterval) - 1; ++i) {
+      ASSERT_TRUE(
+          system.Insert(codec.MakeRecord(RecordId(200 + i), Key(500 + i)))
+              .ok());
+      ASSERT_TRUE(system.WaitForCheckpoints().ok());
+    }
+    // Counting from arming: the next insert's WAL commit is barrier 1, its
+    // cadence delta checkpoint syncs the temp file at barrier 2. Fail that
+    // sync transiently — the fs stays healthy, unlike CrashAtSyncPoint.
+    fs.FailAtSyncPoint(2);
+    ASSERT_TRUE(
+        system.Insert(codec.MakeRecord(RecordId(299), Key(599))).ok());
+    EXPECT_FALSE(system.WaitForCheckpoints().ok());  // the delta failed
+    EXPECT_FALSE(fs.crashed());
+    // The sealed segment backing the failed window must still be on disk:
+    // it is the only durable copy of those updates.
+    const std::string sealed = "/db/" + storage::WalSegmentName(1);
+    EXPECT_TRUE(fs.Exists(sealed));
+
+    uint64_t extra = 0;
+    if (!crash_before_repair) {
+      // Keep updating through the next cadence: the forced FULL snapshot
+      // repairs the chain and resumes GC.
+      for (; extra < kSnapshotInterval; ++extra) {
+        ASSERT_TRUE(system
+                        .Insert(codec.MakeRecord(RecordId(400 + int(extra)),
+                                                 Key(600 + int(extra))))
+                        .ok());
+        ASSERT_TRUE(system.WaitForCheckpoints().ok());
+      }
+      DurabilityStats stats = system.durability_stats();
+      EXPECT_GE(stats.checkpoints_full, 2u);   // Load baseline + repair
+      EXPECT_EQ(stats.checkpoints_delta, 0u);  // the failed one never counted
+      EXPECT_FALSE(fs.Exists(sealed));         // GC resumed after the repair
+    }
+    fs.DropVolatile();  // power loss
+    auto recovered = SaeSystem::Recover(options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+    EXPECT_EQ(recovered.value()->epoch(), 1 + kSnapshotInterval + extra);
+    VerifySweep(recovered.value().get());
+  }
+}
+
+// A group fsync that fails transiently must (a) fail the update in a way a
+// crash cannot undo — the staged record is durably RETRACTED by a WAL
+// abort marker, never resurrected by recovery — and (b) leave the pipeline
+// usable: the next update succeeds without a restart. Before this fix one
+// transient fsync failure poisoned the pipeline for the process lifetime,
+// and a durable-but-failed record could replay after a crash.
+template <typename System>
+void RunFsyncFailureRetractsAndReArms() {
+  RecordCodec codec(kRecordSize);
+  FaultFs fs;
+  auto options = DurableOptions<System>(crypto::HashScheme::kSha1, &fs, "/db");
+  System system(options);
+  ASSERT_TRUE(system.Load(SeedDataset(codec, 8)).ok());
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(RecordId(100), Key(40))).ok());
+
+  // Counting from arming: the next insert's group fsync is barrier 1.
+  // After it fails, the retraction syncs its abort marker at barrier 2.
+  fs.FailAtSyncPoint(1);
+  Status failed = system.Insert(codec.MakeRecord(RecordId(101), Key(41)));
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+
+  // Re-armed: the very next update succeeds, no restart needed.
+  ASSERT_TRUE(system.Insert(codec.MakeRecord(RecordId(102), Key(42))).ok());
+  EXPECT_EQ(system.epoch(), 3u);
+
+  // Crash. The abort marker's sync made the whole segment durable — the
+  // failed record's bytes INCLUDED, exactly the resurrection scenario:
+  // its epoch chains contiguously out of the snapshot, so without the
+  // marker recovery would replay it. With it, the suffix is dropped.
+  fs.DropVolatile();
+  auto recovered = System::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  System& rec = *recovered.value();
+  EXPECT_EQ(rec.epoch(), 3u);
+  VerifySweep(&rec);
+  bool saw_failed = false, saw_survivor = false;
+  for (const Record& record : FullScan(&rec)) {
+    saw_failed |= record.id == RecordId(101);
+    saw_survivor |= record.id == RecordId(102);
+  }
+  EXPECT_FALSE(saw_failed) << "acknowledged-failed update resurrected";
+  EXPECT_TRUE(saw_survivor);
+}
+
+TEST(Recovery, SaeFailedGroupFsyncRetractsDurablyAndReArms) {
+  RunFsyncFailureRetractsAndReArms<SaeSystem>();
+}
+
+TEST(Recovery, TomFailedGroupFsyncRetractsDurablyAndReArms) {
+  RunFsyncFailureRetractsAndReArms<TomSystem>();
+}
+
+TEST(Recovery, AbortRecordDropsTheRetractedSuffixAtOpen) {
+  // Unit-level scan semantics: an abort marker retracts every EARLIER
+  // record with epoch >= its epoch (a suffix — staged epochs only grow
+  // between aborts), and re-staged epochs chain on after it.
+  RecordCodec codec(kRecordSize);
+  FaultFs fs;
+  {
+    auto wal = storage::WriteAheadLog::Open(&fs, "/db").ValueOrDie();
+    auto append = [&](WalUpdate::Op op, uint64_t epoch, RecordId id) {
+      WalUpdate update;
+      update.op = op;
+      update.epoch = epoch;
+      if (op == WalUpdate::kInsert) update.record = codec.MakeRecord(id, 7);
+      EXPECT_TRUE(wal->Append(EncodeWalUpdate(update)).ok());
+    };
+    append(WalUpdate::kInsert, 2, 11);
+    append(WalUpdate::kInsert, 3, 12);
+    append(WalUpdate::kInsert, 4, 13);
+    append(WalUpdate::kAbort, 3, 0);    // epochs 3 and 4 never happened
+    append(WalUpdate::kInsert, 3, 22);  // the re-staged generation
+    append(WalUpdate::kInsert, 4, 23);
+  }
+  core::DurabilityOptions options;
+  options.enabled = true;
+  options.dir = "/db";
+  options.vfs = &fs;
+  auto mgr = DurabilityManager::Open(options);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().message();
+  const auto& rec = mgr.value()->recovered();
+  EXPECT_FALSE(rec.wal_truncated);
+  ASSERT_EQ(rec.wal_tail.size(), 3u);
+  EXPECT_EQ(rec.wal_tail[0].record.id, RecordId(11));
+  EXPECT_EQ(rec.wal_tail[1].record.id, RecordId(22));
+  EXPECT_EQ(rec.wal_tail[2].record.id, RecordId(23));
 }
 
 TEST(Recovery, ModelAndConfigMismatchesAreRejected) {
